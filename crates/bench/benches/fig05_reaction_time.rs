@@ -1,0 +1,47 @@
+//! Figure 5: ClickOS reaction time for the first 15 packets of 100
+//! concurrent flows (plus the Linux-VM baseline from §6).
+
+use innet::experiments::fig05_reaction::{reaction_time, GuestKind, ReactionParams};
+use innet_bench::{quick_mode, Report};
+
+fn main() {
+    let flows = if quick_mode() { 25 } else { 100 };
+    let mut r = Report::new(
+        "fig05_reaction_time",
+        "Figure 5: ping RTT (ms) for the first 15 probes of concurrent flows",
+    );
+
+    let series = reaction_time(&ReactionParams {
+        flows,
+        kind: GuestKind::ClickOs,
+        ..Default::default()
+    });
+    r.line(&format!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "flow", "probe1", "probe2", "probe15"
+    ));
+    for s in series.iter().step_by((flows / 10).max(1)) {
+        r.line(&format!(
+            "{:>6} {:>10.2} {:>10.3} {:>10.3}",
+            s.flow, s.rtts_ms[0], s.rtts_ms[1], s.rtts_ms[14]
+        ));
+    }
+    let avg_first: f64 = series.iter().map(|s| s.rtts_ms[0]).sum::<f64>() / flows as f64;
+    let max_first = series.iter().map(|s| s.rtts_ms[0]).fold(0.0f64, f64::max);
+    r.blank();
+    r.line(&format!(
+        "ClickOS: first-probe RTT avg {avg_first:.1} ms, max {max_first:.1} ms \
+         (paper: ~50 ms avg, ~100 ms at flow 100)"
+    ));
+
+    let linux = reaction_time(&ReactionParams {
+        flows: flows.min(20),
+        kind: GuestKind::Linux,
+        ..Default::default()
+    });
+    let l_avg: f64 = linux.iter().map(|s| s.rtts_ms[0]).sum::<f64>() / linux.len() as f64;
+    r.line(&format!(
+        "Linux VM baseline: first-probe RTT avg {l_avg:.0} ms (paper: ~700 ms)"
+    ));
+    r.finish();
+}

@@ -1,0 +1,30 @@
+//! Figure 6: 100 concurrent HTTP clients retrieving a 50 MB file through
+//! an In-Net platform at 25 Mb/s each.
+
+use innet::experiments::fig06_http::{http_concurrent, HttpParams};
+use innet_bench::Report;
+
+fn main() {
+    let flows = http_concurrent(&HttpParams::default());
+    let mut r = Report::new(
+        "fig06_http_concurrent",
+        "Figure 6: connection and transfer time per flow (100 clients, 50 MB @ 25 Mb/s)",
+    );
+    r.line(&format!(
+        "{:>6} {:>16} {:>14} {:>12}",
+        "flow", "connection (ms)", "transfer (s)", "total (s)"
+    ));
+    for f in flows.iter().step_by(10) {
+        r.line(&format!(
+            "{:>6} {:>16.1} {:>14.2} {:>12.2}",
+            f.flow, f.connection_ms, f.transfer_s, f.total_s
+        ));
+    }
+    let min = flows.iter().map(|f| f.total_s).fold(f64::MAX, f64::min);
+    let max = flows.iter().map(|f| f.total_s).fold(0.0f64, f64::max);
+    r.blank();
+    r.line(&format!(
+        "total transfer band: {min:.2}–{max:.2} s (paper: ~16.6–17.8 s)"
+    ));
+    r.finish();
+}

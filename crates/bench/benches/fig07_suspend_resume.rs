@@ -1,0 +1,27 @@
+//! Figure 7: suspend/resume latency of one VM versus the number of
+//! existing VMs on the host.
+
+use innet::experiments::fig07_suspend::suspend_resume_sweep;
+use innet_bench::Report;
+
+fn main() {
+    let points: Vec<usize> = (0..=200).step_by(25).collect();
+    let series = suspend_resume_sweep(&points);
+    let mut r = Report::new(
+        "fig07_suspend_resume",
+        "Figure 7: suspend/resume latency (ms) vs existing VMs",
+    );
+    r.line(&format!(
+        "{:>8} {:>12} {:>12}",
+        "VMs", "suspend (ms)", "resume (ms)"
+    ));
+    for p in &series {
+        r.line(&format!(
+            "{:>8} {:>12.1} {:>12.1}",
+            p.existing_vms, p.suspend_ms, p.resume_ms
+        ));
+    }
+    r.blank();
+    r.line("paper: both in a 30–100 ms band, growing with the VM count");
+    r.finish();
+}

@@ -1,0 +1,41 @@
+//! Figure 9: throughput with up to 1,000 clients at 8 Mb/s each, with
+//! 50/100/200 client configurations per VM.
+
+use innet::experiments::fig09_thousand::{thousand_clients, ScaleParams};
+use innet_bench::Report;
+
+fn main() {
+    let steps: Vec<usize> = (100..=1000).step_by(100).collect();
+    let mut r = Report::new(
+        "fig09_thousand_clients",
+        "Figure 9: cumulative throughput (Gbit/s) vs clients, by VM packing",
+    );
+    r.line(&format!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "clients", "50/VM", "100/VM", "200/VM"
+    ));
+    let sweeps: Vec<Vec<_>> = [50usize, 100, 200]
+        .iter()
+        .map(|&per_vm| {
+            thousand_clients(
+                &ScaleParams {
+                    per_vm,
+                    ..ScaleParams::default()
+                },
+                &steps,
+            )
+        })
+        .collect();
+    for (i, &clients) in steps.iter().enumerate() {
+        r.line(&format!(
+            "{:>8} {:>14.2} {:>14.2} {:>14.2}",
+            clients,
+            sweeps[0][i].achieved_gbps,
+            sweeps[1][i].achieved_gbps,
+            sweeps[2][i].achieved_gbps
+        ));
+    }
+    r.blank();
+    r.line("paper: linear growth to 8 Gbit/s at 1,000 clients for all packings");
+    r.finish();
+}

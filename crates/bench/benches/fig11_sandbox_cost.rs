@@ -1,0 +1,34 @@
+//! Figure 11: the cost of sandboxing, measured natively over the packet
+//! size sweep.
+
+use innet::experiments::fig11_sandbox::sandbox_cost;
+use innet_bench::{quick_mode, Report};
+
+fn main() {
+    let frames = [64usize, 128, 256, 512, 1024, 1472];
+    let rounds = if quick_mode() { 40 } else { 400 };
+    let series = sandbox_cost(&frames, rounds);
+    let mut r = Report::new(
+        "fig11_sandbox_cost",
+        "Figure 11: RX throughput with and without the ChangeEnforcer sandbox",
+    );
+    r.line(&format!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "bytes", "plain (Mpps)", "sandbox (Mpps)", "drop"
+    ));
+    for p in &series {
+        r.line(&format!(
+            "{:>8} {:>14.3} {:>14.3} {:>7.0}%",
+            p.frame,
+            p.plain_mpps,
+            p.sandboxed_mpps,
+            p.drop_fraction() * 100.0
+        ));
+    }
+    r.blank();
+    r.line(
+        "paper: −1/3 at 64 B, −1/5 at 128 B, no measurable drop at larger \
+         sizes; separate-VM sandboxing costs ~70%",
+    );
+    r.finish();
+}

@@ -1,0 +1,35 @@
+//! Figure 16: CDF of 1 KB download delay from the origin versus the
+//! In-Net CDN caches.
+
+use innet::experiments::fig16_cdn::{cdn_downloads, percentile, CdnParams};
+use innet_bench::Report;
+
+fn main() {
+    let clients = cdn_downloads(&CdnParams::default());
+    let origin: Vec<f64> = clients.iter().map(|c| c.origin_ms).collect();
+    let cdn: Vec<f64> = clients.iter().map(|c| c.cdn_ms).collect();
+
+    let mut r = Report::new(
+        "fig16_cdn",
+        "Figure 16: 1 KB download delay CDF, 75 clients, origin vs CDN",
+    );
+    r.line(&format!(
+        "{:>8} {:>12} {:>12}",
+        "pct", "origin (ms)", "CDN (ms)"
+    ));
+    for p in [5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+        r.line(&format!(
+            "{:>7}% {:>12.1} {:>12.1}",
+            p,
+            percentile(origin.clone(), p),
+            percentile(cdn.clone(), p)
+        ));
+    }
+    r.blank();
+    r.line(&format!(
+        "median {:.1}x lower, p90 {:.1}x lower (paper: 2x and 4x)",
+        percentile(origin.clone(), 50.0) / percentile(cdn.clone(), 50.0),
+        percentile(origin, 90.0) / percentile(cdn, 90.0)
+    ));
+    r.finish();
+}

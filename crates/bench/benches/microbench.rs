@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the hot paths the figure benches rest
+//! on: element push, configuration parsing, symbolic checking, and the
+//! pattern matcher.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use innet::prelude::*;
+use innet::symnet::{check_module, RequesterClass, SecurityContext};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn firewall_router() -> Router {
+    let cfg = ClickConfig::parse(
+        "FromNetfront() -> IPFilter(allow udp, allow tcp dst port 80) -> ToNetfront();",
+    )
+    .unwrap();
+    Router::from_config(&cfg, &Registry::standard()).unwrap()
+}
+
+fn bench_element_push(c: &mut Criterion) {
+    let pkt = PacketBuilder::udp()
+        .dst(Ipv4Addr::new(10, 0, 0, 1), 53)
+        .pad_to(64)
+        .build();
+    c.bench_function("firewall_push_64B", |b| {
+        let mut router = firewall_router();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            router.deliver(0, black_box(pkt.clone()), t).unwrap();
+            black_box(router.take_tx());
+        });
+    });
+}
+
+fn bench_config_parse(c: &mut Criterion) {
+    let text = r#"
+        FromNetfront()
+          -> IPFilter(allow udp dst port 1500)
+          -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+          -> TimedUnqueue(120, 100)
+          -> dst :: ToNetfront();
+    "#;
+    c.bench_function("click_config_parse", |b| {
+        b.iter(|| ClickConfig::parse(black_box(text)).unwrap());
+    });
+}
+
+fn bench_pattern_match(c: &mut Criterion) {
+    let expr: innet::packet::pattern::PatternExpr =
+        "(tcp or udp) and dst net 10.0.0.0/8 and not dst port 22"
+            .parse()
+            .unwrap();
+    let pkt = PacketBuilder::udp()
+        .dst(Ipv4Addr::new(10, 1, 2, 3), 53)
+        .build();
+    c.bench_function("pattern_match", |b| {
+        b.iter(|| black_box(&expr).matches(black_box(&pkt)));
+    });
+}
+
+fn bench_security_check(c: &mut Criterion) {
+    let cfg = ClickConfig::parse(
+        r#"
+        FromNetfront()
+          -> IPFilter(allow udp dst port 1500)
+          -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+          -> TimedUnqueue(120, 100)
+          -> ToNetfront();
+        "#,
+    )
+    .unwrap();
+    let ctx = SecurityContext {
+        assigned_addr: Ipv4Addr::new(203, 0, 113, 10),
+        registered: vec![Ipv4Addr::new(172, 16, 15, 133)],
+        class: RequesterClass::ThirdParty,
+    };
+    let registry = Registry::standard();
+    c.bench_function("security_check_figure4", |b| {
+        b.iter(|| check_module(black_box(&cfg), black_box(&ctx), &registry).unwrap());
+    });
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    const FIG4: &str = r#"
+        module batcher:
+        FromNetfront()
+          -> IPFilter(allow udp dst port 1500)
+          -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+          -> TimedUnqueue(120, 100)
+          -> dst :: ToNetfront();
+
+        reach from internet udp
+          -> batcher:dst:0 dst 172.16.15.133
+          -> client dst port 1500
+          const proto && dst port && payload
+    "#;
+    c.bench_function("controller_deploy_figure4", |b| {
+        b.iter_batched(
+            || {
+                let mut ctl = Controller::new(Topology::figure3());
+                ctl.register_client(
+                    "m",
+                    RequesterClass::Client,
+                    vec![Ipv4Addr::new(172, 16, 15, 133)],
+                );
+                (ctl, ClientRequest::parse(FIG4).unwrap())
+            },
+            |(mut ctl, req)| black_box(ctl.deploy("m", req).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_element_push,
+    bench_config_parse,
+    bench_pattern_match,
+    bench_security_check,
+    bench_deploy
+);
+criterion_main!(benches);

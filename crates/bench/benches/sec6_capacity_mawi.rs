@@ -1,0 +1,33 @@
+//! §6 headline numbers: VM density on a 128 GB server and the MAWI
+//! backbone workload check.
+
+use innet::experiments::sec6_capacity::{mawi_check, vm_density};
+use innet_bench::Report;
+
+fn main() {
+    let mut r = Report::new("sec6_capacity_mawi", "§6: VM density and the MAWI workload");
+    let d = vm_density(128);
+    r.line(&format!(
+        "128 GB server: {} Linux VMs vs {} ClickOS VMs \
+         (paper: ~200 vs ~10,000)",
+        d.linux_vms, d.clickos_vms
+    ));
+    r.blank();
+    r.line("synthetic MAWI 15-minute traces (paper: 1,600–4,000 conns, 400–840 clients):");
+    r.line(&format!(
+        "{:>6} {:>12} {:>16} {:>16} {:>14}",
+        "seed", "flows", "peak conns", "peak clients", "fits 1 platform"
+    ));
+    for seed in 0..5 {
+        let (stats, fits) = mawi_check(seed);
+        r.line(&format!(
+            "{:>6} {:>12} {:>16} {:>16} {:>14}",
+            seed,
+            stats.total_connections,
+            stats.max_active_connections,
+            stats.max_active_clients,
+            fits
+        ));
+    }
+    r.finish();
+}

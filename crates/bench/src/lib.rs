@@ -1,0 +1,60 @@
+//! Shared reporting helpers for the figure benches.
+//!
+//! Every bench prints its series to stdout in the paper's row format and
+//! mirrors it to `target/innet-reports/<name>.txt`, so a full
+//! `cargo bench` leaves a directory of reproduced tables behind.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A tiny line-oriented report that tees to stdout and a file.
+pub struct Report {
+    name: &'static str,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report for a figure/table name like `"fig05"`.
+    pub fn new(name: &'static str, title: &str) -> Report {
+        let mut r = Report {
+            name,
+            body: String::new(),
+        };
+        r.line(&format!("# {title}"));
+        r
+    }
+
+    /// Appends (and prints) one line.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        let _ = writeln!(self.body, "{s}");
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Writes the report file under `target/innet-reports/`.
+    pub fn finish(self) {
+        let dir = match std::env::var("CARGO_TARGET_DIR") {
+            Ok(t) => PathBuf::from(t),
+            // Anchor at the workspace target dir regardless of bench CWD.
+            Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"),
+        }
+        .join("innet-reports");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.txt", self.name));
+            if std::fs::write(&path, self.body).is_ok() {
+                eprintln!("[report written to {}]", path.display());
+            }
+        }
+    }
+}
+
+/// True when the harness was invoked by `cargo bench` in quick mode
+/// (`--quick` or the `INNET_BENCH_QUICK` env var): benches shrink their
+/// parameter sweeps so CI stays fast.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var("INNET_BENCH_QUICK").is_ok()
+}

@@ -1,0 +1,686 @@
+//! The Click configuration language: parser, AST, and programmatic builder.
+//!
+//! In-Net clients express processing requests in this language (paper §4.1).
+//! The subset implemented here covers everything the paper uses:
+//!
+//! ```text
+//! config     := (statement ';')*
+//! statement  := declaration | connection
+//! declaration:= NAME '::' CLASS [ '(' raw-args ')' ]
+//! connection := endpoint ('->' endpoint)+
+//! endpoint   := ['[' PORT ']'] ref ['[' PORT ']']
+//! ref        := NAME                      -- previously declared element
+//!             | NAME '::' CLASS '(..)'    -- inline declaration
+//!             | CLASS '(..)'              -- anonymous element
+//! ```
+//!
+//! Comments (`// ...` and `/* ... */`) are stripped. Class names start with
+//! an uppercase letter; element names do not (Click's own convention).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::args::split_args;
+
+/// A declared element instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementDecl {
+    /// Instance name (unique within a configuration).
+    pub name: String,
+    /// Element class, e.g. `IPFilter`.
+    pub class: String,
+    /// Raw arguments, already split on top-level commas.
+    pub args: Vec<String>,
+}
+
+/// One endpoint of a connection: an element name plus a port number.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortRef {
+    /// Element instance name.
+    pub element: String,
+    /// Port index on that element.
+    pub port: usize,
+}
+
+impl PortRef {
+    /// Builds a port reference.
+    pub fn new(element: impl Into<String>, port: usize) -> PortRef {
+        PortRef {
+            element: element.into(),
+            port,
+        }
+    }
+}
+
+/// A directed edge from an output port to an input port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Source output port.
+    pub from: PortRef,
+    /// Destination input port.
+    pub to: PortRef,
+}
+
+/// Errors produced while parsing or validating a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Lexical or syntactic failure, with a human-readable description.
+    Syntax(String),
+    /// An element name was declared twice.
+    DuplicateName(String),
+    /// A connection references an element that was never declared.
+    UnknownElement(String),
+    /// Two connections leave the same output port (Click forbids this for
+    /// push ports, and so do we).
+    OutputFanout(PortRef),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Syntax(m) => write!(f, "syntax error: {m}"),
+            ConfigError::DuplicateName(n) => write!(f, "duplicate element name '{n}'"),
+            ConfigError::UnknownElement(n) => write!(f, "unknown element '{n}'"),
+            ConfigError::OutputFanout(p) => {
+                write!(f, "output [{}]{} connected twice", p.port, p.element)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed Click configuration: element declarations plus connections.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClickConfig {
+    /// Declared elements, in declaration order.
+    pub elements: Vec<ElementDecl>,
+    /// Connections, in source order.
+    pub connections: Vec<Connection>,
+    anon_counter: usize,
+}
+
+impl ClickConfig {
+    /// An empty configuration (use the builder methods to populate it).
+    pub fn new() -> ClickConfig {
+        ClickConfig::default()
+    }
+
+    /// Declares an element; returns the instance name.
+    pub fn add_element(
+        &mut self,
+        name: impl Into<String>,
+        class: impl Into<String>,
+        args: &[&str],
+    ) -> String {
+        let name = name.into();
+        self.elements.push(ElementDecl {
+            name: name.clone(),
+            class: class.into(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+        });
+        name
+    }
+
+    /// Declares an element with a generated unique name.
+    pub fn add_anon(&mut self, class: impl Into<String>, args: &[&str]) -> String {
+        let class = class.into();
+        self.anon_counter += 1;
+        let name = format!("{}@{}", class, self.anon_counter);
+        self.add_element(name, class, args)
+    }
+
+    /// Connects `[from_port]from -> [to_port]to`.
+    pub fn connect(
+        &mut self,
+        from: impl Into<String>,
+        from_port: usize,
+        to: impl Into<String>,
+        to_port: usize,
+    ) {
+        self.connections.push(Connection {
+            from: PortRef::new(from, from_port),
+            to: PortRef::new(to, to_port),
+        });
+    }
+
+    /// Looks up a declaration by instance name.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// Instance names of all elements of the given class.
+    pub fn elements_of_class(&self, class: &str) -> Vec<&str> {
+        self.elements
+            .iter()
+            .filter(|e| e.class == class)
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+
+    /// Checks structural sanity: unique names, known references, no output
+    /// fan-out.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut seen = HashMap::new();
+        for e in &self.elements {
+            if seen.insert(e.name.as_str(), ()).is_some() {
+                return Err(ConfigError::DuplicateName(e.name.clone()));
+            }
+        }
+        let mut outs = HashMap::new();
+        for c in &self.connections {
+            for p in [&c.from, &c.to] {
+                if !seen.contains_key(p.element.as_str()) {
+                    return Err(ConfigError::UnknownElement(p.element.clone()));
+                }
+            }
+            if outs.insert(c.from.clone(), ()).is_some() {
+                return Err(ConfigError::OutputFanout(c.from.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Imports all elements and connections of `other`, prefixing every
+    /// instance name with `prefix/`.
+    ///
+    /// This is the primitive behind tenant consolidation (paper §5): a
+    /// platform merges several clients' configurations into one VM-level
+    /// configuration. No connections are added between the imported graph
+    /// and existing elements — isolation is preserved by construction.
+    pub fn merge_namespaced(&mut self, prefix: &str, other: &ClickConfig) {
+        let rename = |n: &str| format!("{prefix}/{n}");
+        for e in &other.elements {
+            self.elements.push(ElementDecl {
+                name: rename(&e.name),
+                class: e.class.clone(),
+                args: e.args.clone(),
+            });
+        }
+        for c in &other.connections {
+            self.connections.push(Connection {
+                from: PortRef::new(rename(&c.from.element), c.from.port),
+                to: PortRef::new(rename(&c.to.element), c.to.port),
+            });
+        }
+    }
+
+    /// Serializes back to Click-language text. `parse(to_text())` yields an
+    /// equivalent configuration (a property test asserts this).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for e in &self.elements {
+            let _ = writeln!(s, "{} :: {}({});", e.name, e.class, e.args.join(", "));
+        }
+        for c in &self.connections {
+            let _ = writeln!(
+                s,
+                "{}[{}] -> [{}]{};",
+                c.from.element, c.from.port, c.to.port, c.to.element
+            );
+        }
+        s
+    }
+
+    /// Parses a Click-language configuration.
+    pub fn parse(text: &str) -> Result<ClickConfig, ConfigError> {
+        Parser::new(text)?.run()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    /// `(` raw argument text `)` — captured verbatim with nesting.
+    Args(String),
+    DoubleColon,
+    Arrow,
+    LBracket,
+    RBracket,
+    Semi,
+    Number(usize),
+}
+
+fn strip_comments(text: &str) -> Result<String, ConfigError> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for d in chars.by_ref() {
+                        if d == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut prev = '\0';
+                    let mut closed = false;
+                    for d in chars.by_ref() {
+                        if prev == '*' && d == '/' {
+                            closed = true;
+                            break;
+                        }
+                        prev = d;
+                    }
+                    if !closed {
+                        return Err(ConfigError::Syntax("unterminated /* comment".into()));
+                    }
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, ConfigError> {
+    let text = strip_comments(text)?;
+    let mut toks = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            c if c.is_whitespace() => {}
+            ';' => toks.push(Tok::Semi),
+            '[' => toks.push(Tok::LBracket),
+            ']' => toks.push(Tok::RBracket),
+            ':' => {
+                if chars.peek().map(|&(_, d)| d) == Some(':') {
+                    chars.next();
+                    toks.push(Tok::DoubleColon);
+                } else {
+                    return Err(ConfigError::Syntax(format!("stray ':' at byte {i}")));
+                }
+            }
+            '-' => {
+                if chars.peek().map(|&(_, d)| d) == Some('>') {
+                    chars.next();
+                    toks.push(Tok::Arrow);
+                } else {
+                    return Err(ConfigError::Syntax(format!("stray '-' at byte {i}")));
+                }
+            }
+            '(' => {
+                // Capture raw args up to the matching close paren.
+                let mut depth = 1usize;
+                let mut raw = String::new();
+                for (_, d) in chars.by_ref() {
+                    match d {
+                        '(' => {
+                            depth += 1;
+                            raw.push(d);
+                        }
+                        ')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                            raw.push(d);
+                        }
+                        _ => raw.push(d),
+                    }
+                }
+                if depth != 0 {
+                    return Err(ConfigError::Syntax("unbalanced '('".into()));
+                }
+                toks.push(Tok::Args(raw));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::from(c);
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v = n
+                    .parse()
+                    .map_err(|_| ConfigError::Syntax(format!("bad number '{n}'")))?;
+                toks.push(Tok::Number(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut id = String::from(c);
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '@' || d == '/' {
+                        id.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(id));
+            }
+            other => {
+                return Err(ConfigError::Syntax(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    cfg: ClickConfig,
+}
+
+impl Parser {
+    fn new(text: &str) -> Result<Parser, ConfigError> {
+        Ok(Parser {
+            toks: lex(text)?,
+            pos: 0,
+            cfg: ClickConfig::new(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), ConfigError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(ConfigError::Syntax(format!(
+                "expected {what}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn run(mut self) -> Result<ClickConfig, ConfigError> {
+        while self.peek().is_some() {
+            if self.eat(&Tok::Semi) {
+                continue;
+            }
+            self.statement()?;
+            self.expect(Tok::Semi, "';'")?;
+        }
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// Parses either a pure declaration or a connection chain.
+    fn statement(&mut self) -> Result<(), ConfigError> {
+        let first = self.endpoint()?;
+        if self.peek() != Some(&Tok::Arrow) {
+            // A lone declaration/reference statement.
+            return Ok(());
+        }
+        let mut prev = first;
+        while self.eat(&Tok::Arrow) {
+            let next = self.endpoint()?;
+            self.cfg.connections.push(Connection {
+                from: PortRef::new(prev.0.clone(), prev.2),
+                to: PortRef::new(next.0.clone(), next.1),
+            });
+            prev = next;
+        }
+        Ok(())
+    }
+
+    /// Parses `[inport]? ref [outport]?`, returning
+    /// `(element_name, in_port, out_port)`.
+    fn endpoint(&mut self) -> Result<(String, usize, usize), ConfigError> {
+        let in_port = if self.eat(&Tok::LBracket) {
+            let n = self.number()?;
+            self.expect(Tok::RBracket, "']'")?;
+            n
+        } else {
+            0
+        };
+        let name = self.element_ref()?;
+        let out_port = if self.eat(&Tok::LBracket) {
+            let n = self.number()?;
+            self.expect(Tok::RBracket, "']'")?;
+            n
+        } else {
+            0
+        };
+        Ok((name, in_port, out_port))
+    }
+
+    fn number(&mut self) -> Result<usize, ConfigError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => Err(ConfigError::Syntax(format!(
+                "expected port number, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Parses an element reference, registering declarations as needed.
+    fn element_ref(&mut self) -> Result<String, ConfigError> {
+        let Some(Tok::Ident(id)) = self.next() else {
+            return Err(ConfigError::Syntax(format!(
+                "expected element, found {:?}",
+                self.toks.get(self.pos.saturating_sub(1))
+            )));
+        };
+
+        // `name :: Class(args)` — declaration (inline or standalone).
+        if self.peek() == Some(&Tok::DoubleColon) {
+            self.pos += 1;
+            let Some(Tok::Ident(class)) = self.next() else {
+                return Err(ConfigError::Syntax("expected class after '::'".into()));
+            };
+            let args = self.optional_args();
+            if self.cfg.element(&id).is_some() {
+                return Err(ConfigError::DuplicateName(id));
+            }
+            self.cfg.elements.push(ElementDecl {
+                name: id.clone(),
+                class,
+                args,
+            });
+            return Ok(id);
+        }
+
+        // `Class(args)` — anonymous element (class names are capitalized).
+        let looks_like_class = id.chars().next().is_some_and(|c| c.is_uppercase());
+        if looks_like_class && matches!(self.peek(), Some(Tok::Args(_))) {
+            let args = self.optional_args();
+            return Ok(self
+                .cfg
+                .add_anon(id, &args.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+        }
+        if looks_like_class && self.cfg.element(&id).is_none() {
+            // `-> Discard;` style: anonymous element without parens.
+            return Ok(self.cfg.add_anon(id, &[]));
+        }
+
+        // Otherwise: a reference to a previously declared element.
+        if self.cfg.element(&id).is_none() {
+            return Err(ConfigError::UnknownElement(id));
+        }
+        Ok(id)
+    }
+
+    fn optional_args(&mut self) -> Vec<String> {
+        if let Some(Tok::Args(raw)) = self.peek() {
+            let raw = raw.clone();
+            self.pos += 1;
+            split_args(&raw)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_figure4() {
+        let cfg = ClickConfig::parse(
+            r#"
+            // Batcher module from Figure 4.
+            FromNetfront() ->
+            IPFilter(allow udp dst port 1500) ->
+            IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> TimedUnqueue(120, 100)
+            -> dst :: ToNetfront();
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.elements.len(), 5);
+        assert_eq!(cfg.connections.len(), 4);
+        assert!(cfg.element("dst").is_some());
+        assert_eq!(cfg.element("dst").unwrap().class, "ToNetfront");
+        assert_eq!(cfg.elements_of_class("IPFilter").len(), 1);
+    }
+
+    #[test]
+    fn declarations_then_connections() {
+        let cfg = ClickConfig::parse(
+            r#"
+            src :: FromNetfront();
+            f :: IPFilter(allow udp);
+            snk :: ToNetfront();
+            src -> f -> snk;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.elements.len(), 3);
+        assert_eq!(cfg.connections.len(), 2);
+    }
+
+    #[test]
+    fn explicit_ports() {
+        let cfg = ClickConfig::parse(
+            r#"
+            c :: Classifier(12/0800, -);
+            d1 :: Discard;
+            d2 :: Discard;
+            c[0] -> d1;
+            c[1] -> [0]d2;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.connections[0].from.port, 0);
+        assert_eq!(cfg.connections[1].from.port, 1);
+        assert_eq!(cfg.connections[1].to.port, 0);
+    }
+
+    #[test]
+    fn block_comments() {
+        let cfg = ClickConfig::parse("/* hi */ a :: Discard; /* multi\nline */").unwrap();
+        assert_eq!(cfg.elements.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let e = ClickConfig::parse("a :: Discard; a :: Discard;").unwrap_err();
+        assert!(matches!(e, ConfigError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn unknown_reference_rejected() {
+        let e = ClickConfig::parse("a :: Discard; a -> b;").unwrap_err();
+        assert!(matches!(e, ConfigError::UnknownElement(_)));
+    }
+
+    #[test]
+    fn fanout_rejected() {
+        let e =
+            ClickConfig::parse("a :: Tee(2); b :: Discard; c :: Discard; a[0] -> b; a[0] -> c;")
+                .unwrap_err();
+        assert!(matches!(e, ConfigError::OutputFanout(_)));
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(matches!(
+            ClickConfig::parse("/* nope"),
+            Err(ConfigError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn unbalanced_paren_rejected() {
+        assert!(matches!(
+            ClickConfig::parse("a :: IPFilter(allow udp;"),
+            Err(ConfigError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn to_text_roundtrip() {
+        let cfg = ClickConfig::parse(
+            "f :: IPFilter(allow udp dst port 1500, deny all); s :: ToNetfront(); f -> s;",
+        )
+        .unwrap();
+        let again = ClickConfig::parse(&cfg.to_text()).unwrap();
+        assert_eq!(cfg.elements, again.elements);
+        assert_eq!(cfg.connections, again.connections);
+    }
+
+    #[test]
+    fn merge_namespaced_isolates() {
+        let client: ClickConfig =
+            ClickConfig::parse("f :: IPFilter(allow udp); t :: ToNetfront(); f -> t;").unwrap();
+        let mut host = ClickConfig::new();
+        host.merge_namespaced("alice", &client);
+        host.merge_namespaced("bob", &client);
+        assert!(host.element("alice/f").is_some());
+        assert!(host.element("bob/f").is_some());
+        host.validate().unwrap();
+        // No cross-tenant connections were introduced.
+        for c in &host.connections {
+            let from_tenant = c.from.element.split('/').next().unwrap();
+            let to_tenant = c.to.element.split('/').next().unwrap();
+            assert_eq!(from_tenant, to_tenant);
+        }
+    }
+
+    #[test]
+    fn builder_api() {
+        let mut cfg = ClickConfig::new();
+        cfg.add_element("src", "FromNetfront", &[]);
+        let f = cfg.add_anon("IPFilter", &["allow udp"]);
+        cfg.add_element("snk", "ToNetfront", &[]);
+        cfg.connect("src", 0, &f, 0);
+        cfg.connect(&f, 0, "snk", 0);
+        cfg.validate().unwrap();
+        let parsed = ClickConfig::parse(&cfg.to_text()).unwrap();
+        assert_eq!(parsed.elements.len(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! `IPNAT` — network address and port translation (NAPT).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use innet_packet::{FlowKey, IpProto, Packet};
+
+use crate::{
+    args::ConfigArgs,
+    element::{Context, Element, ElementError, PortCount, Sink},
+};
+
+/// First external port handed out by the allocator.
+const PORT_BASE: u16 = 1024;
+
+/// `IPNAT(PUBLIC_ADDR)` — source NAT with per-flow port allocation.
+///
+/// * Input 0 / output 0: inside → outside. The source address is rewritten
+///   to `PUBLIC_ADDR` and the source port to an allocated external port.
+/// * Input 1 / output 1: outside → inside. Packets addressed to
+///   `PUBLIC_ADDR` on an allocated port are rewritten back to the internal
+///   endpoint; everything else is dropped.
+///
+/// One of Table 1's middleboxes: safe only when the *operator* runs it
+/// (it rewrites source addresses, which the anti-spoofing rule forbids for
+/// tenants).
+#[derive(Debug)]
+pub struct IpNat {
+    public: Ipv4Addr,
+    /// internal flow (directed, inside->out) -> external source port.
+    forward: HashMap<FlowKey, u16>,
+    /// (external port, remote addr, remote port, proto) -> internal flow.
+    reverse: HashMap<(u16, Ipv4Addr, u16, u8), FlowKey>,
+    next_port: u16,
+    translated_out: u64,
+    translated_in: u64,
+    dropped: u64,
+}
+
+impl IpNat {
+    /// Creates a NAT advertising `public`.
+    pub fn new(public: Ipv4Addr) -> IpNat {
+        IpNat {
+            public,
+            forward: HashMap::new(),
+            reverse: HashMap::new(),
+            next_port: PORT_BASE,
+            translated_out: 0,
+            translated_in: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Parses `IPNAT(PUBLIC_ADDR)`.
+    pub fn from_args(args: &ConfigArgs) -> Result<IpNat, ElementError> {
+        args.expect_len(1)?;
+        Ok(IpNat::new(args.addr_at(0)?))
+    }
+
+    /// Number of active translations.
+    pub fn mappings(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Counters: (outbound translated, inbound translated, dropped).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.translated_out, self.translated_in, self.dropped)
+    }
+
+    /// The advertised public address.
+    pub fn public_addr(&self) -> Ipv4Addr {
+        self.public
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        // Linear scan from the cursor; 64k flows exhaust the space, after
+        // which ports are reused (matching real NAPT behavior under churn).
+        let p = self.next_port;
+        self.next_port = if self.next_port == u16::MAX {
+            PORT_BASE
+        } else {
+            self.next_port + 1
+        };
+        p
+    }
+
+    fn set_l4_ports(pkt: &mut Packet, src: Option<u16>, dst: Option<u16>) {
+        match pkt.ip_proto() {
+            Ok(IpProto::Udp) => {
+                if let Ok(mut u) = pkt.udp_mut() {
+                    if let Some(s) = src {
+                        u.set_src_port(s);
+                    }
+                    if let Some(d) = dst {
+                        u.set_dst_port(d);
+                    }
+                }
+            }
+            Ok(IpProto::Tcp) => {
+                if let Ok(mut t) = pkt.tcp_mut() {
+                    if let Some(s) = src {
+                        t.set_src_port(s);
+                    }
+                    if let Some(d) = dst {
+                        t.set_dst_port(d);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Element for IpNat {
+    fn class_name(&self) -> &'static str {
+        "IPNAT"
+    }
+
+    fn ports(&self) -> PortCount {
+        PortCount::new(2, 2)
+    }
+
+    fn push(&mut self, port: usize, mut pkt: Packet, _ctx: &Context, out: &mut dyn Sink) {
+        let Ok(key) = FlowKey::of(&pkt) else {
+            self.dropped += 1;
+            return;
+        };
+        match port {
+            0 => {
+                let ext_port = match self.forward.get(&key) {
+                    Some(&p) => p,
+                    None => {
+                        let p = self.alloc_port();
+                        self.forward.insert(key, p);
+                        self.reverse
+                            .insert((p, key.dst, key.dst_port, key.proto.number()), key);
+                        p
+                    }
+                };
+                if let Ok(mut ip) = pkt.ipv4_mut() {
+                    ip.set_src(self.public);
+                    ip.update_checksum();
+                }
+                IpNat::set_l4_ports(&mut pkt, Some(ext_port), None);
+                self.translated_out += 1;
+                out.push(0, pkt);
+            }
+            _ => {
+                let Ok(ip) = pkt.ipv4() else {
+                    self.dropped += 1;
+                    return;
+                };
+                if ip.dst() != self.public {
+                    self.dropped += 1;
+                    return;
+                }
+                let lookup = (key.dst_port, key.src, key.src_port, key.proto.number());
+                match self.reverse.get(&lookup).copied() {
+                    Some(internal) => {
+                        if let Ok(mut ip) = pkt.ipv4_mut() {
+                            ip.set_dst(internal.src);
+                            ip.update_checksum();
+                        }
+                        IpNat::set_l4_ports(&mut pkt, None, Some(internal.src_port));
+                        self.translated_in += 1;
+                        out.push(1, pkt);
+                    }
+                    None => self.dropped += 1,
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::VecSink;
+    use innet_packet::PacketBuilder;
+
+    const PUB: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+    const INSIDE: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+
+    fn nat() -> IpNat {
+        IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1")).unwrap()
+    }
+
+    #[test]
+    fn outbound_rewrites_source() {
+        let mut n = nat();
+        let mut s = VecSink::new();
+        let pkt = PacketBuilder::udp()
+            .src(INSIDE, 5555)
+            .dst(SERVER, 53)
+            .build();
+        n.push(0, pkt, &Context::default(), &mut s);
+        let out = s.only(0).unwrap();
+        let ip = out.ipv4().unwrap();
+        assert_eq!(ip.src(), PUB);
+        assert!(ip.verify_checksum());
+        assert_eq!(out.udp().unwrap().src_port(), PORT_BASE);
+        assert_eq!(out.udp().unwrap().dst_port(), 53);
+    }
+
+    #[test]
+    fn reply_translated_back() {
+        let mut n = nat();
+        let mut s = VecSink::new();
+        n.push(
+            0,
+            PacketBuilder::udp()
+                .src(INSIDE, 5555)
+                .dst(SERVER, 53)
+                .build(),
+            &Context::default(),
+            &mut s,
+        );
+        let ext_port = s.pushed[0].1.udp().unwrap().src_port();
+        let reply = PacketBuilder::udp()
+            .src(SERVER, 53)
+            .dst(PUB, ext_port)
+            .build();
+        n.push(1, reply, &Context::default(), &mut s);
+        assert_eq!(s.pushed.len(), 2);
+        let back = &s.pushed[1].1;
+        assert_eq!(back.ipv4().unwrap().dst(), INSIDE);
+        assert_eq!(back.udp().unwrap().dst_port(), 5555);
+    }
+
+    #[test]
+    fn same_flow_keeps_mapping() {
+        let mut n = nat();
+        let mut s = VecSink::new();
+        for _ in 0..3 {
+            n.push(
+                0,
+                PacketBuilder::udp()
+                    .src(INSIDE, 5555)
+                    .dst(SERVER, 53)
+                    .build(),
+                &Context::default(),
+                &mut s,
+            );
+        }
+        assert_eq!(n.mappings(), 1);
+        let ports: Vec<u16> = s
+            .pushed
+            .iter()
+            .map(|(_, p)| p.udp().unwrap().src_port())
+            .collect();
+        assert!(ports.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let mut n = nat();
+        let mut s = VecSink::new();
+        for sport in [100u16, 200, 300] {
+            n.push(
+                0,
+                PacketBuilder::udp()
+                    .src(INSIDE, sport)
+                    .dst(SERVER, 53)
+                    .build(),
+                &Context::default(),
+                &mut s,
+            );
+        }
+        let mut ports: Vec<u16> = s
+            .pushed
+            .iter()
+            .map(|(_, p)| p.udp().unwrap().src_port())
+            .collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 3);
+    }
+
+    #[test]
+    fn unsolicited_inbound_dropped() {
+        let mut n = nat();
+        let mut s = VecSink::new();
+        let pkt = PacketBuilder::udp().src(SERVER, 53).dst(PUB, 2000).build();
+        n.push(1, pkt, &Context::default(), &mut s);
+        assert!(s.pushed.is_empty());
+        assert_eq!(n.counters().2, 1);
+    }
+
+    #[test]
+    fn inbound_to_other_address_dropped() {
+        let mut n = nat();
+        let mut s = VecSink::new();
+        let pkt = PacketBuilder::udp()
+            .src(SERVER, 53)
+            .dst(Ipv4Addr::new(9, 9, 9, 9), PORT_BASE)
+            .build();
+        n.push(1, pkt, &Context::default(), &mut s);
+        assert!(s.pushed.is_empty());
+    }
+}

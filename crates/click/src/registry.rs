@@ -1,0 +1,220 @@
+//! The element registry: class name → constructor.
+//!
+//! The registry is the boundary that makes static analysis possible: a
+//! configuration is only instantiable if every class it names is registered,
+//! and every registered class has an abstract model in `innet-symnet`.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    args::ConfigArgs,
+    element::{Element, ElementError},
+    elements::{self as el},
+};
+
+type Ctor = fn(&ConfigArgs) -> Result<Box<dyn Element>, ElementError>;
+
+/// A table of known element classes.
+pub struct Registry {
+    ctors: BTreeMap<&'static str, Ctor>,
+}
+
+macro_rules! ctor {
+    ($ty:ty, from_args) => {
+        |args: &ConfigArgs| -> Result<Box<dyn Element>, ElementError> {
+            Ok(Box::new(<$ty>::from_args(args)?))
+        }
+    };
+    ($ty:ty, no_args) => {
+        |args: &ConfigArgs| -> Result<Box<dyn Element>, ElementError> {
+            args.expect_len(0)?;
+            Ok(Box::new(<$ty>::default()))
+        }
+    };
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry {
+            ctors: BTreeMap::new(),
+        }
+    }
+
+    /// The standard In-Net element library.
+    pub fn standard() -> Registry {
+        let mut r = Registry::empty();
+
+        // Sources, sinks.
+        r.register("FromNetfront", ctor!(el::FromNetfront, from_args));
+        r.register("ToNetfront", ctor!(el::ToNetfront, from_args));
+        // Device aliases (Click configurations often use these names).
+        r.register("FromDevice", ctor!(el::FromNetfront, from_args));
+        r.register("ToDevice", ctor!(el::ToNetfront, from_args));
+        r.register("Discard", ctor!(el::Discard, no_args));
+        r.register("Idle", ctor!(el::Idle, no_args));
+
+        // Classification and filtering.
+        r.register("Classifier", ctor!(el::Classifier, from_args));
+        r.register("IPClassifier", ctor!(el::IPClassifier, from_args));
+        r.register("IPFilter", ctor!(el::IPFilter, from_args));
+
+        // Header manipulation.
+        r.register("CheckIPHeader", ctor!(el::CheckIPHeader, no_args));
+        r.register("MarkIPHeader", ctor!(el::MarkIPHeader, from_args));
+        r.register("DecIPTTL", ctor!(el::DecIPTTL, no_args));
+        r.register("SetIPSrc", ctor!(el::SetIPSrc, from_args));
+        r.register("SetIPDst", ctor!(el::SetIPDst, from_args));
+        r.register("SetTOS", ctor!(el::SetTOS, from_args));
+        r.register("Strip", ctor!(el::Strip, from_args));
+        r.register("EtherEncap", ctor!(el::EtherEncap, from_args));
+
+        // Measurement.
+        r.register("Counter", ctor!(el::Counter, no_args));
+        r.register("FlowMeter", ctor!(el::FlowMeter, no_args));
+
+        // Shaping and queueing.
+        r.register("RateLimiter", ctor!(el::RateLimiter, from_args));
+        r.register("BandwidthShaper", ctor!(el::BandwidthShaper, from_args));
+        r.register("Queue", ctor!(el::Queue, from_args));
+        r.register("TimedUnqueue", ctor!(el::TimedUnqueue, from_args));
+
+        // Stateful middleboxes.
+        r.register("StatefulFirewall", ctor!(el::StatefulFirewall, from_args));
+        r.register("IPNAT", ctor!(el::IpNat, from_args));
+        r.register("IPRewriter", ctor!(el::IPRewriter, from_args));
+        r.register("TransparentProxy", ctor!(el::TransparentProxy, from_args));
+
+        // Tunnels.
+        r.register("UDPTunnelEncap", ctor!(el::UdpTunnelEncap, from_args));
+        r.register("UDPTunnelDecap", ctor!(el::UdpTunnelDecap, no_args));
+        r.register("IPEncap", ctor!(el::IpEncap, from_args));
+        r.register("IPDecap", ctor!(el::IpDecap, no_args));
+
+        // Scheduling and annotations.
+        r.register("RoundRobinSwitch", ctor!(el::RoundRobinSwitch, from_args));
+        r.register("RandomSwitch", ctor!(el::RandomSwitch, from_args));
+        r.register("Meter", ctor!(el::Meter, from_args));
+        r.register("Paint", ctor!(el::Paint, from_args));
+        r.register("CheckPaint", ctor!(el::CheckPaint, from_args));
+
+        // Duplication, inspection, responders.
+        r.register("Tee", ctor!(el::Tee, from_args));
+        r.register("IPMulticast", ctor!(el::IpMulticast, from_args));
+        r.register("DPI", ctor!(el::Dpi, from_args));
+        r.register("ICMPPingResponder", ctor!(el::IcmpPingResponder, no_args));
+        r.register("StaticIPLookup", ctor!(el::StaticIPLookup, from_args));
+
+        // Sandboxing.
+        r.register("ChangeEnforcer", ctor!(el::ChangeEnforcer, from_args));
+
+        r
+    }
+
+    /// Registers (or replaces) a class constructor.
+    pub fn register(&mut self, class: &'static str, ctor: Ctor) {
+        self.ctors.insert(class, ctor);
+    }
+
+    /// Whether a class is known.
+    pub fn knows(&self, class: &str) -> bool {
+        self.ctors.contains_key(class)
+    }
+
+    /// All registered class names, sorted.
+    pub fn classes(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.ctors.keys().copied()
+    }
+
+    /// Instantiates an element.
+    pub fn instantiate(
+        &self,
+        class: &str,
+        args: &[String],
+    ) -> Result<Box<dyn Element>, ElementError> {
+        let Some((name, ctor)) = self.ctors.get_key_value(class) else {
+            return Err(ElementError::UnknownClass(class.to_string()));
+        };
+        ctor(&ConfigArgs::new(name, args))
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("classes", &self.ctors.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_has_core_classes() {
+        let r = Registry::standard();
+        for class in [
+            "FromNetfront",
+            "ToNetfront",
+            "IPFilter",
+            "IPClassifier",
+            "IPRewriter",
+            "TimedUnqueue",
+            "StatefulFirewall",
+            "IPNAT",
+            "ChangeEnforcer",
+            "DPI",
+            "StaticIPLookup",
+        ] {
+            assert!(r.knows(class), "{class} missing");
+        }
+        assert!(!r.knows("FluxCapacitor"));
+    }
+
+    #[test]
+    fn instantiate_unknown_fails() {
+        let r = Registry::standard();
+        assert!(matches!(
+            r.instantiate("Nope", &[]),
+            Err(ElementError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn instantiate_all_defaults() {
+        // Every no-arg class instantiates without arguments.
+        let r = Registry::standard();
+        for class in [
+            "Discard",
+            "Idle",
+            "CheckIPHeader",
+            "DecIPTTL",
+            "Counter",
+            "FlowMeter",
+            "UDPTunnelDecap",
+            "IPDecap",
+            "ICMPPingResponder",
+        ] {
+            assert!(r.instantiate(class, &[]).is_ok(), "{class}");
+        }
+    }
+
+    #[test]
+    fn no_arg_classes_reject_args() {
+        let r = Registry::standard();
+        assert!(r.instantiate("Discard", &["x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn class_count_is_substantial() {
+        // The paper's claim rests on a broad library of known elements.
+        assert!(Registry::standard().classes().count() >= 35);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the Click substrate.
+
+use innet_click::{ClickConfig, Registry, Router};
+use innet_packet::{PacketBuilder, TcpFlags};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Strategy: a random well-formed configuration built through the builder
+/// API (linear pipelines with a classifier branch).
+fn arb_config() -> impl Strategy<Value = ClickConfig> {
+    let stage = prop_oneof![
+        Just(("Counter", vec![])),
+        Just(("DecIPTTL", vec![])),
+        Just(("CheckIPHeader", vec![])),
+        Just(("IPFilter", vec!["allow udp".to_string()])),
+        Just((
+            "IPFilter",
+            vec!["allow tcp".to_string(), "allow udp".to_string()]
+        )),
+        Just(("FlowMeter", vec![])),
+    ];
+    proptest::collection::vec(stage, 0..6).prop_map(|stages| {
+        let mut cfg = ClickConfig::new();
+        cfg.add_element("src", "FromNetfront", &[]);
+        cfg.add_element("snk", "ToNetfront", &[]);
+        let mut prev = "src".to_string();
+        for (class, args) in stages {
+            let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+            let name = cfg.add_anon(class, &refs);
+            cfg.connect(&prev, 0, &name, 0);
+            prev = name;
+        }
+        cfg.connect(&prev, 0, "snk", 0);
+        cfg
+    })
+}
+
+proptest! {
+    /// Any builder-produced configuration serializes to text that parses
+    /// back to the same declarations and connections.
+    #[test]
+    fn config_text_roundtrip(cfg in arb_config()) {
+        let text = cfg.to_text();
+        let reparsed = ClickConfig::parse(&text).unwrap();
+        prop_assert_eq!(&cfg.elements, &reparsed.elements);
+        prop_assert_eq!(&cfg.connections, &reparsed.connections);
+    }
+
+    /// Any builder-produced configuration instantiates and never panics,
+    /// loops, or duplicates packets when fed traffic: every input packet is
+    /// either transmitted once or dropped.
+    #[test]
+    fn pipelines_conserve_packets(
+        cfg in arb_config(),
+        n_packets in 1usize..50,
+        is_tcp in any::<bool>(),
+    ) {
+        let mut router = Router::from_config(&cfg, &Registry::standard()).unwrap();
+        for i in 0..n_packets {
+            let b = if is_tcp {
+                PacketBuilder::tcp().flags(TcpFlags::SYN)
+            } else {
+                PacketBuilder::udp()
+            };
+            let pkt = b
+                .src(Ipv4Addr::new(10, 0, 0, 1), 1000 + i as u16)
+                .dst(Ipv4Addr::new(10, 0, 0, 2), 80)
+                .ttl(64)
+                .build();
+            router.deliver(0, pkt, i as u64 * 1000).unwrap();
+        }
+        let tx = router.take_tx();
+        let dropped = router.stats.dropped_unconnected;
+        prop_assert!(tx.len() <= n_packets);
+        prop_assert_eq!(router.stats.delivered, n_packets as u64);
+        // Conservation: transmitted + filter-dropped = delivered. Filters
+        // absorb internally, so we only bound from above here plus check
+        // unconnected drops stayed zero (everything is wired).
+        prop_assert_eq!(dropped, 0);
+    }
+
+    /// The NAT is bijective: N distinct outbound flows get N distinct
+    /// external ports, and each reply maps back to exactly its origin.
+    #[test]
+    fn nat_bijective(sports in proptest::collection::hash_set(1u16.., 1..40)) {
+        use innet_click::elements::IpNat;
+        use innet_click::{ConfigArgs, Context, Element, VecSink};
+
+        let public = Ipv4Addr::new(203, 0, 113, 1);
+        let mut nat =
+            IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1")).unwrap();
+        let mut sink = VecSink::new();
+        let server = Ipv4Addr::new(8, 8, 8, 8);
+        let sports: Vec<u16> = sports.into_iter().collect();
+        for &sp in &sports {
+            let pkt = PacketBuilder::udp()
+                .src(Ipv4Addr::new(10, 0, 0, 1), sp)
+                .dst(server, 53)
+                .build();
+            nat.push(0, pkt, &Context::default(), &mut sink);
+        }
+        let ext_ports: Vec<u16> = sink
+            .pushed
+            .iter()
+            .map(|(_, p)| p.udp().unwrap().src_port())
+            .collect();
+        let mut uniq = ext_ports.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), sports.len(), "distinct flows, distinct ports");
+
+        // Replies come back to the right internal port.
+        for (i, &ext) in ext_ports.iter().enumerate() {
+            let mut sink2 = VecSink::new();
+            let reply = PacketBuilder::udp().src(server, 53).dst(public, ext).build();
+            nat.push(1, reply, &Context::default(), &mut sink2);
+            let back = sink2.only(1).unwrap();
+            prop_assert_eq!(back.udp().unwrap().dst_port(), sports[i]);
+        }
+    }
+
+    /// The configuration parser never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,200}") {
+        let _ = ClickConfig::parse(&text);
+    }
+
+    /// Parsing the serialization of any parse is a fixed point.
+    #[test]
+    fn parse_serialize_fixed_point(cfg in arb_config()) {
+        let once = ClickConfig::parse(&cfg.to_text()).unwrap();
+        let twice = ClickConfig::parse(&once.to_text()).unwrap();
+        prop_assert_eq!(once.elements, twice.elements);
+        prop_assert_eq!(once.connections, twice.connections);
+    }
+
+    /// IPClassifier and IPFilter agree: a packet passes
+    /// `IPFilter(allow EXPR)` iff it matches output 0 of
+    /// `IPClassifier(EXPR, -)`.
+    #[test]
+    fn filter_classifier_agree(
+        dport in any::<u16>(),
+        proto_tcp in any::<bool>(),
+        rule in prop_oneof![
+            Just("udp"),
+            Just("tcp"),
+            Just("udp dst port 1500"),
+            Just("dst portrange 1000-2000"),
+            Just("dst net 10.0.0.0/8"),
+        ],
+    ) {
+        use innet_click::elements::{IPClassifier, IPFilter};
+        use innet_click::{ConfigArgs, Context, Element, VecSink};
+
+        let pkt = if proto_tcp {
+            PacketBuilder::tcp().dst(Ipv4Addr::new(10, 1, 1, 1), dport).build()
+        } else {
+            PacketBuilder::udp().dst(Ipv4Addr::new(10, 1, 1, 1), dport).build()
+        };
+
+        let mut f = IPFilter::from_args(&ConfigArgs::parse(
+            "IPFilter",
+            &format!("allow {rule}"),
+        ))
+        .unwrap();
+        let mut c = IPClassifier::from_args(&ConfigArgs::parse(
+            "IPClassifier",
+            &format!("{rule}, -"),
+        ))
+        .unwrap();
+
+        let mut sf = VecSink::new();
+        let mut sc = VecSink::new();
+        f.push(0, pkt.clone(), &Context::default(), &mut sf);
+        c.push(0, pkt, &Context::default(), &mut sc);
+
+        let filter_passed = !sf.pushed.is_empty();
+        let classifier_port0 = sc.pushed.first().map(|(p, _)| *p) == Some(0);
+        prop_assert_eq!(filter_passed, classifier_port0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Consolidation planning (§5): which verified modules may share a VM.
+//!
+//! "It is better to run multiple users' configurations in the same
+//! virtual machine, as long as we can guarantee isolation. … Standard
+//! Click elements do not share memory, and they only communicate via
+//! packets. This implies that running static analysis with SYMNET on
+//! individual configurations is enough to decide whether it is safe to
+//! merge them. … Our prototype takes the simpler option of not
+//! consolidating clients running stateful processing."
+
+use innet_click::ClickConfig;
+
+use crate::netmodel::InstalledModule;
+
+/// Element classes that keep per-flow state: one tenant could blow up the
+/// shared VM's memory through them, so their owners get dedicated VMs.
+const STATEFUL_CLASSES: [&str; 5] = [
+    "StatefulFirewall",
+    "IPNAT",
+    "IPRewriter",
+    "TransparentProxy",
+    "ChangeEnforcer",
+];
+
+/// Whether a configuration keeps per-flow state.
+pub fn is_stateful(cfg: &ClickConfig) -> bool {
+    cfg.elements
+        .iter()
+        .any(|e| STATEFUL_CLASSES.contains(&e.class.as_str()))
+}
+
+/// A platform's VM packing plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsolidationPlan {
+    /// Module names sharing the consolidated VM.
+    pub shared: Vec<String>,
+    /// Module names that get a dedicated VM each (stateful processing,
+    /// including everything behind a sandbox).
+    pub dedicated: Vec<String>,
+}
+
+/// Splits a platform's modules into one shared VM plus dedicated VMs.
+pub fn plan(modules: &[InstalledModule]) -> ConsolidationPlan {
+    let mut shared = Vec::new();
+    let mut dedicated = Vec::new();
+    for m in modules {
+        if m.sandboxed || is_stateful(&m.config) {
+            dedicated.push(m.name.clone());
+        } else {
+            shared.push(m.name.clone());
+        }
+    }
+    ConsolidationPlan { shared, dedicated }
+}
+
+/// Builds the consolidated VM configuration for the shared modules: an
+/// `IPClassifier` demultiplexer keyed on module addresses, each output
+/// feeding that module's (namespaced) graph, all exits re-multiplexed
+/// onto the outgoing interface. No connections are added between tenant
+/// graphs, so isolation holds by construction.
+pub fn consolidated_vm_config(modules: &[&InstalledModule]) -> ClickConfig {
+    let mut cfg = ClickConfig::new();
+    cfg.add_element("vm_in", "FromNetfront", &[]);
+    cfg.add_element("vm_out", "ToNetfront", &[]);
+    let rules: Vec<String> = modules
+        .iter()
+        .map(|m| format!("dst host {}", m.addr))
+        .collect();
+    let rule_refs: Vec<&str> = rules.iter().map(|s| s.as_str()).collect();
+    cfg.add_element("demux", "IPClassifier", &rule_refs);
+    cfg.connect("vm_in", 0, "demux", 0);
+
+    for (i, m) in modules.iter().enumerate() {
+        cfg.merge_namespaced(&m.name, &m.config);
+        // The tenant's own netfront boundary elements disappear inside the
+        // shared VM: the demux replaces the sources (they would otherwise
+        // collide on the VM's interface numbers) and the shared egress
+        // replaces the sinks.
+        let source_names: Vec<String> = m
+            .config
+            .elements
+            .iter()
+            .filter(|e| e.class == "FromNetfront" || e.class == "FromDevice")
+            .map(|e| format!("{}/{}", m.name, e.name))
+            .collect();
+        let sink_names: Vec<String> = m
+            .config
+            .elements
+            .iter()
+            .filter(|e| e.class == "ToNetfront" || e.class == "ToDevice")
+            .map(|e| format!("{}/{}", m.name, e.name))
+            .collect();
+        let mut demux_wired = false;
+        for c in &mut cfg.connections {
+            if source_names.contains(&c.from.element) {
+                // The demux output replaces the tenant source (a
+                // consolidated stateless module has one entry path).
+                assert!(
+                    !demux_wired,
+                    "consolidated modules must have a single ingress path"
+                );
+                c.from.element = "demux".to_string();
+                c.from.port = i;
+                demux_wired = true;
+            }
+            if sink_names.contains(&c.to.element) {
+                c.to.element = "vm_out".to_string();
+                c.to.port = 0;
+            }
+        }
+        // Drop the orphaned boundary elements.
+        cfg.elements
+            .retain(|e| !source_names.contains(&e.name) && !sink_names.contains(&e.name));
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_click::{Registry, Router};
+    use innet_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn module(name: &str, addr: Ipv4Addr, config: &str, sandboxed: bool) -> InstalledModule {
+        InstalledModule {
+            id: 0,
+            name: name.to_string(),
+            platform: 0,
+            addr,
+            config: ClickConfig::parse(config).unwrap(),
+            sandboxed,
+            owner: "o".to_string(),
+        }
+    }
+
+    #[test]
+    fn stateful_detection() {
+        assert!(!is_stateful(
+            &ClickConfig::parse("FromNetfront() -> IPFilter(allow udp) -> ToNetfront();").unwrap()
+        ));
+        assert!(is_stateful(
+            &ClickConfig::parse(
+                "FromNetfront() -> [0]f :: StatefulFirewall(allow udp); f[0] -> ToNetfront();"
+            )
+            .unwrap()
+        ));
+    }
+
+    #[test]
+    fn plan_separates_stateful_and_sandboxed() {
+        let mods = vec![
+            module(
+                "a",
+                Ipv4Addr::new(203, 0, 113, 1),
+                "FromNetfront() -> IPFilter(allow udp) -> ToNetfront();",
+                false,
+            ),
+            module(
+                "b",
+                Ipv4Addr::new(203, 0, 113, 2),
+                "FromNetfront() -> Counter() -> ToNetfront();",
+                false,
+            ),
+            module(
+                "c",
+                Ipv4Addr::new(203, 0, 113, 3),
+                "FromNetfront() -> [0]n :: IPNAT(203.0.113.3); n[0] -> ToNetfront();",
+                false,
+            ),
+            module(
+                "d",
+                Ipv4Addr::new(203, 0, 113, 4),
+                "FromNetfront() -> Counter() -> ToNetfront();",
+                true, // Sandboxed: dedicated.
+            ),
+        ];
+        let p = plan(&mods);
+        assert_eq!(p.shared, vec!["a", "b"]);
+        assert_eq!(p.dedicated, vec!["c", "d"]);
+    }
+
+    #[test]
+    fn consolidated_vm_runs_and_isolates() {
+        let a = module(
+            "alice",
+            Ipv4Addr::new(203, 0, 113, 1),
+            "FromNetfront() -> IPFilter(allow udp dst port 1500) -> ToNetfront();",
+            false,
+        );
+        let b = module(
+            "bob",
+            Ipv4Addr::new(203, 0, 113, 2),
+            "FromNetfront() -> IPFilter(allow tcp dst port 80) -> ToNetfront();",
+            false,
+        );
+        let cfg = consolidated_vm_config(&[&a, &b]);
+        cfg.validate().unwrap();
+        let mut r = Router::from_config(&cfg, &Registry::standard()).unwrap();
+
+        // Alice's UDP passes; Bob's filter never sees it.
+        let alice_udp = PacketBuilder::udp()
+            .dst(Ipv4Addr::new(203, 0, 113, 1), 1500)
+            .build();
+        r.deliver(0, alice_udp, 0).unwrap();
+        assert_eq!(r.take_tx().len(), 1);
+
+        // Bob's HTTP passes too.
+        let bob_http = PacketBuilder::tcp()
+            .dst(Ipv4Addr::new(203, 0, 113, 2), 80)
+            .build();
+        r.deliver(0, bob_http, 1).unwrap();
+        assert_eq!(r.take_tx().len(), 1);
+
+        // Traffic to Alice's address but violating her filter is dropped —
+        // and is never misdelivered to Bob.
+        let alice_tcp = PacketBuilder::tcp()
+            .dst(Ipv4Addr::new(203, 0, 113, 1), 80)
+            .build();
+        r.deliver(0, alice_tcp, 2).unwrap();
+        assert!(r.take_tx().is_empty());
+        use innet_click::elements::IPFilter;
+        let bob_filter_traffic = {
+            let f = r
+                .element_as::<IPFilter>("bob/IPFilter@2")
+                .or_else(|| r.element_as::<IPFilter>("bob/IPFilter@1"));
+            f.map(|f| f.passed() + f.dropped())
+        };
+        if let Some(n) = bob_filter_traffic {
+            assert_eq!(n, 1, "Bob's filter saw only Bob's packet");
+        }
+    }
+}

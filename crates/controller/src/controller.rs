@@ -1,0 +1,734 @@
+//! The controller proper: client accounts, placement search, commitment,
+//! and flow-rule installation.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use innet_click::{ClickConfig, Registry};
+use innet_policy::Requirement;
+use innet_symnet::{
+    check_module, RequesterClass, SecurityContext, SecurityReport, SymError, Verdict,
+};
+use innet_topology::{NodeId, NodeKind, Topology};
+
+use crate::{
+    hardening::{apply_udp_reflection_ban, HardeningPolicy},
+    netmodel::{compile, InstalledModule, NetworkModel},
+    request::{ClientRequest, ModuleConfig},
+    sandbox::wrap_with_enforcer,
+    stock::stock_config,
+    verify::{check_requirement, VerifyError},
+};
+
+/// Identifier of an installed module.
+pub type ModuleId = u64;
+
+/// A registered tenant.
+#[derive(Debug, Clone)]
+pub struct ClientAccount {
+    /// Requester class (drives the security rules).
+    pub class: RequesterClass,
+    /// Addresses the tenant has registered with the operator (the
+    /// explicit-authorization white-list of §2.1).
+    pub registered: Vec<Ipv4Addr>,
+}
+
+/// A vswitch steering rule the controller installs when committing a
+/// module (the OpenFlow rules of §4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRule {
+    /// Platform the rule is installed on.
+    pub platform: String,
+    /// Destination address to match.
+    pub dst: Ipv4Addr,
+    /// Module receiving the traffic.
+    pub module: ModuleId,
+}
+
+/// Cumulative controller statistics (request latency split into the
+/// model-compile and checking phases, as Figure 10 reports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerStats {
+    /// Requests received.
+    pub requests: u64,
+    /// Requests accepted.
+    pub accepted: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Nanoseconds spent building network models.
+    pub compile_ns: u64,
+    /// Nanoseconds spent in symbolic checking.
+    pub check_ns: u64,
+}
+
+/// Why a deployment failed.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The client id is not registered.
+    UnknownClient(String),
+    /// The configuration could not be modeled (unknown element class or
+    /// malformed arguments) — per §4.1 such requests are refused.
+    BadConfig(SymError),
+    /// The module provably violates the security rules.
+    SecurityReject(SecurityReport),
+    /// No platform satisfies both the operator's policy and the client's
+    /// requirements.
+    NoFeasiblePlacement {
+        /// Per-platform explanation of why it was rejected.
+        reasons: Vec<(String, String)>,
+    },
+    /// A requirement referenced an unknown node.
+    Verify(VerifyError),
+    /// No such module (for `kill`).
+    NoSuchModule(ModuleId),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::UnknownClient(c) => write!(f, "unknown client '{c}'"),
+            DeployError::BadConfig(e) => write!(f, "unmodellable configuration: {e}"),
+            DeployError::SecurityReject(r) => {
+                write!(f, "security violation: {:?}", r.violations)
+            }
+            DeployError::NoFeasiblePlacement { reasons } => {
+                write!(f, "no feasible placement: {reasons:?}")
+            }
+            DeployError::Verify(e) => write!(f, "{e}"),
+            DeployError::NoSuchModule(id) => write!(f, "no module {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<VerifyError> for DeployError {
+    fn from(e: VerifyError) -> Self {
+        DeployError::Verify(e)
+    }
+}
+
+/// The controller's answer to a successful deployment (§4.3: the client
+/// is given an address it can be reached at, and a module id for `kill`).
+#[derive(Debug, Clone)]
+pub struct DeployResponse {
+    /// Handle for `kill`.
+    pub module_id: ModuleId,
+    /// The module's name.
+    pub module_name: String,
+    /// The address assigned to the module.
+    pub public_addr: Ipv4Addr,
+    /// Name of the hosting platform.
+    pub platform: String,
+    /// Whether a sandbox was injected.
+    pub sandboxed: bool,
+    /// Nanoseconds spent compiling network models for this request.
+    pub compile_ns: u64,
+    /// Nanoseconds spent checking (security + policy + requirements).
+    pub check_ns: u64,
+}
+
+/// The In-Net controller.
+pub struct Controller {
+    topology: Topology,
+    registry: Registry,
+    operator_policy: Vec<Requirement>,
+    clients: HashMap<String, ClientAccount>,
+    modules: Vec<InstalledModule>,
+    flow_rules: Vec<FlowRule>,
+    next_id: ModuleId,
+    addr_cursor: HashMap<NodeId, u32>,
+    hardening: HardeningPolicy,
+    /// Cumulative statistics.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// Creates a controller for the given operator topology.
+    pub fn new(topology: Topology) -> Controller {
+        Controller {
+            topology,
+            registry: Registry::standard(),
+            operator_policy: Vec::new(),
+            clients: HashMap::new(),
+            modules: Vec::new(),
+            flow_rules: Vec::new(),
+            next_id: 1,
+            addr_cursor: HashMap::new(),
+            hardening: HardeningPolicy::default(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Sets the §7 hardening policy (ingress filtering, UDP-reflection
+    /// ban). Applies to subsequent deployments.
+    pub fn set_hardening(&mut self, policy: HardeningPolicy) {
+        self.hardening = policy;
+    }
+
+    /// The current hardening policy.
+    pub fn hardening(&self) -> HardeningPolicy {
+        self.hardening
+    }
+
+    /// Adds an operator policy rule that must hold after every network
+    /// modification.
+    pub fn add_operator_policy(&mut self, rule: Requirement) {
+        self.operator_policy.push(rule);
+    }
+
+    /// Registers a tenant with its requester class and registered
+    /// addresses.
+    pub fn register_client(
+        &mut self,
+        id: impl Into<String>,
+        class: RequesterClass,
+        registered: Vec<Ipv4Addr>,
+    ) {
+        self.clients
+            .insert(id.into(), ClientAccount { class, registered });
+    }
+
+    /// The currently installed modules.
+    pub fn modules(&self) -> &[InstalledModule] {
+        &self.modules
+    }
+
+    /// The installed vswitch flow rules.
+    pub fn flow_rules(&self) -> &[FlowRule] {
+        &self.flow_rules
+    }
+
+    /// The operator policy rules.
+    pub fn operator_policy_rules(&self) -> &[Requirement] {
+        &self.operator_policy
+    }
+
+    /// Registered client accounts.
+    pub fn client_accounts(&self) -> impl Iterator<Item = (&String, &ClientAccount)> {
+        self.clients.iter()
+    }
+
+    /// Installs an already-verified module set verbatim (used when
+    /// building verification snapshots for parallel shards).
+    pub fn adopt_modules(&mut self, modules: Vec<InstalledModule>) {
+        self.next_id = modules
+            .iter()
+            .map(|m| m.id + 1)
+            .max()
+            .unwrap_or(self.next_id);
+        self.modules = modules;
+    }
+
+    /// Whether the named platform still has capacity for one more module.
+    pub fn platform_has_room(&self, platform_name: &str) -> bool {
+        let Some(id) = self.topology.index_of(platform_name) else {
+            return false;
+        };
+        let NodeKind::Platform(spec) = &self.topology.node(id).kind else {
+            return false;
+        };
+        self.modules.iter().filter(|m| m.platform == id).count() < spec.capacity
+    }
+
+    /// Compiles the current network state into a verification model.
+    pub fn network_model(&self) -> Result<NetworkModel, SymError> {
+        let mut m = compile(&self.topology, &self.modules, &self.registry)?;
+        m.ingress_filtering = self.hardening.ingress_filtering;
+        Ok(m)
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn allocate_addr(&mut self, platform: NodeId) -> Ipv4Addr {
+        let NodeKind::Platform(spec) = &self.topology.node(platform).kind else {
+            unreachable!("allocate_addr is only called for platforms");
+        };
+        let cursor = self.addr_cursor.entry(platform).or_insert(10);
+        let addr = spec.addr_pool.nth_host(*cursor);
+        *cursor += 1;
+        addr
+    }
+
+    /// Handles a deployment request (§4.3, §4.5): parse → security check →
+    /// per-platform placement search → commit.
+    pub fn deploy(
+        &mut self,
+        client_id: &str,
+        request: ClientRequest,
+    ) -> Result<DeployResponse, DeployError> {
+        self.stats.requests += 1;
+        let account = self
+            .clients
+            .get(client_id)
+            .cloned()
+            .ok_or_else(|| DeployError::UnknownClient(client_id.to_string()))?;
+
+        let mut compile_ns = 0u64;
+        let mut check_ns = 0u64;
+        let mut reasons: Vec<(String, String)> = Vec::new();
+
+        let platforms = self.topology.platforms();
+        for platform in platforms {
+            let platform_name = self.topology.node(platform).name.clone();
+
+            // Capacity check.
+            let NodeKind::Platform(spec) = &self.topology.node(platform).kind else {
+                continue;
+            };
+            let installed_here = self
+                .modules
+                .iter()
+                .filter(|m| m.platform == platform)
+                .count();
+            if installed_here >= spec.capacity {
+                reasons.push((platform_name, "platform full".to_string()));
+                continue;
+            }
+
+            // Tentatively assign an address on this platform.
+            let addr = self.allocate_addr(platform);
+
+            // Materialize the configuration (stock modules need the
+            // assigned address). Click configurations may reference the
+            // not-yet-known module address as `$SELF`; the controller
+            // binds it here, before verification.
+            let raw_cfg: ClickConfig = match &request.config {
+                ModuleConfig::Click(c) => {
+                    let mut c = c.clone();
+                    for e in &mut c.elements {
+                        for a in &mut e.args {
+                            if a.contains("$SELF") {
+                                *a = a.replace("$SELF", &addr.to_string());
+                            }
+                        }
+                    }
+                    c
+                }
+                ModuleConfig::Stock(kind) => stock_config(*kind, addr),
+            };
+
+            // Security check (per requester class).
+            let t0 = Instant::now();
+            let report = check_module(
+                &raw_cfg,
+                &SecurityContext {
+                    assigned_addr: addr,
+                    registered: account.registered.clone(),
+                    class: account.class,
+                },
+                &self.registry,
+            )
+            .map_err(DeployError::BadConfig)?;
+            check_ns += t0.elapsed().as_nanos() as u64;
+
+            // §7 hardening: the UDP-reflection (amplification) ban.
+            let mut report = report;
+            if self.hardening.ban_udp_reflection {
+                let (hardened, offenders) =
+                    apply_udp_reflection_ban(account.class, &report.egress_flows, &report);
+                report.verdict = hardened;
+                report.violations.extend(offenders);
+            }
+
+            let (run_cfg, sandboxed) = match report.verdict {
+                Verdict::Reject => {
+                    self.stats.rejected += 1;
+                    self.stats.check_ns += check_ns;
+                    return Err(DeployError::SecurityReject(report));
+                }
+                Verdict::SafeWithSandbox => (
+                    wrap_with_enforcer(&raw_cfg, addr, &account.registered),
+                    true,
+                ),
+                Verdict::Safe => (raw_cfg, false),
+            };
+
+            // Pretend the module is installed here.
+            let candidate = InstalledModule {
+                id: self.next_id,
+                name: request.module_name.clone(),
+                platform,
+                addr,
+                config: run_cfg,
+                sandboxed,
+                owner: client_id.to_string(),
+            };
+            let mut world = self.modules.clone();
+            world.push(candidate.clone());
+
+            let t1 = Instant::now();
+            let mut model = match compile(&self.topology, &world, &self.registry) {
+                Ok(m) => m,
+                Err(e) => {
+                    self.stats.rejected += 1;
+                    return Err(DeployError::BadConfig(e));
+                }
+            };
+            model.ingress_filtering = self.hardening.ingress_filtering;
+            compile_ns += t1.elapsed().as_nanos() as u64;
+
+            // Operator policy and client requirements must all hold.
+            let t2 = Instant::now();
+            let mut ok = true;
+            let mut why = String::new();
+            for rule in &self.operator_policy {
+                if !check_requirement(&model, rule)? {
+                    ok = false;
+                    why = format!("operator policy violated: {rule}");
+                    break;
+                }
+            }
+            if ok {
+                for rule in &request.requirements {
+                    if !check_requirement(&model, rule)? {
+                        ok = false;
+                        why = format!("client requirement unsatisfied: {rule}");
+                        break;
+                    }
+                }
+            }
+            check_ns += t2.elapsed().as_nanos() as u64;
+
+            if !ok {
+                reasons.push((platform_name, why));
+                continue;
+            }
+
+            // Commit.
+            let id = self.next_id;
+            self.next_id += 1;
+            self.flow_rules.push(FlowRule {
+                platform: platform_name.clone(),
+                dst: addr,
+                module: id,
+            });
+            self.modules.push(candidate);
+            self.stats.accepted += 1;
+            self.stats.compile_ns += compile_ns;
+            self.stats.check_ns += check_ns;
+            return Ok(DeployResponse {
+                module_id: id,
+                module_name: request.module_name,
+                public_addr: addr,
+                platform: platform_name,
+                sandboxed,
+                compile_ns,
+                check_ns,
+            });
+        }
+
+        self.stats.rejected += 1;
+        self.stats.compile_ns += compile_ns;
+        self.stats.check_ns += check_ns;
+        Err(DeployError::NoFeasiblePlacement { reasons })
+    }
+
+    /// Commits a deployment that a shard already verified against an
+    /// equivalent snapshot (same topology, same modules, an address from
+    /// the same pool): allocates a fresh address, materializes the
+    /// configuration, and installs — without re-running the symbolic
+    /// checks. Only `deploy_batch` may call this, and only when no
+    /// conflicting commit landed in between.
+    pub(crate) fn commit_verified(
+        &mut self,
+        client_id: &str,
+        request: ClientRequest,
+        platform_name: &str,
+        sandboxed: bool,
+    ) -> Result<DeployResponse, DeployError> {
+        self.stats.requests += 1;
+        let account = self
+            .clients
+            .get(client_id)
+            .cloned()
+            .ok_or_else(|| DeployError::UnknownClient(client_id.to_string()))?;
+        let platform = self.topology.index_of(platform_name).ok_or_else(|| {
+            DeployError::NoFeasiblePlacement {
+                reasons: vec![(platform_name.to_string(), "unknown platform".to_string())],
+            }
+        })?;
+        let addr = self.allocate_addr(platform);
+        let raw_cfg: ClickConfig = match &request.config {
+            ModuleConfig::Click(c) => {
+                let mut c = c.clone();
+                for e in &mut c.elements {
+                    for a in &mut e.args {
+                        if a.contains("$SELF") {
+                            *a = a.replace("$SELF", &addr.to_string());
+                        }
+                    }
+                }
+                c
+            }
+            ModuleConfig::Stock(kind) => stock_config(*kind, addr),
+        };
+        let run_cfg = if sandboxed {
+            wrap_with_enforcer(&raw_cfg, addr, &account.registered)
+        } else {
+            raw_cfg
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flow_rules.push(FlowRule {
+            platform: platform_name.to_string(),
+            dst: addr,
+            module: id,
+        });
+        self.modules.push(InstalledModule {
+            id,
+            name: request.module_name.clone(),
+            platform,
+            addr,
+            config: run_cfg,
+            sandboxed,
+            owner: client_id.to_string(),
+        });
+        self.stats.accepted += 1;
+        Ok(DeployResponse {
+            module_id: id,
+            module_name: request.module_name,
+            public_addr: addr,
+            platform: platform_name.to_string(),
+            sandboxed,
+            compile_ns: 0,
+            check_ns: 0,
+        })
+    }
+
+    /// Stops a module and removes its flow rules (§4.3 `kill`).
+    pub fn kill(&mut self, id: ModuleId) -> Result<(), DeployError> {
+        let before = self.modules.len();
+        self.modules.retain(|m| m.id != id);
+        if self.modules.len() == before {
+            return Err(DeployError::NoSuchModule(id));
+        }
+        self.flow_rules.retain(|r| r.module != id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::StockModule;
+
+    const FIG4: &str = r#"
+        module batcher:
+        FromNetfront()
+          -> IPFilter(allow udp dst port 1500)
+          -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+          -> TimedUnqueue(120, 100)
+          -> dst :: ToNetfront();
+
+        reach from internet udp
+          -> batcher:dst:0 dst 172.16.15.133
+          -> client dst port 1500
+          const proto && dst port && payload
+    "#;
+
+    fn controller() -> Controller {
+        let mut c = Controller::new(Topology::figure3());
+        c.register_client(
+            "mobile-7",
+            RequesterClass::Client,
+            vec![Ipv4Addr::new(172, 16, 15, 133)],
+        );
+        c.register_client(
+            "cdn-corp",
+            RequesterClass::ThirdParty,
+            vec![Ipv4Addr::new(198, 51, 100, 1)],
+        );
+        c
+    }
+
+    #[test]
+    fn unifying_example_deploys_on_platform3() {
+        // §4.5: "only Platform 3 applies, since Platforms 1 and 2 are not
+        // reachable from the outside."
+        let mut c = controller();
+        let req = ClientRequest::parse(FIG4).unwrap();
+        let resp = c.deploy("mobile-7", req).unwrap();
+        assert_eq!(resp.platform, "platform3");
+        assert!(!resp.sandboxed);
+        assert_eq!(c.modules().len(), 1);
+        assert_eq!(c.flow_rules().len(), 1);
+        assert_eq!(c.flow_rules()[0].dst, resp.public_addr);
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let mut c = controller();
+        let req = ClientRequest::parse(FIG4).unwrap();
+        assert!(matches!(
+            c.deploy("stranger", req),
+            Err(DeployError::UnknownClient(_))
+        ));
+    }
+
+    #[test]
+    fn spoofing_module_rejected() {
+        let mut c = controller();
+        let req = ClientRequest::parse(
+            "module evil:\nFromNetfront() -> SetIPSrc(8.8.8.8) -> ToNetfront();\n\
+             reach from internet -> client",
+        )
+        .unwrap();
+        assert!(matches!(
+            c.deploy("cdn-corp", req),
+            Err(DeployError::SecurityReject(_))
+        ));
+        assert_eq!(c.modules().len(), 0);
+    }
+
+    #[test]
+    fn x86_stock_is_sandboxed() {
+        let mut c = controller();
+        let req = ClientRequest::parse("stock vm: x86-vm").unwrap();
+        let resp = c.deploy("cdn-corp", req).unwrap();
+        assert!(resp.sandboxed);
+        let m = &c.modules()[0];
+        assert!(!m.config.elements_of_class("ChangeEnforcer").is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_requirement_finds_no_placement() {
+        let mut c = controller();
+        // Require TCP delivery *through* a module that filters it out.
+        let req = ClientRequest::parse(
+            "module strict:\nFromNetfront() -> IPFilter(allow udp dst port 9) \
+             -> IPRewriter(pattern - - 172.16.15.133 - 0 0) -> d :: ToNetfront();\n\
+             reach from internet tcp -> strict:d:0 tcp -> client",
+        )
+        .unwrap();
+        assert!(matches!(
+            c.deploy("mobile-7", req),
+            Err(DeployError::NoFeasiblePlacement { .. })
+        ));
+    }
+
+    #[test]
+    fn kill_removes_module_and_rules() {
+        let mut c = controller();
+        let resp = c
+            .deploy("mobile-7", ClientRequest::parse(FIG4).unwrap())
+            .unwrap();
+        c.kill(resp.module_id).unwrap();
+        assert!(c.modules().is_empty());
+        assert!(c.flow_rules().is_empty());
+        assert!(matches!(
+            c.kill(resp.module_id),
+            Err(DeployError::NoSuchModule(_))
+        ));
+    }
+
+    #[test]
+    fn operator_policy_is_enforced() {
+        let mut c = controller();
+        // An absurd operator rule nothing can satisfy: all traffic to
+        // clients must arrive as ICMP from the batcher module, which does
+        // not exist — any deployment that lets traffic reach clients in
+        // another way is fine; this rule itself fails verification, so
+        // every placement is refused.
+        c.add_operator_policy(
+            Requirement::parse("reach from internet icmp src port 1 -> client").unwrap(),
+        );
+        let req = ClientRequest::parse(FIG4).unwrap();
+        assert!(matches!(
+            c.deploy("mobile-7", req),
+            Err(DeployError::NoFeasiblePlacement { .. })
+        ));
+    }
+
+    #[test]
+    fn stock_dns_deploys_unsandboxed() {
+        let mut c = controller();
+        let req = ClientRequest::parse("stock dns: geo-dns").unwrap();
+        let resp = c.deploy("cdn-corp", req).unwrap();
+        assert!(!resp.sandboxed);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = controller();
+        let _ = c.deploy("mobile-7", ClientRequest::parse(FIG4).unwrap());
+        assert_eq!(c.stats.requests, 1);
+        assert_eq!(c.stats.accepted, 1);
+        assert!(c.stats.compile_ns > 0);
+        assert!(c.stats.check_ns > 0);
+    }
+
+    #[test]
+    fn second_module_gets_distinct_address() {
+        let mut c = controller();
+        let r1 = c
+            .deploy("mobile-7", ClientRequest::parse(FIG4).unwrap())
+            .unwrap();
+        let mut req2 = ClientRequest::parse(FIG4).unwrap();
+        req2.module_name = "batcher2".to_string();
+        let r2 = c.deploy("mobile-7", req2).unwrap();
+        assert_ne!(r1.public_addr, r2.public_addr);
+        assert_eq!(c.modules().len(), 2);
+    }
+
+    #[test]
+    fn self_placeholder_bound_at_deploy() {
+        let mut c = controller();
+        // A tunnel endpoint cannot know its address in advance: `$SELF`
+        // is bound by the controller per candidate platform.
+        let req = ClientRequest::parse(
+            "module tun:\n\
+             FromNetfront(0) -> UDPTunnelEncap($SELF, 7000, 172.16.15.133, 7001) \
+             -> ToNetfront(1);\n\
+             FromNetfront(1) -> UDPTunnelDecap() -> ToNetfront(0);",
+        )
+        .unwrap();
+        let resp = c.deploy("mobile-7", req).unwrap();
+        // The installed configuration carries the concrete address.
+        let m = &c.modules()[0];
+        let encap = m
+            .config
+            .elements
+            .iter()
+            .find(|e| e.class == "UDPTunnelEncap")
+            .unwrap();
+        assert_eq!(encap.args[0], resp.public_addr.to_string());
+        assert!(!resp.sandboxed, "client tunnels verify cleanly");
+    }
+
+    #[test]
+    fn udp_ban_rejects_third_party_dns() {
+        use crate::hardening::HardeningPolicy;
+        let mut c = controller();
+        c.set_hardening(HardeningPolicy {
+            ingress_filtering: true,
+            ban_udp_reflection: true,
+        });
+        // Without the ban this deploys (Table 1: DNS is Safe); with it,
+        // the amplification vector is refused for third parties…
+        let req = ClientRequest::parse("stock dns: geo-dns").unwrap();
+        assert!(matches!(
+            c.deploy("cdn-corp", req),
+            Err(DeployError::SecurityReject(_))
+        ));
+        // …while the operator's own clients remain exempt.
+        let req = ClientRequest::parse("stock dns: geo-dns").unwrap();
+        assert!(c.deploy("mobile-7", req).is_ok());
+    }
+
+    #[test]
+    fn stock_reverse_proxy_for_third_party() {
+        let mut c = controller();
+        let req = ClientRequest::parse(
+            "stock edge: reverse-proxy\n\nreach from internet tcp dst port 80 -> edge",
+        )
+        .unwrap();
+        let resp = c.deploy("cdn-corp", req).unwrap();
+        assert!(!resp.sandboxed, "turn-around proxies verify cleanly");
+        let _ = StockModule::ReverseHttpProxy;
+    }
+}

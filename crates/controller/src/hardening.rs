@@ -1,0 +1,182 @@
+//! Operator hardening knobs from the paper's §7 security discussion.
+//!
+//! Two caveats temper In-Net's default-off guarantee:
+//!
+//! * **Amplification via forged implicit authorization** — an attacker
+//!   sends small requests with the victim's spoofed source address; a
+//!   UDP responder module then "replies" to the victim with larger
+//!   packets (the classic DNS amplification pattern). The paper's
+//!   mitigations: *ingress filtering* on the Internet and client links
+//!   (limits who can be spoofed), and, for full eradication, *banning
+//!   connectionless traffic* — "amplification attacks are not possible
+//!   with TCP because the attacker cannot complete the three-way
+//!   handshake. In fact, operators must choose between flexibility of
+//!   client processing and security."
+//! * **Time-unbounded authorization** — handled by the `ChangeEnforcer`'s
+//!   idle timeouts (`innet-click`), not here.
+
+use innet_packet::IpProto;
+use innet_symnet::{Field, RequesterClass, SecurityReport, SymPacket, Verdict};
+
+use crate::netmodel::InstalledModule;
+
+/// The operator's §7 hardening configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HardeningPolicy {
+    /// Drop Internet ingress traffic whose source claims an
+    /// operator-internal prefix (platform pools or client subnets).
+    /// Limits spoofing-driven implicit authorization to "clients can only
+    /// attack other clients, Internet users other Internet users".
+    pub ingress_filtering: bool,
+    /// Ban connectionless (UDP) traffic for third-party modules that rely
+    /// on *implicit* authorization: reflection to a spoofable source is
+    /// the amplification vector. Explicitly white-listed destinations are
+    /// unaffected.
+    pub ban_udp_reflection: bool,
+}
+
+/// Re-evaluates a security report under the hardening policy: flows that
+/// were accepted through implicit authorization but could be UDP
+/// reflections get demoted.
+///
+/// Returns the (possibly downgraded) verdict plus the offending flow
+/// descriptions.
+pub fn apply_udp_reflection_ban(
+    class: RequesterClass,
+    egress_flows: &[SymPacket],
+    base: &SecurityReport,
+) -> (Verdict, Vec<String>) {
+    if class != RequesterClass::ThirdParty || base.verdict == Verdict::Reject {
+        return (base.verdict, Vec::new());
+    }
+    let mut offenders = Vec::new();
+    for flow in egress_flows {
+        // A reflection: the destination is bound to the ingress source
+        // (implicit authorization) and the flow can be UDP.
+        let reflective = flow.provably_same(flow.get(Field::IpDst), flow.ingress.get(Field::IpSrc));
+        let can_be_udp = flow
+            .possible(Field::Proto)
+            .contains(IpProto::Udp.number() as u64);
+        if reflective && can_be_udp {
+            offenders.push(format!(
+                "UDP reflection flow (amplification vector): {}",
+                flow.render_fields()
+            ));
+        }
+    }
+    if offenders.is_empty() {
+        (base.verdict, offenders)
+    } else {
+        (Verdict::Reject, offenders)
+    }
+}
+
+/// The internal prefixes ingress filtering protects, derived from the
+/// installed world (platform pools come from the topology; module
+/// addresses are inside them).
+pub fn internal_prefixes(
+    topo: &innet_topology::Topology,
+    _modules: &[InstalledModule],
+) -> Vec<innet_packet::Cidr> {
+    use innet_topology::NodeKind;
+    let mut out = Vec::new();
+    for n in &topo.nodes {
+        match &n.kind {
+            NodeKind::Platform(spec) => out.push(spec.addr_pool),
+            NodeKind::ClientSubnet(c) => out.push(*c),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_click::{ClickConfig, Registry};
+    use innet_symnet::{check_module, SecurityContext};
+    use std::net::Ipv4Addr;
+
+    fn report(cfg: &ClickConfig, class: RequesterClass) -> SecurityReport {
+        check_module(
+            cfg,
+            &SecurityContext {
+                assigned_addr: Ipv4Addr::new(203, 0, 113, 10),
+                registered: vec![Ipv4Addr::new(198, 51, 100, 1)],
+                class,
+            },
+            &Registry::standard(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dns_responder_rejected_under_udp_ban() {
+        // A UDP responder (the stock DNS server) is Safe by default —
+        // implicit authorization — but is exactly the amplification
+        // vector the §7 ban removes.
+        let cfg =
+            ClickConfig::parse("FromNetfront() -> StockDNSServer(203.0.113.10) -> ToNetfront();")
+                .unwrap();
+        let base = report(&cfg, RequesterClass::ThirdParty);
+        assert_eq!(base.verdict, Verdict::Safe);
+        let (hardened, offenders) =
+            apply_udp_reflection_ban(RequesterClass::ThirdParty, &base.egress_flows, &base);
+        assert_eq!(hardened, Verdict::Reject);
+        assert!(!offenders.is_empty());
+    }
+
+    #[test]
+    fn tcp_responder_unaffected() {
+        // The reverse HTTP proxy reflects too, but over TCP: the
+        // three-way handshake defeats spoofed authorization, so the ban
+        // leaves it alone.
+        let cfg = ClickConfig::parse(
+            "FromNetfront() -> StockReverseProxy(203.0.113.10) -> ToNetfront();",
+        )
+        .unwrap();
+        let base = report(&cfg, RequesterClass::ThirdParty);
+        assert_eq!(base.verdict, Verdict::Safe);
+        let (hardened, offenders) =
+            apply_udp_reflection_ban(RequesterClass::ThirdParty, &base.egress_flows, &base);
+        assert_eq!(hardened, Verdict::Safe);
+        assert!(offenders.is_empty());
+    }
+
+    #[test]
+    fn whitelist_delivery_unaffected() {
+        // Delivery to a registered (explicitly authorized) address is not
+        // a reflection, UDP or not.
+        let cfg = ClickConfig::parse(
+            "FromNetfront() -> IPFilter(allow udp) \
+             -> IPRewriter(pattern - - 198.51.100.1 - 0 0) -> ToNetfront();",
+        )
+        .unwrap();
+        let base = report(&cfg, RequesterClass::ThirdParty);
+        assert_eq!(base.verdict, Verdict::Safe);
+        let (hardened, _) =
+            apply_udp_reflection_ban(RequesterClass::ThirdParty, &base.egress_flows, &base);
+        assert_eq!(hardened, Verdict::Safe);
+    }
+
+    #[test]
+    fn clients_exempt_from_the_ban() {
+        let cfg =
+            ClickConfig::parse("FromNetfront() -> StockDNSServer(203.0.113.10) -> ToNetfront();")
+                .unwrap();
+        let base = report(&cfg, RequesterClass::Client);
+        let (hardened, _) =
+            apply_udp_reflection_ban(RequesterClass::Client, &base.egress_flows, &base);
+        assert_eq!(hardened, base.verdict);
+    }
+
+    #[test]
+    fn internal_prefixes_cover_pools_and_clients() {
+        let topo = innet_topology::Topology::figure3();
+        let prefixes = internal_prefixes(&topo, &[]);
+        assert_eq!(prefixes.len(), 4, "3 platform pools + 1 client subnet");
+        assert!(prefixes
+            .iter()
+            .any(|c| c.contains(Ipv4Addr::new(172, 16, 15, 133))));
+    }
+}

@@ -1,0 +1,249 @@
+//! Client processing requests (paper §4.1, Figure 4).
+
+use innet_click::ClickConfig;
+use innet_policy::Requirement;
+use serde::{Deserialize, Serialize};
+
+/// A pre-defined stock processing module offered by the controller
+/// (paper §4.1: "a reverse-HTTP proxy appliance, an explicit proxy …, a
+/// DNS server that uses geolocation …, and an arbitrary x86 VM").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StockModule {
+    /// Reverse HTTP proxy (squid-style).
+    ReverseHttpProxy,
+    /// Explicit forward proxy.
+    ExplicitProxy,
+    /// Geolocation DNS server.
+    GeoDns,
+    /// An arbitrary x86 virtual machine (opaque; always sandboxed for
+    /// tenants).
+    X86Vm,
+}
+
+impl StockModule {
+    /// Parses a stock-module keyword.
+    pub fn parse(s: &str) -> Option<StockModule> {
+        match s.trim() {
+            "reverse-http-proxy" | "reverse-proxy" => Some(StockModule::ReverseHttpProxy),
+            "explicit-proxy" => Some(StockModule::ExplicitProxy),
+            "geo-dns" | "dns" => Some(StockModule::GeoDns),
+            "x86-vm" | "x86" => Some(StockModule::X86Vm),
+            _ => None,
+        }
+    }
+}
+
+/// The processing a client asks to instantiate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleConfig {
+    /// A Click configuration of well-known elements.
+    Click(ClickConfig),
+    /// A stock module.
+    Stock(StockModule),
+}
+
+/// A full client request: one processing module plus the requirements
+/// that must hold after installation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientRequest {
+    /// Module name (used in `module:element:port` way-points).
+    pub module_name: String,
+    /// The processing to instantiate.
+    pub config: ModuleConfig,
+    /// The client's requirements.
+    pub requirements: Vec<Requirement>,
+}
+
+/// Error produced when a request fails to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for RequestParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RequestParseError {}
+
+impl ClientRequest {
+    /// Builds a request programmatically.
+    pub fn new(
+        module_name: impl Into<String>,
+        config: ModuleConfig,
+        requirements: Vec<Requirement>,
+    ) -> ClientRequest {
+        ClientRequest {
+            module_name: module_name.into(),
+            config,
+            requirements,
+        }
+    }
+
+    /// Parses the textual request format modeled on the paper's Figure 4:
+    ///
+    /// ```text
+    /// module <name>:            -- or:  stock <name>: <kind>
+    /// <Click configuration ...>
+    ///
+    /// reach from <node> ... [const fields]
+    /// reach from ...
+    /// ```
+    ///
+    /// Lines starting with `reach` begin a requirement; subsequent
+    /// indented/continuation lines (`-> …`, `const …`) extend it.
+    pub fn parse(text: &str) -> Result<ClientRequest, RequestParseError> {
+        let err = |m: &str| RequestParseError {
+            message: m.to_string(),
+        };
+        let mut module_name = String::from("module");
+        let mut stock: Option<StockModule> = None;
+        let mut config_lines: Vec<&str> = Vec::new();
+        let mut reach_blocks: Vec<String> = Vec::new();
+
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("module ") {
+                module_name = rest.trim_end_matches(':').trim().to_string();
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("stock ") {
+                let mut parts = rest.splitn(2, ':');
+                let name = parts.next().unwrap_or("stock").trim();
+                let kind_s = parts.next().unwrap_or(name).trim();
+                module_name = name.to_string();
+                stock = Some(
+                    StockModule::parse(kind_s)
+                        .ok_or_else(|| err(&format!("unknown stock module '{kind_s}'")))?,
+                );
+                continue;
+            }
+            if line.starts_with("reach") {
+                reach_blocks.push(line.to_string());
+            } else if let Some(last) = reach_blocks.last_mut() {
+                // Continuation of the current requirement.
+                last.push(' ');
+                last.push_str(line);
+            } else {
+                config_lines.push(raw);
+            }
+        }
+
+        let config = match stock {
+            Some(kind) => {
+                if !config_lines.is_empty() {
+                    return Err(err("a stock request cannot also carry a configuration"));
+                }
+                ModuleConfig::Stock(kind)
+            }
+            None => {
+                let text = config_lines.join("\n");
+                if text.trim().is_empty() {
+                    return Err(err("request carries no configuration"));
+                }
+                ModuleConfig::Click(
+                    ClickConfig::parse(&text)
+                        .map_err(|e| err(&format!("bad configuration: {e}")))?,
+                )
+            }
+        };
+
+        let requirements = reach_blocks
+            .iter()
+            .map(|b| Requirement::parse(b).map_err(|e| err(&e.to_string())))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(ClientRequest {
+            module_name,
+            config,
+            requirements,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_policy::NodeRef;
+
+    const FIG4: &str = r#"
+        module batcher:
+        FromNetfront()
+          -> IPFilter(allow udp dst port 1500)
+          -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+          -> TimedUnqueue(120, 100)
+          -> dst :: ToNetfront();
+
+        reach from internet udp
+          -> batcher:dst:0 dst 172.16.15.133
+          -> client dst port 1500
+          const proto && dst port && payload
+    "#;
+
+    #[test]
+    fn parse_figure4() {
+        let r = ClientRequest::parse(FIG4).unwrap();
+        assert_eq!(r.module_name, "batcher");
+        let ModuleConfig::Click(cfg) = &r.config else {
+            panic!("expected a Click configuration");
+        };
+        assert_eq!(cfg.elements.len(), 5);
+        assert_eq!(r.requirements.len(), 1);
+        assert_eq!(r.requirements[0].from, NodeRef::Internet);
+        assert_eq!(r.requirements[0].hops[1].const_fields.len(), 3);
+    }
+
+    #[test]
+    fn parse_stock() {
+        let r = ClientRequest::parse(
+            "stock cache: reverse-http-proxy\n\nreach from internet tcp -> client",
+        )
+        .unwrap();
+        assert_eq!(r.module_name, "cache");
+        assert_eq!(r.config, ModuleConfig::Stock(StockModule::ReverseHttpProxy));
+        assert_eq!(r.requirements.len(), 1);
+    }
+
+    #[test]
+    fn multiple_requirements() {
+        let r = ClientRequest::parse(
+            "module m:\nFromNetfront() -> Discard();\n\
+             reach from internet udp -> client\n\
+             reach from client -> internet",
+        )
+        .unwrap();
+        assert_eq!(r.requirements.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(ClientRequest::parse("").is_err());
+        assert!(ClientRequest::parse("stock x: frobnicator").is_err());
+        assert!(ClientRequest::parse("module m:\nNotAClass(").is_err());
+        assert!(
+            ClientRequest::parse("stock x: x86-vm\nFromNetfront() -> Discard();").is_err(),
+            "stock + config is contradictory"
+        );
+    }
+
+    #[test]
+    fn stock_keywords() {
+        assert_eq!(
+            StockModule::parse("reverse-proxy"),
+            Some(StockModule::ReverseHttpProxy)
+        );
+        assert_eq!(StockModule::parse("geo-dns"), Some(StockModule::GeoDns));
+        assert_eq!(StockModule::parse("x86"), Some(StockModule::X86Vm));
+        assert_eq!(
+            StockModule::parse("explicit-proxy"),
+            Some(StockModule::ExplicitProxy)
+        );
+        assert_eq!(StockModule::parse("nope"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Stock processing modules (paper §4.1).
+//!
+//! Stock modules are expressed as tiny Click configurations around
+//! `Stock*` pseudo-elements with hand-written abstract models in
+//! `innet-symnet`. The address argument is the module's assigned address,
+//! so the configurations can only be produced once the controller has
+//! allocated one.
+
+use innet_click::ClickConfig;
+use std::net::Ipv4Addr;
+
+use crate::request::StockModule;
+
+/// Builds the Click-level configuration of a stock module, parameterized
+/// by the address the controller assigned to it.
+pub fn stock_config(kind: StockModule, assigned: Ipv4Addr) -> ClickConfig {
+    let text = match kind {
+        StockModule::ReverseHttpProxy => format!(
+            "in :: FromNetfront(); srv :: StockReverseProxy({assigned}); \
+             out :: ToNetfront(); in -> srv -> out;"
+        ),
+        StockModule::ExplicitProxy => format!(
+            "in :: FromNetfront(); srv :: StockExplicitProxy({assigned}); \
+             out :: ToNetfront(); in -> srv -> out;"
+        ),
+        StockModule::GeoDns => format!(
+            "in :: FromNetfront(); srv :: StockDNSServer({assigned}); \
+             out :: ToNetfront(); in -> srv -> out;"
+        ),
+        StockModule::X86Vm => {
+            "in :: FromNetfront(); vm :: StockX86VM(); out :: ToNetfront(); in -> vm -> out;"
+                .to_string()
+        }
+    };
+    ClickConfig::parse(&text).expect("stock configurations are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_symnet::{check_module, RequesterClass, SecurityContext, Verdict};
+
+    fn check(kind: StockModule, class: RequesterClass) -> Verdict {
+        let assigned = Ipv4Addr::new(203, 0, 113, 10);
+        let cfg = stock_config(kind, assigned);
+        check_module(
+            &cfg,
+            &SecurityContext {
+                assigned_addr: assigned,
+                registered: vec![Ipv4Addr::new(198, 51, 100, 1)],
+                class,
+            },
+            &innet_click::Registry::standard(),
+        )
+        .unwrap()
+        .verdict
+    }
+
+    #[test]
+    fn reverse_proxy_safe_everywhere() {
+        assert_eq!(
+            check(StockModule::ReverseHttpProxy, RequesterClass::ThirdParty),
+            Verdict::Safe
+        );
+        assert_eq!(
+            check(StockModule::ReverseHttpProxy, RequesterClass::Client),
+            Verdict::Safe
+        );
+    }
+
+    #[test]
+    fn dns_safe_everywhere() {
+        assert_eq!(
+            check(StockModule::GeoDns, RequesterClass::ThirdParty),
+            Verdict::Safe
+        );
+    }
+
+    #[test]
+    fn explicit_proxy_by_class() {
+        // An explicit proxy originates connections to request-chosen
+        // destinations: fine for a client (§2.1 "such customers can also
+        // deploy explicit proxies"), sandbox-worthy for a third party.
+        assert_eq!(
+            check(StockModule::ExplicitProxy, RequesterClass::Client),
+            Verdict::Safe
+        );
+        assert_eq!(
+            check(StockModule::ExplicitProxy, RequesterClass::ThirdParty),
+            Verdict::SafeWithSandbox
+        );
+    }
+
+    #[test]
+    fn x86_always_sandboxed_for_tenants() {
+        assert_eq!(
+            check(StockModule::X86Vm, RequesterClass::ThirdParty),
+            Verdict::SafeWithSandbox
+        );
+        assert_eq!(
+            check(StockModule::X86Vm, RequesterClass::Client),
+            Verdict::SafeWithSandbox
+        );
+    }
+}

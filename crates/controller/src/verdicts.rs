@@ -1,0 +1,184 @@
+//! The paper's Table 1: safety verdicts for a catalog of middlebox
+//! configurations, per requester class.
+//!
+//! Mapping of the paper's symbols: ✓ = [`Verdict::Safe`], ✗ =
+//! [`Verdict::Reject`], ✓(s) = [`Verdict::SafeWithSandbox`].
+
+use std::net::Ipv4Addr;
+
+use innet_click::{ClickConfig, Registry};
+use innet_symnet::{check_module, RequesterClass, SecurityContext, Verdict};
+
+/// One row of the Table 1 matrix.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Middlebox name as the paper lists it.
+    pub name: &'static str,
+    /// Verdicts for (third party, client, operator).
+    pub verdicts: [Verdict; 3],
+}
+
+/// The middlebox catalog of Table 1, instantiated for a module that would
+/// be assigned `assigned`, owned by a tenant whose registered addresses
+/// are `owner` and `owner2`, tunneling to `peer` (also registered).
+pub fn table1_catalog(
+    assigned: Ipv4Addr,
+    owner: Ipv4Addr,
+    owner2: Ipv4Addr,
+    peer: Ipv4Addr,
+) -> Vec<(&'static str, ClickConfig)> {
+    let parse = |s: &str| ClickConfig::parse(s).expect("catalog configs are valid");
+    vec![
+        (
+            "IP Router",
+            parse(
+                "FromNetfront() -> CheckIPHeader() -> DecIPTTL() \
+                 -> r :: StaticIPLookup(10.0.0.0/8 0, 0.0.0.0/0 1); \
+                 r[0] -> ToNetfront(0); r[1] -> ToNetfront(1);",
+            ),
+        ),
+        (
+            "DPI",
+            parse(
+                "FromNetfront() -> d :: DPI(\"attack-signature\"); \
+                 d[0] -> ToNetfront(); d[1] -> Discard();",
+            ),
+        ),
+        (
+            "NAT",
+            parse(
+                "FromNetfront(0) -> [0]n :: IPNAT(203.0.113.99); n[0] -> ToNetfront(1); \
+                 FromNetfront(1) -> [1]n; n[1] -> ToNetfront(0);",
+            ),
+        ),
+        (
+            "Transparent Proxy",
+            parse(
+                "FromNetfront(0) -> [0]t :: TransparentProxy(192.0.2.80, 3128); \
+                 t[0] -> ToNetfront(1); \
+                 FromNetfront(1) -> [1]t; t[1] -> ToNetfront(0);",
+            ),
+        ),
+        (
+            "Flow meter",
+            parse(&format!(
+                "FromNetfront() -> FlowMeter() \
+                 -> IPRewriter(pattern - - {owner} - 0 0) -> ToNetfront();"
+            )),
+        ),
+        (
+            "Rate limiter",
+            parse(&format!(
+                "FromNetfront() -> RateLimiter(10000) \
+                 -> IPRewriter(pattern - - {owner} - 0 0) -> ToNetfront();"
+            )),
+        ),
+        (
+            "Firewall",
+            parse(&format!(
+                "FromNetfront() -> IPFilter(allow udp, allow tcp dst port 80) \
+                 -> IPRewriter(pattern - - {owner} - 0 0) -> ToNetfront();"
+            )),
+        ),
+        (
+            "Tunnel",
+            parse(&format!(
+                "FromNetfront(0) -> UDPTunnelEncap({assigned}, 7000, {peer}, 7001) \
+                   -> ToNetfront(1); \
+                 FromNetfront(1) -> UDPTunnelDecap() -> ToNetfront(0);"
+            )),
+        ),
+        (
+            "Multicast",
+            parse(&format!(
+                "FromNetfront() -> IPMulticast({owner}, {owner2}) -> ToNetfront();"
+            )),
+        ),
+        (
+            "DNS server (stock)",
+            parse(&format!(
+                "FromNetfront() -> StockDNSServer({assigned}) -> ToNetfront();"
+            )),
+        ),
+        (
+            "Reverse proxy (stock)",
+            parse(&format!(
+                "FromNetfront() -> StockReverseProxy({assigned}) -> ToNetfront();"
+            )),
+        ),
+        (
+            "x86 VM",
+            parse("FromNetfront() -> StockX86VM() -> ToNetfront();"),
+        ),
+    ]
+}
+
+/// Runs the full Table 1 matrix: every catalog middlebox checked for every
+/// requester class.
+pub fn table1_matrix() -> Vec<Table1Row> {
+    let assigned = Ipv4Addr::new(203, 0, 113, 10);
+    let owner = Ipv4Addr::new(172, 16, 15, 133);
+    let owner2 = Ipv4Addr::new(172, 16, 15, 134);
+    let peer = Ipv4Addr::new(198, 51, 100, 1);
+    let registry = Registry::standard();
+    let registered = vec![owner, owner2, peer];
+
+    table1_catalog(assigned, owner, owner2, peer)
+        .into_iter()
+        .map(|(name, cfg)| {
+            let verdicts = [
+                RequesterClass::ThirdParty,
+                RequesterClass::Client,
+                RequesterClass::Operator,
+            ]
+            .map(|class| {
+                check_module(
+                    &cfg,
+                    &SecurityContext {
+                        assigned_addr: assigned,
+                        registered: registered.clone(),
+                        class,
+                    },
+                    &registry,
+                )
+                .expect("catalog configs are modellable")
+                .verdict
+            });
+            Table1Row { name, verdicts }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Table 1 from the paper, symbol by symbol.
+    #[test]
+    fn matches_paper_table1() {
+        use Verdict::{Reject as X, Safe as V, SafeWithSandbox as S};
+        let expected: Vec<(&str, [Verdict; 3])> = vec![
+            ("IP Router", [X, X, V]),
+            ("DPI", [X, X, V]),
+            ("NAT", [X, X, V]),
+            ("Transparent Proxy", [X, X, V]),
+            ("Flow meter", [V, V, V]),
+            ("Rate limiter", [V, V, V]),
+            ("Firewall", [V, V, V]),
+            ("Tunnel", [S, V, V]),
+            ("Multicast", [V, V, V]),
+            ("DNS server (stock)", [V, V, V]),
+            ("Reverse proxy (stock)", [V, V, V]),
+            ("x86 VM", [S, S, V]),
+        ];
+        let matrix = table1_matrix();
+        assert_eq!(matrix.len(), expected.len());
+        for (row, (name, verdicts)) in matrix.iter().zip(expected.iter()) {
+            assert_eq!(row.name, *name);
+            assert_eq!(
+                row.verdicts, *verdicts,
+                "verdicts for {name} diverge from Table 1"
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 7: suspend/resume latency of one VM as a function of how many
+//! VMs already exist on the host.
+
+use innet_click::ClickConfig;
+use innet_platform::Host;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SuspendPoint {
+    /// VMs already running when the operation starts.
+    pub existing_vms: usize,
+    /// Suspend latency in milliseconds.
+    pub suspend_ms: f64,
+    /// Resume latency in milliseconds.
+    pub resume_ms: f64,
+}
+
+/// Sweeps suspend/resume latency over background VM counts.
+pub fn suspend_resume_sweep(points: &[usize]) -> Vec<SuspendPoint> {
+    let cfg = ClickConfig::parse("FromNetfront() -> Counter() -> ToNetfront();")
+        .expect("valid literal config");
+    points
+        .iter()
+        .map(|&n| {
+            // A host big enough for the largest sweep point.
+            let mut host = Host::new(64 * 1024);
+            let mut now = 0u64;
+            let mut target = None;
+            for i in 0..=n {
+                let vm = host.boot_clickos(&cfg, now).expect("capacity");
+                if i == 0 {
+                    target = Some(vm);
+                }
+                now += 200_000_000;
+            }
+            host.advance(now + 1_000_000_000);
+            now += 2_000_000_000;
+            let target = target.expect("at least one VM");
+
+            let s_done = host.suspend(target, now).expect("running");
+            let suspend_ms = (s_done - now) as f64 / 1e6;
+            host.advance(s_done);
+            let r_done = host.resume(target, s_done).expect("suspended");
+            let resume_ms = (r_done - s_done) as f64 / 1e6;
+
+            SuspendPoint {
+                existing_vms: n,
+                suspend_ms,
+                resume_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_band_and_growth() {
+        let pts = suspend_resume_sweep(&[0, 50, 100, 200]);
+        for p in &pts {
+            // Figure 7: both operations within roughly 30–100 ms.
+            assert!((20.0..=110.0).contains(&p.suspend_ms), "{p:?}");
+            assert!((20.0..=110.0).contains(&p.resume_ms), "{p:?}");
+            assert!(p.resume_ms > p.suspend_ms, "{p:?}");
+        }
+        // Latency grows with the number of existing VMs.
+        assert!(pts[3].suspend_ms > pts[0].suspend_ms);
+        assert!(pts[3].resume_ms > pts[0].resume_ms);
+        // "possible to suspend and resume in 100ms in total" (small n).
+        assert!(pts[0].suspend_ms + pts[0].resume_ms <= 110.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 10: controller request-processing time versus operator network
+//! size — the model "compilation" phase and the symbolic checking phase,
+//! both measured for real on this machine.
+
+use innet_controller::{ClientRequest, Controller};
+use innet_symnet::RequesterClass;
+use innet_topology::{generate, GenerateParams};
+
+/// One scaling point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Middlebox count in the operator network.
+    pub middleboxes: usize,
+    /// Time spent building verification models (the analogue of the
+    /// paper's Haskell compilation phase), in milliseconds.
+    pub compile_ms: f64,
+    /// Time spent in symbolic checking, in milliseconds.
+    pub check_ms: f64,
+}
+
+/// The paper's Figure 4 request, deployed into generated topologies of
+/// increasing size.
+pub fn controller_scaling(sizes: &[usize]) -> Vec<ScalingPoint> {
+    const FIG4: &str = r#"
+        module batcher:
+        FromNetfront()
+          -> IPFilter(allow udp dst port 1500)
+          -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+          -> TimedUnqueue(120, 100)
+          -> dst :: ToNetfront();
+
+        reach from internet udp
+          -> batcher:dst:0 dst 172.16.15.133
+          -> client dst port 1500
+          const proto && dst port && payload
+    "#;
+
+    sizes
+        .iter()
+        .map(|&n| {
+            let topo = generate(&GenerateParams {
+                middleboxes: n,
+                platform_every: 4,
+                seed: 42,
+            });
+            let mut ctl = Controller::new(topo);
+            ctl.register_client(
+                "mobile-7",
+                RequesterClass::Client,
+                vec!["172.16.15.133".parse().expect("valid literal")],
+            );
+            let req = ClientRequest::parse(FIG4).expect("valid request");
+            let resp = ctl.deploy("mobile-7", req).expect("deployable");
+            ScalingPoint {
+                middleboxes: n,
+                compile_ms: resp.compile_ns as f64 / 1e6,
+                check_ms: resp.check_ns as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_succeeds_at_every_size() {
+        let pts = controller_scaling(&[1, 15]);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.compile_ms > 0.0);
+            assert!(p.check_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn cost_grows_subquadratically() {
+        // Linear scaling is the paper's claim; allow generous noise but
+        // reject exponential blow-up: 16x middleboxes must cost less than
+        // ~64x the total time.
+        let pts = controller_scaling(&[7, 127]);
+        let t0 = pts[0].compile_ms + pts[0].check_ms;
+        let t1 = pts[1].compile_ms + pts[1].check_ms;
+        assert!(
+            t1 < t0 * 64.0 + 50.0,
+            "7 boxes: {t0:.1} ms, 127 boxes: {t1:.1} ms"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Figure 13: mobile energy consumption versus the batching interval of
+//! the push-notification module (the §4.5 unifying example measured).
+//!
+//! The experiment runs the *actual* Figure 4 batcher configuration in the
+//! Click runtime: one 1 KB UDP notification arrives every 30 s, the
+//! `TimedUnqueue` releases batches every `interval`, and the resulting
+//! delivery schedule drives the 3G radio energy model.
+
+use innet_click::{ClickConfig, Registry, Router};
+use innet_packet::PacketBuilder;
+use innet_sim::des::SimTime;
+use innet_sim::energy::{average_power_mw, download_power_mw, DownloadPower, RadioParams};
+use std::net::Ipv4Addr;
+
+/// One measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyPoint {
+    /// Batching interval in seconds.
+    pub interval_s: u64,
+    /// Average device power in mW.
+    pub avg_power_mw: f64,
+    /// Notifications delivered.
+    pub delivered: usize,
+}
+
+/// Runs the batcher for `duration` with one notification every
+/// `notify_every`, collecting the delivery schedule from the real
+/// element graph.
+pub fn push_energy(
+    intervals_s: &[u64],
+    notify_every: SimTime,
+    duration: SimTime,
+) -> Vec<EnergyPoint> {
+    intervals_s
+        .iter()
+        .map(|&interval_s| {
+            let cfg = ClickConfig::parse(&format!(
+                "FromNetfront() \
+                 -> IPFilter(allow udp dst port 1500) \
+                 -> IPRewriter(pattern - - 172.16.15.133 - 0 0) \
+                 -> TimedUnqueue({interval_s}, 100) \
+                 -> ToNetfront();"
+            ))
+            .expect("valid config");
+            let mut router =
+                Router::from_config(&cfg, &Registry::standard()).expect("instantiates");
+
+            let mut deliveries: Vec<SimTime> = Vec::new();
+            let mut t: SimTime = 0;
+            while t < duration {
+                let pkt = PacketBuilder::udp()
+                    .src(Ipv4Addr::new(8, 8, 8, 8), 9999)
+                    .dst(Ipv4Addr::new(203, 0, 113, 10), 1500)
+                    .payload(&[0u8; 1000])
+                    .build();
+                router.deliver(0, pkt, t).expect("interface exists");
+                deliveries.extend(router.take_tx().iter().map(|_| t));
+                // Drive ticks up to the next notification.
+                let next = t + notify_every;
+                while let Some(tick_at) = router.next_tick_ns() {
+                    if tick_at > next {
+                        break;
+                    }
+                    let released = router.tick(tick_at);
+                    deliveries.extend(released.iter().map(|_| tick_at));
+                }
+                t = next;
+            }
+            deliveries.sort_unstable();
+            // Radio wake-ups: one per delivery *batch* (deliveries within
+            // the same instant share a wake-up).
+            let mut wakeups = deliveries.clone();
+            wakeups.dedup();
+
+            EnergyPoint {
+                interval_s,
+                avg_power_mw: average_power_mw(&RadioParams::default(), &wakeups, duration),
+                delivered: deliveries.len(),
+            }
+        })
+        .collect()
+}
+
+/// The §8 HTTP-vs-HTTPS download power comparison.
+pub fn http_vs_https_mw() -> (f64, f64) {
+    let p = DownloadPower::default();
+    (download_power_mw(&p, false), download_power_mw(&p, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_sim::des::SECOND;
+
+    #[test]
+    fn figure13_shape_and_endpoints() {
+        let hour = 3600 * SECOND;
+        let pts = push_energy(&[30, 60, 120, 240], 30 * SECOND, hour);
+        assert_eq!(pts.len(), 4);
+        // Monotone decline with the batching interval.
+        for w in pts.windows(2) {
+            assert!(
+                w[0].avg_power_mw > w[1].avg_power_mw,
+                "{:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Paper endpoints: ≈240 mW at 30 s, ≈140 mW at 240 s.
+        assert!(
+            (220.0..=260.0).contains(&pts[0].avg_power_mw),
+            "{:?}",
+            pts[0]
+        );
+        assert!(
+            (120.0..=155.0).contains(&pts[3].avg_power_mw),
+            "{:?}",
+            pts[3]
+        );
+    }
+
+    #[test]
+    fn no_notifications_lost_to_batching() {
+        let hour = 3600 * SECOND;
+        let pts = push_energy(&[120], 30 * SECOND, hour);
+        // All notifications that had a release opportunity arrive.
+        assert!(pts[0].delivered >= 110, "{:?}", pts[0]);
+    }
+
+    #[test]
+    fn https_overhead() {
+        let (http, https) = http_vs_https_mw();
+        assert_eq!((http, https), (570.0, 650.0));
+    }
+}

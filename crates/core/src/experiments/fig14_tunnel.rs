@@ -1,0 +1,86 @@
+//! Figure 14: SCTP throughput when tunneled over TCP versus UDP, as loss
+//! varies — plus the §8 reachability-probe comparison.
+
+use innet_sim::transport::{sctp_over_tcp, sctp_over_udp, TunnelPath};
+
+/// One loss-rate point, averaged over seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct TunnelPoint {
+    /// Loss rate in percent.
+    pub loss_pct: f64,
+    /// SCTP-over-UDP goodput in Mb/s.
+    pub udp_mbps: f64,
+    /// SCTP-over-TCP goodput in Mb/s.
+    pub tcp_mbps: f64,
+}
+
+/// Sweeps loss rates (the paper plots 0–5%).
+pub fn tunnel_sweep(loss_pcts: &[f64], seeds: u64) -> Vec<TunnelPoint> {
+    loss_pcts
+        .iter()
+        .map(|&pct| {
+            let path = TunnelPath::paper(pct / 100.0);
+            let avg =
+                |f: &dyn Fn(u64) -> f64| -> f64 { (0..seeds).map(f).sum::<f64>() / seeds as f64 };
+            TunnelPoint {
+                loss_pct: pct,
+                udp_mbps: avg(&|s| sctp_over_udp(&path, s).goodput_mbps),
+                tcp_mbps: avg(&|s| sctp_over_tcp(&path, s).goodput_mbps),
+            }
+        })
+        .collect()
+}
+
+/// §8: choosing the right tunnel. Probing UDP reachability through the
+/// In-Net API takes one controller round-trip (~200 ms); discovering a
+/// UDP-hostile path by timeout costs the SCTP INIT timer (3 s per spec).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeComparison {
+    /// In-Net API reachability check latency (ms).
+    pub api_probe_ms: f64,
+    /// SCTP INIT timeout fallback latency (ms).
+    pub timeout_fallback_ms: f64,
+}
+
+/// The probe-vs-timeout numbers (API latency from a figure-3-sized
+/// controller request; timeout from RFC 4960's RTO.Initial).
+pub fn probe_comparison(api_probe_ms: f64) -> ProbeComparison {
+    ProbeComparison {
+        api_probe_ms,
+        timeout_fallback_ms: 3000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_beats_tcp_by_2_to_5x() {
+        let pts = tunnel_sweep(&[1.0, 3.0, 5.0], 5);
+        for p in &pts {
+            let ratio = p.udp_mbps / p.tcp_mbps;
+            assert!(
+                (1.5..=8.0).contains(&ratio),
+                "loss {}%: {} vs {} (ratio {ratio:.2})",
+                p.loss_pct,
+                p.udp_mbps,
+                p.tcp_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn both_decline_with_loss() {
+        let pts = tunnel_sweep(&[0.0, 1.0, 5.0], 5);
+        assert!(pts[0].udp_mbps > pts[1].udp_mbps);
+        assert!(pts[1].udp_mbps > pts[2].udp_mbps);
+        assert!(pts[1].tcp_mbps > pts[2].tcp_mbps);
+    }
+
+    #[test]
+    fn api_probe_is_an_order_faster_than_timeout() {
+        let c = probe_comparison(200.0);
+        assert!(c.timeout_fallback_ms / c.api_probe_ms >= 10.0);
+    }
+}

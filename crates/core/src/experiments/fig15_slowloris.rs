@@ -1,0 +1,206 @@
+//! Figure 15: defending against a Slowloris attack with In-Net.
+//!
+//! Slowloris starves a web server by holding as many connections open as
+//! possible, trickling request bytes so the server cannot time them out.
+//! The defense (the paper's reverse-proxy stock module) spins up proxies
+//! on remote In-Net platforms and diverts new connections to them by
+//! geolocation DNS; the proxies absorb the held connections and forward
+//! only complete requests.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One second of the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowlorisSample {
+    /// Time in seconds.
+    pub t_s: u64,
+    /// Valid requests served this second, single-server baseline.
+    pub single_server_rps: f64,
+    /// Valid requests served this second with the In-Net defense.
+    pub with_innet_rps: f64,
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowlorisParams {
+    /// Timeline length in seconds (the paper plots ~900 s).
+    pub duration_s: u64,
+    /// Origin server's concurrent-connection capacity.
+    pub server_slots: u64,
+    /// Valid request arrival rate (requests/second).
+    pub valid_rps: f64,
+    /// Valid request service time in seconds.
+    pub service_s: f64,
+    /// Attack start.
+    pub attack_start_s: u64,
+    /// Attack end.
+    pub attack_end_s: u64,
+    /// Sockets the attacker opens per second until the target is full.
+    pub attack_open_rate: f64,
+    /// When the defense detects the attack and requests proxies
+    /// (seconds after attack start).
+    pub detect_after_s: u64,
+    /// Proxies instantiated by the defense.
+    pub proxies: u64,
+    /// RNG seed for arrival noise.
+    pub seed: u64,
+}
+
+impl Default for SlowlorisParams {
+    fn default() -> Self {
+        SlowlorisParams {
+            duration_s: 900,
+            server_slots: 400,
+            valid_rps: 300.0,
+            service_s: 1.0,
+            attack_start_s: 200,
+            attack_end_s: 700,
+            attack_open_rate: 40.0,
+            detect_after_s: 60,
+            proxies: 3,
+            seed: 15,
+        }
+    }
+}
+
+fn serve_rate(
+    slots: u64,
+    held_by_attacker: f64,
+    demand_rps: f64,
+    service_s: f64,
+    rng: &mut StdRng,
+) -> f64 {
+    let free = (slots as f64 - held_by_attacker).max(0.0);
+    let capacity_rps = free / service_s;
+    let noise = 0.97 + rng.gen::<f64>() * 0.06;
+    demand_rps.min(capacity_rps) * noise
+}
+
+/// Runs the scenario.
+pub fn slowloris(params: &SlowlorisParams) -> Vec<SlowlorisSample> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut held_single = 0.0f64; // Attacker-held sockets, baseline.
+    let mut held_origin = 0.0f64; // Attacker-held sockets at the origin, defended.
+    let mut out = Vec::with_capacity(params.duration_s as usize);
+
+    for t in 0..params.duration_s {
+        let attacking = (params.attack_start_s..params.attack_end_s).contains(&t);
+        let defense_up =
+            t >= params.attack_start_s + params.detect_after_s && t < params.attack_end_s + 30;
+
+        // Baseline: the attacker ratchets connections up to the server's
+        // limit and keeps them (Slowloris defeats idle timeouts).
+        if attacking {
+            held_single = (held_single + params.attack_open_rate).min(params.server_slots as f64);
+        } else if t >= params.attack_end_s {
+            // Connections collapse when the attack stops.
+            held_single = (held_single - params.server_slots as f64 / 20.0).max(0.0);
+        }
+        let single = serve_rate(
+            params.server_slots,
+            held_single,
+            params.valid_rps,
+            params.service_s,
+            &mut rng,
+        );
+
+        // Defended: identical until detection. Then geolocation DNS sends
+        // *new* connections (attack included) to the proxies; held
+        // connections at the origin time out since the proxies only
+        // forward complete requests.
+        if attacking && !defense_up {
+            held_origin = (held_origin + params.attack_open_rate).min(params.server_slots as f64);
+        } else if defense_up {
+            held_origin = (held_origin - params.server_slots as f64 / 30.0).max(0.0);
+        } else if t >= params.attack_end_s {
+            held_origin = (held_origin - params.server_slots as f64 / 20.0).max(0.0);
+        }
+        let defended = if defense_up {
+            // The proxies absorb the slow connections; each proxy has its
+            // own slot pool, so the attack is diluted proxies-fold and
+            // valid requests pass through unharmed.
+            let per_proxy_held = if attacking {
+                (params.attack_open_rate * 10.0 / params.proxies as f64)
+                    .min(params.server_slots as f64 * 0.4)
+            } else {
+                0.0
+            };
+            let origin_facing = serve_rate(
+                params.server_slots,
+                held_origin,
+                params.valid_rps,
+                params.service_s,
+                &mut rng,
+            );
+            let proxy_capacity: f64 = (0..params.proxies)
+                .map(|_| (params.server_slots as f64 - per_proxy_held).max(0.0) / params.service_s)
+                .sum();
+            origin_facing.max(params.valid_rps.min(proxy_capacity))
+        } else {
+            serve_rate(
+                params.server_slots,
+                held_origin,
+                params.valid_rps,
+                params.service_s,
+                &mut rng,
+            )
+        };
+
+        out.push(SlowlorisSample {
+            t_s: t,
+            single_server_rps: single,
+            with_innet_rps: defended,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_avg(
+        samples: &[SlowlorisSample],
+        lo: u64,
+        hi: u64,
+        f: fn(&SlowlorisSample) -> f64,
+    ) -> f64 {
+        let sel: Vec<f64> = samples
+            .iter()
+            .filter(|s| (lo..hi).contains(&s.t_s))
+            .map(f)
+            .collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    }
+
+    #[test]
+    fn baseline_collapses_during_attack() {
+        let s = slowloris(&SlowlorisParams::default());
+        let before = window_avg(&s, 50, 150, |x| x.single_server_rps);
+        let during = window_avg(&s, 400, 600, |x| x.single_server_rps);
+        let after = window_avg(&s, 800, 890, |x| x.single_server_rps);
+        assert!(before > 250.0, "{before}");
+        assert!(during < before * 0.15, "collapse: {before} -> {during}");
+        assert!(after > before * 0.9, "recovery after attack: {after}");
+    }
+
+    #[test]
+    fn defense_restores_service() {
+        let s = slowloris(&SlowlorisParams::default());
+        let during_defended = window_avg(&s, 400, 600, |x| x.with_innet_rps);
+        let before = window_avg(&s, 50, 150, |x| x.with_innet_rps);
+        assert!(
+            during_defended > before * 0.8,
+            "defended rate {during_defended} vs pre-attack {before}"
+        );
+    }
+
+    #[test]
+    fn defense_has_a_detection_gap() {
+        let s = slowloris(&SlowlorisParams::default());
+        // Between attack start and detection both lines dip.
+        let gap = window_avg(&s, 230, 255, |x| x.with_innet_rps);
+        let before = window_avg(&s, 50, 150, |x| x.with_innet_rps);
+        assert!(gap < before, "dip during detection: {gap} vs {before}");
+    }
+}

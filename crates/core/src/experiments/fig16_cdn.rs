@@ -1,0 +1,109 @@
+//! Figure 16: a small content-distribution network on sandboxed In-Net
+//! modules — CDF of 1 KB download delays from the origin versus the
+//! nearest of three caches.
+//!
+//! The origin sits in Italy; caches run on platforms in Romania, Germany,
+//! and Italy; 75 clients scattered around Europe are spread to caches by
+//! geolocation. A 1 KB fetch costs two round trips (TCP handshake, then
+//! request/response).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One client's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct CdnClient {
+    /// Client index.
+    pub client: usize,
+    /// Delay fetching from the origin, ms.
+    pub origin_ms: f64,
+    /// Delay fetching from the assigned cache, ms.
+    pub cdn_ms: f64,
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CdnParams {
+    /// Number of PlanetLab-style clients (the paper uses 75).
+    pub clients: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CdnParams {
+    fn default() -> Self {
+        CdnParams {
+            clients: 75,
+            seed: 16,
+        }
+    }
+}
+
+/// Samples per-client RTT geography and computes download delays.
+///
+/// Cache RTTs are short (clients are assigned their regional cache);
+/// origin RTTs include the cross-Europe distance, with a long tail for
+/// clients far from Italy.
+pub fn cdn_downloads(params: &CdnParams) -> Vec<CdnClient> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.clients)
+        .map(|client| {
+            // RTT to the regional cache: 15–60 ms (PlanetLab nodes are
+            // not adjacent to the caches).
+            let cache_rtt = 15.0 + 45.0 * rng.gen::<f64>();
+            // RTT to the origin: the regional leg plus a cross-Europe
+            // component, heavy-tailed so the p90 gain is ≈4× while the
+            // median gain stays ≈2× (the paper's Figure 16).
+            let cross = 15.0 + 200.0 * rng.gen::<f64>().powf(2.8);
+            let origin_rtt = cache_rtt + cross;
+            // 1 KB download = TCP handshake (1 RTT) + request/response
+            // (1 RTT): two round trips.
+            CdnClient {
+                client,
+                origin_ms: 2.0 * origin_rtt,
+                cdn_ms: 2.0 * cache_rtt,
+            }
+        })
+        .collect()
+}
+
+/// Percentile over a sample (nearest-rank).
+pub fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let idx = ((p / 100.0) * (xs.len() as f64 - 1.0)).round() as usize;
+    xs[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_halved_p90_quartered() {
+        let clients = cdn_downloads(&CdnParams::default());
+        let origin: Vec<f64> = clients.iter().map(|c| c.origin_ms).collect();
+        let cdn: Vec<f64> = clients.iter().map(|c| c.cdn_ms).collect();
+        let med_ratio = percentile(origin.clone(), 50.0) / percentile(cdn.clone(), 50.0);
+        let p90_ratio = percentile(origin, 90.0) / percentile(cdn, 90.0);
+        // Paper: "the median download time is halved, and the 90%
+        // percentile is four times lower."
+        assert!((1.5..=3.5).contains(&med_ratio), "median ratio {med_ratio}");
+        assert!((2.5..=6.0).contains(&p90_ratio), "p90 ratio {p90_ratio}");
+    }
+
+    #[test]
+    fn cdn_never_slower() {
+        for c in cdn_downloads(&CdnParams::default()) {
+            assert!(c.cdn_ms < c.origin_ms, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = cdn_downloads(&CdnParams::default());
+        let b = cdn_downloads(&CdnParams::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.origin_ms, y.origin_ms);
+        }
+    }
+}

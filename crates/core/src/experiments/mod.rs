@@ -1,0 +1,23 @@
+//! One reproducible function per table and figure of the paper's
+//! evaluation (§6–§8).
+//!
+//! Every function is deterministic given its parameters (and seed, where
+//! randomness is involved), returns plain data, and is exercised both by
+//! the integration tests (shape assertions) and by the `innet-bench`
+//! harness (which prints the paper-style series). See `DESIGN.md` for the
+//! per-experiment index and `EXPERIMENTS.md` for paper-vs-measured notes.
+
+pub mod ablations;
+pub mod fig05_reaction;
+pub mod fig06_http;
+pub mod fig07_suspend;
+pub mod fig08_consolidation;
+pub mod fig09_thousand;
+pub mod fig10_controller;
+pub mod fig11_sandbox;
+pub mod fig12_middleboxes;
+pub mod fig13_energy;
+pub mod fig14_tunnel;
+pub mod fig15_slowloris;
+pub mod fig16_cdn;
+pub mod sec6_capacity;

@@ -1,0 +1,56 @@
+//! §6 headline capacity numbers: VM density on a 128 GB server, and the
+//! MAWI backbone workload check.
+
+use innet_platform::{max_vms, VmTimingKind};
+use innet_sim::workload::{analyze, generate_trace, TraceParams, TraceStats};
+
+/// The §6 density comparison on a 128 GB, 64-core server.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityReport {
+    /// Maximum stripped-down Linux VMs.
+    pub linux_vms: u64,
+    /// Maximum ClickOS VMs.
+    pub clickos_vms: u64,
+}
+
+/// Computes the density comparison.
+pub fn vm_density(host_mem_gb: u64) -> CapacityReport {
+    CapacityReport {
+        linux_vms: max_vms(host_mem_gb * 1024, VmTimingKind::Linux),
+        clickos_vms: max_vms(host_mem_gb * 1024, VmTimingKind::ClickOs),
+    }
+}
+
+/// Generates a MAWI-style trace and reports whether one In-Net platform
+/// covers its active clients (the paper: "a single IN-NET platform …
+/// could run personalized firewalls for all active sources on the MAWI
+/// backbone").
+pub fn mawi_check(seed: u64) -> (TraceStats, bool) {
+    let stats = analyze(&generate_trace(&TraceParams::default(), seed));
+    // One platform handles 1,000 concurrent tenants (Figure 9) — more
+    // with consolidation.
+    let fits = stats.max_active_clients <= 1000;
+    (stats, fits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_matches_section6() {
+        let r = vm_density(128);
+        // Paper: ~200 Linux VMs vs ~10,000 ClickOS VMs.
+        assert!((190..=260).contains(&r.linux_vms), "{r:?}");
+        assert!((9_000..=11_000).contains(&r.clickos_vms), "{r:?}");
+        assert!(r.clickos_vms / r.linux_vms >= 40, "two orders of magnitude");
+    }
+
+    #[test]
+    fn mawi_fits_one_platform() {
+        for seed in 0..3 {
+            let (stats, fits) = mawi_check(seed);
+            assert!(fits, "{stats:?}");
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The owned packet buffer and its metadata block.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::{
+    ether::{EtherType, EtherView, ETHER_HDR_LEN},
+    icmp::IcmpView,
+    ip::{IpProto, Ipv4View},
+    tcp::TcpView,
+    udp::UdpView,
+    PacketError, Result,
+};
+
+/// Size in bytes of the per-packet annotation area.
+///
+/// Click attaches a fixed-size annotation block to every packet; elements use
+/// it to pass out-of-band information (paint marks, VLAN tags, the firewall
+/// tag from the paper's Figure 2, ...). 48 bytes matches Click's default.
+pub const ANNO_SIZE: usize = 48;
+
+/// Out-of-band metadata carried alongside the packet bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Virtual timestamp in nanoseconds (set by sources and the simulator).
+    pub timestamp_ns: u64,
+    /// Index of the input port/interface the packet arrived on.
+    pub ingress: u16,
+    /// Offset of the network (IPv4) header within the buffer.
+    ///
+    /// `ETHER_HDR_LEN` for freshly built packets; updated by `Strip`-style
+    /// elements. `None` means "not yet marked" (Click's `MarkIPHeader`
+    /// establishes it).
+    pub l3_offset: Option<usize>,
+    /// Click-style annotation area.
+    pub anno: [u8; ANNO_SIZE],
+}
+
+impl Default for PacketMeta {
+    fn default() -> Self {
+        PacketMeta {
+            timestamp_ns: 0,
+            ingress: 0,
+            l3_offset: Some(ETHER_HDR_LEN),
+            anno: [0; ANNO_SIZE],
+        }
+    }
+}
+
+/// An owned network packet.
+///
+/// The buffer always starts at the Ethernet header. Header accessors return
+/// typed views that borrow the buffer (immutably or mutably); see
+/// [`Packet::ipv4`], [`Packet::udp`], [`Packet::tcp`], [`Packet::icmp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    data: BytesMut,
+    /// Packet metadata (public: elements read and write it freely, exactly
+    /// like Click annotations).
+    pub meta: PacketMeta,
+}
+
+impl Packet {
+    /// Wraps raw bytes (starting at the Ethernet header) into a packet.
+    pub fn from_bytes(data: impl AsRef<[u8]>) -> Self {
+        Packet {
+            data: BytesMut::from(data.as_ref()),
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Wraps an already-allocated buffer without copying.
+    pub fn from_buf(data: BytesMut) -> Self {
+        Packet {
+            data,
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Total length of the buffer in bytes (Ethernet header included).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Freezes the packet into an immutable, cheaply clonable byte handle.
+    pub fn freeze(self) -> Bytes {
+        self.data.freeze()
+    }
+
+    /// Offset of the network header, defaulting to just past Ethernet.
+    pub fn l3_offset(&self) -> usize {
+        self.meta.l3_offset.unwrap_or(ETHER_HDR_LEN)
+    }
+
+    /// An Ethernet view of the packet.
+    pub fn ether(&self) -> Result<EtherView<&[u8]>> {
+        EtherView::new(self.data.as_ref())
+    }
+
+    /// A mutable Ethernet view of the packet.
+    pub fn ether_mut(&mut self) -> Result<EtherView<&mut [u8]>> {
+        EtherView::new_mut(self.data.as_mut())
+    }
+
+    /// Whether the Ethernet type says this is an IPv4 packet.
+    pub fn is_ipv4(&self) -> bool {
+        self.ether()
+            .map(|e| e.ethertype() == EtherType::IPV4)
+            .unwrap_or(false)
+    }
+
+    /// An IPv4 view of the packet.
+    ///
+    /// Fails with [`PacketError::NotIpv4`] when the Ethernet type disagrees,
+    /// or [`PacketError::Truncated`] when the buffer is too short.
+    pub fn ipv4(&self) -> Result<Ipv4View<&[u8]>> {
+        if !self.is_ipv4() {
+            return Err(PacketError::NotIpv4);
+        }
+        Ipv4View::new(&self.data[self.l3_offset()..])
+    }
+
+    /// A mutable IPv4 view of the packet.
+    pub fn ipv4_mut(&mut self) -> Result<Ipv4View<&mut [u8]>> {
+        if !self.is_ipv4() {
+            return Err(PacketError::NotIpv4);
+        }
+        let off = self.l3_offset();
+        Ipv4View::new_mut(&mut self.data[off..])
+    }
+
+    /// Offset of the transport header within the buffer, derived from the
+    /// IPv4 header length.
+    pub fn l4_offset(&self) -> Result<usize> {
+        let l3 = self.l3_offset();
+        let ip = self.ipv4()?;
+        Ok(l3 + ip.header_len())
+    }
+
+    /// Transport protocol of the packet, if it is IPv4.
+    pub fn ip_proto(&self) -> Result<IpProto> {
+        Ok(self.ipv4()?.proto())
+    }
+
+    /// A UDP view of the packet.
+    pub fn udp(&self) -> Result<UdpView<&[u8]>> {
+        if self.ip_proto()? != IpProto::Udp {
+            return Err(PacketError::WrongProtocol { expected: "UDP" });
+        }
+        let off = self.l4_offset()?;
+        UdpView::new(&self.data[off..])
+    }
+
+    /// A mutable UDP view of the packet.
+    pub fn udp_mut(&mut self) -> Result<UdpView<&mut [u8]>> {
+        if self.ip_proto()? != IpProto::Udp {
+            return Err(PacketError::WrongProtocol { expected: "UDP" });
+        }
+        let off = self.l4_offset()?;
+        UdpView::new_mut(&mut self.data[off..])
+    }
+
+    /// A TCP view of the packet.
+    pub fn tcp(&self) -> Result<TcpView<&[u8]>> {
+        if self.ip_proto()? != IpProto::Tcp {
+            return Err(PacketError::WrongProtocol { expected: "TCP" });
+        }
+        let off = self.l4_offset()?;
+        TcpView::new(&self.data[off..])
+    }
+
+    /// A mutable TCP view of the packet.
+    pub fn tcp_mut(&mut self) -> Result<TcpView<&mut [u8]>> {
+        if self.ip_proto()? != IpProto::Tcp {
+            return Err(PacketError::WrongProtocol { expected: "TCP" });
+        }
+        let off = self.l4_offset()?;
+        TcpView::new_mut(&mut self.data[off..])
+    }
+
+    /// An ICMP view of the packet.
+    pub fn icmp(&self) -> Result<IcmpView<&[u8]>> {
+        if self.ip_proto()? != IpProto::Icmp {
+            return Err(PacketError::WrongProtocol { expected: "ICMP" });
+        }
+        let off = self.l4_offset()?;
+        IcmpView::new(&self.data[off..])
+    }
+
+    /// A mutable ICMP view of the packet.
+    pub fn icmp_mut(&mut self) -> Result<IcmpView<&mut [u8]>> {
+        if self.ip_proto()? != IpProto::Icmp {
+            return Err(PacketError::WrongProtocol { expected: "ICMP" });
+        }
+        let off = self.l4_offset()?;
+        IcmpView::new_mut(&mut self.data[off..])
+    }
+
+    /// The L4 payload bytes (after the UDP/TCP header), or the L3 payload for
+    /// other protocols.
+    pub fn payload(&self) -> Result<&[u8]> {
+        let l4 = self.l4_offset()?;
+        let hdr = match self.ip_proto()? {
+            IpProto::Udp => crate::udp::UDP_HDR_LEN,
+            IpProto::Tcp => self.tcp()?.header_len(),
+            IpProto::Icmp => crate::icmp::ICMP_HDR_LEN,
+            _ => 0,
+        };
+        let start = l4 + hdr;
+        if start > self.data.len() {
+            return Err(PacketError::Truncated {
+                what: "payload",
+                need: start,
+                have: self.data.len(),
+            });
+        }
+        Ok(&self.data[start..])
+    }
+
+    /// Mutable access to the L4 payload bytes.
+    pub fn payload_mut(&mut self) -> Result<&mut [u8]> {
+        let l4 = self.l4_offset()?;
+        let hdr = match self.ip_proto()? {
+            IpProto::Udp => crate::udp::UDP_HDR_LEN,
+            IpProto::Tcp => self.tcp()?.header_len(),
+            IpProto::Icmp => crate::icmp::ICMP_HDR_LEN,
+            _ => 0,
+        };
+        let start = l4 + hdr;
+        if start > self.data.len() {
+            return Err(PacketError::Truncated {
+                what: "payload",
+                need: start,
+                have: self.data.len(),
+            });
+        }
+        Ok(&mut self.data[start..])
+    }
+
+    /// Prepends `bytes` in front of the current buffer (used by
+    /// encapsulation elements). The L3 offset is reset to follow Ethernet.
+    pub fn push_front(&mut self, prefix: &[u8]) {
+        let mut new = BytesMut::with_capacity(prefix.len() + self.data.len());
+        new.extend_from_slice(prefix);
+        new.extend_from_slice(&self.data);
+        self.data = new;
+        self.meta.l3_offset = Some(ETHER_HDR_LEN);
+    }
+
+    /// Removes `n` bytes from the front of the buffer (used by
+    /// decapsulation elements). The L3 offset is reset to follow Ethernet.
+    ///
+    /// Returns an error when fewer than `n` bytes are available.
+    pub fn pop_front(&mut self, n: usize) -> Result<()> {
+        if self.data.len() < n {
+            return Err(PacketError::Truncated {
+                what: "pop_front",
+                need: n,
+                have: self.data.len(),
+            });
+        }
+        let _ = self.data.split_to(n);
+        self.meta.l3_offset = Some(ETHER_HDR_LEN);
+        Ok(())
+    }
+
+    /// Reads one annotation byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= ANNO_SIZE`; annotation offsets are compile-time
+    /// constants in practice.
+    pub fn anno_u8(&self, idx: usize) -> u8 {
+        self.meta.anno[idx]
+    }
+
+    /// Writes one annotation byte (see [`Packet::anno_u8`]).
+    pub fn set_anno_u8(&mut self, idx: usize, val: u8) {
+        self.meta.anno[idx] = val;
+    }
+
+    /// Reads a 32-bit big-endian annotation word starting at `idx`.
+    pub fn anno_u32(&self, idx: usize) -> u32 {
+        u32::from_be_bytes(
+            self.meta.anno[idx..idx + 4]
+                .try_into()
+                .expect("anno bounds"),
+        )
+    }
+
+    /// Writes a 32-bit big-endian annotation word starting at `idx`.
+    pub fn set_anno_u32(&mut self, idx: usize, val: u32) {
+        self.meta.anno[idx..idx + 4].copy_from_slice(&val.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Packet {
+        PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 4242)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), 53)
+            .payload(b"hello")
+            .build()
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let pkt = sample();
+        assert_eq!(pkt.payload().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn payload_mut_edits_in_place() {
+        let mut pkt = sample();
+        pkt.payload_mut().unwrap()[0] = b'H';
+        assert_eq!(pkt.payload().unwrap(), b"Hello");
+    }
+
+    #[test]
+    fn annotations_roundtrip() {
+        let mut pkt = sample();
+        pkt.set_anno_u8(0, 7);
+        pkt.set_anno_u32(4, 0xdead_beef);
+        assert_eq!(pkt.anno_u8(0), 7);
+        assert_eq!(pkt.anno_u32(4), 0xdead_beef);
+    }
+
+    #[test]
+    fn push_pop_front_roundtrip() {
+        let mut pkt = sample();
+        let before = pkt.bytes().to_vec();
+        pkt.push_front(&[0xAA; 8]);
+        assert_eq!(pkt.len(), before.len() + 8);
+        pkt.pop_front(8).unwrap();
+        assert_eq!(pkt.bytes(), &before[..]);
+    }
+
+    #[test]
+    fn pop_front_too_much_errors() {
+        let mut pkt = sample();
+        let n = pkt.len() + 1;
+        assert!(pkt.pop_front(n).is_err());
+    }
+
+    #[test]
+    fn wrong_protocol_rejected() {
+        let pkt = sample();
+        assert_eq!(
+            pkt.tcp().unwrap_err(),
+            PacketError::WrongProtocol { expected: "TCP" }
+        );
+    }
+
+    #[test]
+    fn non_ip_rejected() {
+        let pkt = Packet::from_bytes(vec![0u8; 14]); // Ethertype 0x0000.
+        assert_eq!(pkt.ipv4().unwrap_err(), PacketError::NotIpv4);
+    }
+}

@@ -1,0 +1,163 @@
+//! Ethernet II header view.
+
+use crate::{PacketError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length in bytes of an Ethernet II header (no VLAN tag).
+pub const ETHER_HDR_LEN: usize = 14;
+
+/// A 48-bit IEEE MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The all-zero MAC address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+    /// The broadcast MAC address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Builds a locally administered unicast MAC from a 32-bit host id,
+    /// convenient for synthetic topologies.
+    pub fn from_host_id(id: u32) -> MacAddr {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// An Ethernet type code (big-endian on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// IPv4.
+    pub const IPV4: EtherType = EtherType(0x0800);
+    /// ARP.
+    pub const ARP: EtherType = EtherType(0x0806);
+    /// IPv6 (recognized but not processed by the In-Net dataplane).
+    pub const IPV6: EtherType = EtherType(0x86DD);
+}
+
+/// A typed view of an Ethernet II header over a byte buffer.
+#[derive(Debug)]
+pub struct EtherView<T> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> EtherView<T> {
+    /// Validates the buffer length and wraps it.
+    pub fn new(buf: T) -> Result<Self> {
+        let have = buf.as_ref().len();
+        if have < ETHER_HDR_LEN {
+            return Err(PacketError::Truncated {
+                what: "Ethernet header",
+                need: ETHER_HDR_LEN,
+                have,
+            });
+        }
+        Ok(EtherView { buf })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buf.as_ref()
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr(self.b()[0..6].try_into().expect("validated length"))
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        MacAddr(self.b()[6..12].try_into().expect("validated length"))
+    }
+
+    /// Ethernet type field.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType(u16::from_be_bytes([self.b()[12], self.b()[13]]))
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EtherView<T> {
+    /// Validates the buffer length and wraps it for mutation.
+    pub fn new_mut(buf: T) -> Result<Self> {
+        EtherView::new(buf)
+    }
+
+    fn bm(&mut self) -> &mut [u8] {
+        self.buf.as_mut()
+    }
+
+    /// Sets the destination MAC address.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.bm()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.bm()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the Ethernet type field.
+    pub fn set_ethertype(&mut self, et: EtherType) {
+        self.bm()[12..14].copy_from_slice(&et.0.to_be_bytes());
+    }
+
+    /// Swaps source and destination MACs (used when turning a packet around).
+    pub fn swap_addrs(&mut self) {
+        let (s, d) = (self.src(), self.dst());
+        self.set_src(d);
+        self.set_dst(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_too_short() {
+        assert!(matches!(
+            EtherView::new(&[0u8; 13][..]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let mut buf = [0u8; ETHER_HDR_LEN];
+        let mut v = EtherView::new_mut(&mut buf[..]).unwrap();
+        v.set_src(MacAddr::from_host_id(1));
+        v.set_dst(MacAddr::from_host_id(2));
+        v.set_ethertype(EtherType::IPV4);
+        assert_eq!(v.src(), MacAddr::from_host_id(1));
+        assert_eq!(v.dst(), MacAddr::from_host_id(2));
+        assert_eq!(v.ethertype(), EtherType::IPV4);
+    }
+
+    #[test]
+    fn swap_addrs_swaps() {
+        let mut buf = [0u8; ETHER_HDR_LEN];
+        let mut v = EtherView::new_mut(&mut buf[..]).unwrap();
+        v.set_src(MacAddr::from_host_id(1));
+        v.set_dst(MacAddr::from_host_id(2));
+        v.swap_addrs();
+        assert_eq!(v.src(), MacAddr::from_host_id(2));
+        assert_eq!(v.dst(), MacAddr::from_host_id(1));
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+    }
+}

@@ -1,0 +1,158 @@
+//! Flow identification: the 5-tuple key used by stateful elements and by
+//! the platform's flow-to-VM mapping.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ip::IpProto, Packet, Result};
+
+/// A directed transport 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Transport protocol.
+    pub proto: IpProto,
+    /// Source port (0 for port-less protocols; ICMP uses the echo ident).
+    pub src_port: u16,
+    /// Destination port (0 for port-less protocols).
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// Extracts the flow key from a packet.
+    ///
+    /// For ICMP echo packets the identifier doubles as both ports, so that a
+    /// ping stream is a single flow in either direction (this is how the
+    /// platform's on-the-fly instantiation treats "each ping is a flow" in
+    /// the paper's Figure 5 experiment).
+    pub fn of(pkt: &Packet) -> Result<FlowKey> {
+        let ip = pkt.ipv4()?;
+        let (src, dst, proto) = (ip.src(), ip.dst(), ip.proto());
+        let (src_port, dst_port) = match proto {
+            IpProto::Udp => {
+                let u = pkt.udp()?;
+                (u.src_port(), u.dst_port())
+            }
+            IpProto::Tcp => {
+                let t = pkt.tcp()?;
+                (t.src_port(), t.dst_port())
+            }
+            IpProto::Icmp => {
+                let i = pkt.icmp()?;
+                (i.ident(), i.ident())
+            }
+            _ => (0, 0),
+        };
+        Ok(FlowKey {
+            src,
+            dst,
+            proto,
+            src_port,
+            dst_port,
+        })
+    }
+
+    /// The key of traffic flowing in the opposite direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            proto: self.proto,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// A direction-insensitive tuple: both directions of a connection map to
+    /// the same value. Used for connection tracking.
+    pub fn canonical(&self) -> FlowTuple {
+        let a = (self.src, self.src_port);
+        let b = (self.dst, self.dst_port);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        FlowTuple {
+            lo_addr: lo.0,
+            lo_port: lo.1,
+            hi_addr: hi.0,
+            hi_port: hi.1,
+            proto: self.proto,
+        }
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.proto, self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+/// A direction-insensitive connection identifier (see
+/// [`FlowKey::canonical`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowTuple {
+    /// The lexicographically smaller endpoint's address.
+    pub lo_addr: Ipv4Addr,
+    /// The lexicographically smaller endpoint's port.
+    pub lo_port: u16,
+    /// The lexicographically larger endpoint's address.
+    pub hi_addr: Ipv4Addr,
+    /// The lexicographically larger endpoint's port.
+    pub hi_port: u16,
+    /// Transport protocol.
+    pub proto: IpProto,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+
+    #[test]
+    fn udp_key() {
+        let pkt = PacketBuilder::udp()
+            .src(Ipv4Addr::new(1, 1, 1, 1), 100)
+            .dst(Ipv4Addr::new(2, 2, 2, 2), 200)
+            .build();
+        let k = FlowKey::of(&pkt).unwrap();
+        assert_eq!(k.proto, IpProto::Udp);
+        assert_eq!((k.src_port, k.dst_port), (100, 200));
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let pkt = PacketBuilder::tcp()
+            .src(Ipv4Addr::new(1, 1, 1, 1), 100)
+            .dst(Ipv4Addr::new(2, 2, 2, 2), 200)
+            .build();
+        let k = FlowKey::of(&pkt).unwrap();
+        assert_eq!(k.reversed().reversed(), k);
+        assert_ne!(k.reversed(), k);
+    }
+
+    #[test]
+    fn canonical_direction_insensitive() {
+        let pkt = PacketBuilder::tcp()
+            .src(Ipv4Addr::new(9, 1, 1, 1), 100)
+            .dst(Ipv4Addr::new(2, 2, 2, 2), 200)
+            .build();
+        let k = FlowKey::of(&pkt).unwrap();
+        assert_eq!(k.canonical(), k.reversed().canonical());
+    }
+
+    #[test]
+    fn icmp_uses_ident() {
+        let pkt = PacketBuilder::icmp_echo_request(7, 1)
+            .src_addr(Ipv4Addr::new(1, 1, 1, 1))
+            .dst_addr(Ipv4Addr::new(2, 2, 2, 2))
+            .build();
+        let k = FlowKey::of(&pkt).unwrap();
+        assert_eq!((k.src_port, k.dst_port), (7, 7));
+    }
+}

@@ -1,0 +1,200 @@
+//! CIDR prefixes, shared by the policy language, routing tables, and
+//! white-lists.
+
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 CIDR prefix such as `10.0.0.0/8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    addr: Ipv4Addr,
+    prefix_len: u8,
+}
+
+/// Error produced when parsing a CIDR string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CidrParseError(pub String);
+
+impl std::fmt::Display for CidrParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CIDR: {}", self.0)
+    }
+}
+
+impl std::error::Error for CidrParseError {}
+
+impl Cidr {
+    /// Builds a prefix, normalizing the address by masking host bits.
+    ///
+    /// Returns `None` when `prefix_len > 32`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Option<Cidr> {
+        if prefix_len > 32 {
+            return None;
+        }
+        let masked = u32::from(addr) & Cidr::mask_bits(prefix_len);
+        Some(Cidr {
+            addr: Ipv4Addr::from(masked),
+            prefix_len,
+        })
+    }
+
+    /// A /32 prefix for a single host.
+    pub fn host(addr: Ipv4Addr) -> Cidr {
+        Cidr {
+            addr,
+            prefix_len: 32,
+        }
+    }
+
+    /// The zero-length prefix that matches everything.
+    pub const ANY: Cidr = Cidr {
+        addr: Ipv4Addr::UNSPECIFIED,
+        prefix_len: 0,
+    };
+
+    fn mask_bits(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(prefix_len))
+        }
+    }
+
+    /// Network address (host bits zero).
+    pub fn network(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Whether `addr` falls within this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Cidr::mask_bits(self.prefix_len) == u32::from(self.addr)
+    }
+
+    /// Whether `other` is entirely contained in this prefix.
+    pub fn covers(&self, other: &Cidr) -> bool {
+        self.prefix_len <= other.prefix_len && self.contains(other.addr)
+    }
+
+    /// Whether the two prefixes share at least one address.
+    pub fn overlaps(&self, other: &Cidr) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// First address of the prefix as a 32-bit integer.
+    pub fn first_u32(&self) -> u32 {
+        u32::from(self.addr)
+    }
+
+    /// Last address of the prefix as a 32-bit integer.
+    pub fn last_u32(&self) -> u32 {
+        u32::from(self.addr) | !Cidr::mask_bits(self.prefix_len)
+    }
+
+    /// The `i`-th host address inside the prefix (wrapping within the
+    /// prefix), convenient for synthetic topology generation.
+    pub fn nth_host(&self, i: u32) -> Ipv4Addr {
+        let span = self
+            .last_u32()
+            .wrapping_sub(self.first_u32())
+            .wrapping_add(1);
+        let off = if span == 0 { i } else { i % span };
+        Ipv4Addr::from(self.first_u32().wrapping_add(off))
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = CidrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_s, len_s) = match s.split_once('/') {
+            Some((a, l)) => (a, Some(l)),
+            None => (s, None),
+        };
+        let addr: Ipv4Addr = addr_s.parse().map_err(|_| CidrParseError(s.to_string()))?;
+        let prefix_len = match len_s {
+            Some(l) => l.parse::<u8>().map_err(|_| CidrParseError(s.to_string()))?,
+            None => 32,
+        };
+        Cidr::new(addr, prefix_len).ok_or_else(|| CidrParseError(s.to_string()))
+    }
+}
+
+impl std::fmt::Display for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.prefix_len == 32 {
+            write!(f, "{}", self.addr)
+        } else {
+            write!(f, "{}/{}", self.addr, self.prefix_len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let c: Cidr = "192.168.0.0/16".parse().unwrap();
+        assert_eq!(c.prefix_len(), 16);
+        assert_eq!(c.to_string(), "192.168.0.0/16");
+        let h: Cidr = "10.1.2.3".parse().unwrap();
+        assert_eq!(h.prefix_len(), 32);
+        assert_eq!(h.to_string(), "10.1.2.3");
+    }
+
+    #[test]
+    fn normalizes_host_bits() {
+        let c: Cidr = "192.168.55.77/16".parse().unwrap();
+        assert_eq!(c.network(), Ipv4Addr::new(192, 168, 0, 0));
+    }
+
+    #[test]
+    fn containment() {
+        let c: Cidr = "10.0.0.0/8".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(10, 255, 0, 1)));
+        assert!(!c.contains(Ipv4Addr::new(11, 0, 0, 1)));
+        assert!(Cidr::ANY.contains(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let big: Cidr = "10.0.0.0/8".parse().unwrap();
+        let small: Cidr = "10.1.0.0/16".parse().unwrap();
+        let other: Cidr = "11.0.0.0/8".parse().unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.overlaps(&small));
+        assert!(small.overlaps(&big));
+        assert!(!big.overlaps(&other));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!("10.0.0.0/33".parse::<Cidr>().is_err());
+        assert!("10.0.0/8".parse::<Cidr>().is_err());
+        assert!("banana".parse::<Cidr>().is_err());
+    }
+
+    #[test]
+    fn nth_host_stays_inside() {
+        let c: Cidr = "10.0.0.0/30".parse().unwrap();
+        for i in 0..16 {
+            assert!(c.contains(c.nth_host(i)));
+        }
+    }
+
+    #[test]
+    fn first_last() {
+        let c: Cidr = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(Ipv4Addr::from(c.first_u32()), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(Ipv4Addr::from(c.last_u32()), Ipv4Addr::new(10, 0, 0, 255));
+    }
+}

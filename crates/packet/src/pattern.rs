@@ -1,0 +1,653 @@
+//! A tcpdump-subset flow-pattern language.
+//!
+//! The same syntax appears in three places in In-Net, so the AST and parser
+//! live here at the bottom of the crate stack:
+//!
+//! * Click's `IPClassifier`/`IPFilter` rules (`innet-click`),
+//! * the requirements API's flow specifications (`innet-policy`), and
+//! * symbolic evaluation of both (`innet-symnet`).
+//!
+//! ## Grammar
+//!
+//! ```text
+//! expr    := or
+//! or      := and (("or" | "||") and)*
+//! and     := unary (("and" | "&&")? unary)*      -- juxtaposition = and
+//! unary   := ("not" | "!") unary | "(" expr ")" | atom
+//! atom    := "tcp" | "udp" | "icmp" | "sctp"
+//!          | "ip" "proto" NUM
+//!          | DIR? ("host" ADDR | "net" CIDR | "port" NUM
+//!                  | "portrange" NUM "-" NUM | ADDR)
+//!          | "syn" | "true" | "any" | "all" | "-"
+//! DIR     := "src" | "dst"
+//! ```
+//!
+//! A bare `ADDR`/`CIDR` after `src`/`dst` is accepted as shorthand for
+//! `src host`/`dst host` (the paper writes `dst 172.16.15.133`).
+
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ip::IpProto, Cidr, Packet};
+
+/// Which endpoint a predicate constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// Source fields.
+    Src,
+    /// Destination fields.
+    Dst,
+    /// Either source or destination (tcpdump's default).
+    Either,
+}
+
+/// A single field predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Atom {
+    /// Transport protocol equals the given protocol.
+    Proto(IpProto),
+    /// Address (src/dst/either) within a prefix.
+    Net(Dir, Cidr),
+    /// Port (src/dst/either) equals a value.
+    Port(Dir, u16),
+    /// Port (src/dst/either) within an inclusive range.
+    PortRange(Dir, u16, u16),
+    /// TCP SYN set without ACK (the "new flow" predicate).
+    Syn,
+    /// Matches every packet.
+    True,
+}
+
+/// A boolean combination of [`Atom`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternExpr {
+    /// Leaf predicate.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<PatternExpr>),
+    /// Disjunction.
+    Or(Vec<PatternExpr>),
+    /// Negation.
+    Not(Box<PatternExpr>),
+}
+
+impl PatternExpr {
+    /// The pattern that matches everything.
+    pub fn any() -> PatternExpr {
+        PatternExpr::Atom(Atom::True)
+    }
+
+    /// Evaluates the pattern against a concrete packet.
+    ///
+    /// Non-IPv4 packets match nothing except [`Atom::True`]-only patterns.
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        match self {
+            PatternExpr::Atom(a) => a.matches(pkt),
+            PatternExpr::And(xs) => xs.iter().all(|x| x.matches(pkt)),
+            PatternExpr::Or(xs) => xs.iter().any(|x| x.matches(pkt)),
+            PatternExpr::Not(x) => !x.matches(pkt),
+        }
+    }
+
+    /// All atoms mentioned by the expression (used by symbolic evaluation
+    /// and by the policy compiler to know which fields are constrained).
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            PatternExpr::Atom(a) => out.push(a),
+            PatternExpr::And(xs) | PatternExpr::Or(xs) => {
+                for x in xs {
+                    x.collect_atoms(out);
+                }
+            }
+            PatternExpr::Not(x) => x.collect_atoms(out),
+        }
+    }
+}
+
+impl Atom {
+    /// Evaluates the predicate against a concrete packet.
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        if matches!(self, Atom::True) {
+            return true;
+        }
+        let Ok(ip) = pkt.ipv4() else { return false };
+        match self {
+            Atom::True => true,
+            Atom::Proto(p) => ip.proto() == *p,
+            Atom::Net(dir, net) => match dir {
+                Dir::Src => net.contains(ip.src()),
+                Dir::Dst => net.contains(ip.dst()),
+                Dir::Either => net.contains(ip.src()) || net.contains(ip.dst()),
+            },
+            Atom::Port(dir, p) => Atom::port_pred(pkt, *dir, |x| x == *p),
+            Atom::PortRange(dir, lo, hi) => {
+                Atom::port_pred(pkt, *dir, |x| (*lo..=*hi).contains(&x))
+            }
+            Atom::Syn => pkt
+                .tcp()
+                .map(|t| t.flags().is_initial_syn())
+                .unwrap_or(false),
+        }
+    }
+
+    fn port_pred(pkt: &Packet, dir: Dir, f: impl Fn(u16) -> bool) -> bool {
+        let ports = match pkt.ip_proto() {
+            Ok(IpProto::Udp) => pkt.udp().ok().map(|u| (u.src_port(), u.dst_port())),
+            Ok(IpProto::Tcp) => pkt.tcp().ok().map(|t| (t.src_port(), t.dst_port())),
+            _ => None,
+        };
+        let Some((sp, dp)) = ports else { return false };
+        match dir {
+            Dir::Src => f(sp),
+            Dir::Dst => f(dp),
+            Dir::Either => f(sp) || f(dp),
+        }
+    }
+}
+
+/// Header fields extracted once per packet, so that rule sets can be
+/// scanned without re-parsing the packet per rule (Click compiles its
+/// classifiers for the same reason; see `IPClassifier`).
+#[derive(Debug, Clone, Copy)]
+pub struct PacketView {
+    /// Transport protocol, `None` for non-IPv4 frames.
+    pub proto: Option<IpProto>,
+    /// IPv4 source address as an integer.
+    pub src: u32,
+    /// IPv4 destination address as an integer.
+    pub dst: u32,
+    /// Transport source port (0 when absent).
+    pub src_port: u16,
+    /// Transport destination port (0 when absent).
+    pub dst_port: u16,
+    /// Whether the packet is a bare TCP SYN.
+    pub syn: bool,
+}
+
+impl PacketView {
+    /// Extracts the view from a packet (one header parse).
+    pub fn of(pkt: &Packet) -> PacketView {
+        let Ok(ip) = pkt.ipv4() else {
+            return PacketView {
+                proto: None,
+                src: 0,
+                dst: 0,
+                src_port: 0,
+                dst_port: 0,
+                syn: false,
+            };
+        };
+        let proto = ip.proto();
+        let (src, dst) = (u32::from(ip.src()), u32::from(ip.dst()));
+        let (src_port, dst_port, syn) = match proto {
+            IpProto::Udp => match pkt.udp() {
+                Ok(u) => (u.src_port(), u.dst_port(), false),
+                Err(_) => (0, 0, false),
+            },
+            IpProto::Tcp => match pkt.tcp() {
+                Ok(t) => (t.src_port(), t.dst_port(), t.flags().is_initial_syn()),
+                Err(_) => (0, 0, false),
+            },
+            _ => (0, 0, false),
+        };
+        PacketView {
+            proto: Some(proto),
+            src,
+            dst,
+            src_port,
+            dst_port,
+            syn,
+        }
+    }
+}
+
+impl PatternExpr {
+    /// Evaluates the pattern against a pre-extracted [`PacketView`].
+    pub fn matches_view(&self, v: &PacketView) -> bool {
+        match self {
+            PatternExpr::Atom(a) => a.matches_view(v),
+            PatternExpr::And(xs) => xs.iter().all(|x| x.matches_view(v)),
+            PatternExpr::Or(xs) => xs.iter().any(|x| x.matches_view(v)),
+            PatternExpr::Not(x) => !x.matches_view(v),
+        }
+    }
+}
+
+impl Atom {
+    /// Evaluates the predicate against a pre-extracted [`PacketView`].
+    pub fn matches_view(&self, v: &PacketView) -> bool {
+        if matches!(self, Atom::True) {
+            return true;
+        }
+        let Some(proto) = v.proto else { return false };
+        let has_ports = matches!(proto, IpProto::Tcp | IpProto::Udp);
+        match self {
+            Atom::True => true,
+            Atom::Proto(p) => proto == *p,
+            Atom::Net(dir, net) => match dir {
+                Dir::Src => net.contains(Ipv4Addr::from(v.src)),
+                Dir::Dst => net.contains(Ipv4Addr::from(v.dst)),
+                Dir::Either => {
+                    net.contains(Ipv4Addr::from(v.src)) || net.contains(Ipv4Addr::from(v.dst))
+                }
+            },
+            Atom::Port(dir, p) => {
+                has_ports
+                    && match dir {
+                        Dir::Src => v.src_port == *p,
+                        Dir::Dst => v.dst_port == *p,
+                        Dir::Either => v.src_port == *p || v.dst_port == *p,
+                    }
+            }
+            Atom::PortRange(dir, lo, hi) => {
+                let r = *lo..=*hi;
+                has_ports
+                    && match dir {
+                        Dir::Src => r.contains(&v.src_port),
+                        Dir::Dst => r.contains(&v.dst_port),
+                        Dir::Either => r.contains(&v.src_port) || r.contains(&v.dst_port),
+                    }
+            }
+            Atom::Syn => v.syn,
+        }
+    }
+}
+
+/// Error produced when parsing a pattern fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+fn err(message: impl Into<String>) -> PatternParseError {
+    PatternParseError {
+        message: message.into(),
+    }
+}
+
+struct Tokens<'a> {
+    toks: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(s: &'a str) -> Tokens<'a> {
+        // Insert spaces around parens so they tokenize on whitespace.
+        let toks = s
+            .split_whitespace()
+            .flat_map(|w| {
+                let mut parts = Vec::new();
+                let mut rest = w;
+                while let Some(i) = rest.find(['(', ')']) {
+                    if i > 0 {
+                        parts.push(&rest[..i]);
+                    }
+                    parts.push(&rest[i..i + 1]);
+                    rest = &rest[i + 1..];
+                }
+                if !rest.is_empty() {
+                    parts.push(rest);
+                }
+                parts
+            })
+            .collect();
+        Tokens { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn parse_or(t: &mut Tokens<'_>) -> Result<PatternExpr, PatternParseError> {
+    let mut terms = vec![parse_and(t)?];
+    while t.eat("or") || t.eat("||") {
+        terms.push(parse_and(t)?);
+    }
+    Ok(if terms.len() == 1 {
+        terms.pop().expect("len checked")
+    } else {
+        PatternExpr::Or(terms)
+    })
+}
+
+fn parse_and(t: &mut Tokens<'_>) -> Result<PatternExpr, PatternParseError> {
+    let mut terms = vec![parse_unary(t)?];
+    loop {
+        if t.eat("and") || t.eat("&&") {
+            terms.push(parse_unary(t)?);
+            continue;
+        }
+        // Juxtaposition: anything that can start a term continues the AND.
+        match t.peek() {
+            Some(")") | Some("or") | Some("||") | None => break,
+            Some(_) => terms.push(parse_unary(t)?),
+        }
+    }
+    Ok(if terms.len() == 1 {
+        terms.pop().expect("len checked")
+    } else {
+        PatternExpr::And(terms)
+    })
+}
+
+fn parse_unary(t: &mut Tokens<'_>) -> Result<PatternExpr, PatternParseError> {
+    if t.eat("not") || t.eat("!") {
+        return Ok(PatternExpr::Not(Box::new(parse_unary(t)?)));
+    }
+    if t.eat("(") {
+        let inner = parse_or(t)?;
+        if !t.eat(")") {
+            return Err(err("expected ')'"));
+        }
+        return Ok(inner);
+    }
+    parse_atom(t).map(PatternExpr::Atom)
+}
+
+fn parse_atom(t: &mut Tokens<'_>) -> Result<Atom, PatternParseError> {
+    let tok = t.next().ok_or_else(|| err("unexpected end of pattern"))?;
+    match tok {
+        "tcp" => Ok(Atom::Proto(IpProto::Tcp)),
+        "udp" => Ok(Atom::Proto(IpProto::Udp)),
+        "icmp" => Ok(Atom::Proto(IpProto::Icmp)),
+        "sctp" => Ok(Atom::Proto(IpProto::Sctp)),
+        "syn" => Ok(Atom::Syn),
+        "true" | "any" | "all" | "-" => Ok(Atom::True),
+        "ip" => {
+            if !t.eat("proto") {
+                return Err(err("expected 'proto' after 'ip'"));
+            }
+            let n = t
+                .next()
+                .ok_or_else(|| err("expected protocol number"))?
+                .parse::<u8>()
+                .map_err(|_| err("bad protocol number"))?;
+            Ok(Atom::Proto(IpProto::from(n)))
+        }
+        "src" => parse_directed(t, Dir::Src),
+        "dst" => parse_directed(t, Dir::Dst),
+        "host" => {
+            let a = parse_addr(t)?;
+            Ok(Atom::Net(Dir::Either, Cidr::host(a)))
+        }
+        "net" => {
+            let c = parse_cidr(t)?;
+            Ok(Atom::Net(Dir::Either, c))
+        }
+        "port" => {
+            let p = parse_port(t)?;
+            Ok(Atom::Port(Dir::Either, p))
+        }
+        "portrange" => {
+            let (lo, hi) = parse_portrange(t)?;
+            Ok(Atom::PortRange(Dir::Either, lo, hi))
+        }
+        other => {
+            // A bare address or CIDR means "host <addr>" in either direction.
+            if let Ok(c) = other.parse::<Cidr>() {
+                Ok(Atom::Net(Dir::Either, c))
+            } else {
+                Err(err(format!("unknown token '{other}'")))
+            }
+        }
+    }
+}
+
+fn parse_directed(t: &mut Tokens<'_>, dir: Dir) -> Result<Atom, PatternParseError> {
+    let tok = t
+        .peek()
+        .ok_or_else(|| err("expected predicate after src/dst"))?;
+    match tok {
+        "host" => {
+            t.next();
+            Ok(Atom::Net(dir, Cidr::host(parse_addr(t)?)))
+        }
+        "net" => {
+            t.next();
+            Ok(Atom::Net(dir, parse_cidr(t)?))
+        }
+        "port" => {
+            t.next();
+            Ok(Atom::Port(dir, parse_port(t)?))
+        }
+        "portrange" => {
+            t.next();
+            let (lo, hi) = parse_portrange(t)?;
+            Ok(Atom::PortRange(dir, lo, hi))
+        }
+        other => {
+            // `src 1.2.3.4` / `dst 10.0.0.0/8` shorthand.
+            if let Ok(c) = other.parse::<Cidr>() {
+                t.next();
+                Ok(Atom::Net(dir, c))
+            } else {
+                Err(err(format!("unknown predicate '{other}' after src/dst")))
+            }
+        }
+    }
+}
+
+fn parse_addr(t: &mut Tokens<'_>) -> Result<Ipv4Addr, PatternParseError> {
+    t.next()
+        .ok_or_else(|| err("expected address"))?
+        .parse()
+        .map_err(|_| err("bad address"))
+}
+
+fn parse_cidr(t: &mut Tokens<'_>) -> Result<Cidr, PatternParseError> {
+    t.next()
+        .ok_or_else(|| err("expected CIDR"))?
+        .parse()
+        .map_err(|_| err("bad CIDR"))
+}
+
+fn parse_port(t: &mut Tokens<'_>) -> Result<u16, PatternParseError> {
+    t.next()
+        .ok_or_else(|| err("expected port"))?
+        .parse()
+        .map_err(|_| err("bad port"))
+}
+
+fn parse_portrange(t: &mut Tokens<'_>) -> Result<(u16, u16), PatternParseError> {
+    let tok = t.next().ok_or_else(|| err("expected port range"))?;
+    let (lo, hi) = tok.split_once('-').ok_or_else(|| err("bad port range"))?;
+    let lo = lo.parse().map_err(|_| err("bad port range"))?;
+    let hi = hi.parse().map_err(|_| err("bad port range"))?;
+    if lo > hi {
+        return Err(err("port range is inverted"));
+    }
+    Ok((lo, hi))
+}
+
+impl FromStr for PatternExpr {
+    type Err = PatternParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut t = Tokens::new(s);
+        if t.peek().is_none() {
+            // An empty flow specification means "any traffic".
+            return Ok(PatternExpr::any());
+        }
+        let e = parse_or(&mut t)?;
+        match t.peek() {
+            None => Ok(e),
+            Some(tok) => Err(err(format!("trailing token '{tok}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+
+    fn udp_pkt(dport: u16) -> Packet {
+        PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 5000)
+            .dst(Ipv4Addr::new(172, 16, 15, 133), dport)
+            .build()
+    }
+
+    #[test]
+    fn paper_figure4_pattern() {
+        let p: PatternExpr = "udp dst port 1500".parse().unwrap();
+        assert!(p.matches(&udp_pkt(1500)));
+        assert!(!p.matches(&udp_pkt(1501)));
+    }
+
+    #[test]
+    fn bare_dst_addr_shorthand() {
+        let p: PatternExpr = "dst 172.16.15.133".parse().unwrap();
+        assert!(p.matches(&udp_pkt(1)));
+        let q: PatternExpr = "dst 172.16.15.134".parse().unwrap();
+        assert!(!q.matches(&udp_pkt(1)));
+    }
+
+    #[test]
+    fn or_and_not_parens() {
+        let p: PatternExpr = "(tcp or udp) and not dst port 22".parse().unwrap();
+        assert!(p.matches(&udp_pkt(80)));
+        assert!(!p.matches(&udp_pkt(22)));
+    }
+
+    #[test]
+    fn either_direction_port() {
+        let p: PatternExpr = "port 5000".parse().unwrap();
+        assert!(p.matches(&udp_pkt(80)), "matches the source port");
+    }
+
+    #[test]
+    fn portrange() {
+        let p: PatternExpr = "dst portrange 1000-2000".parse().unwrap();
+        assert!(p.matches(&udp_pkt(1500)));
+        assert!(!p.matches(&udp_pkt(2001)));
+    }
+
+    #[test]
+    fn net_predicates() {
+        let p: PatternExpr = "src net 10.0.0.0/8".parse().unwrap();
+        assert!(p.matches(&udp_pkt(1)));
+        let q: PatternExpr = "dst net 10.0.0.0/8".parse().unwrap();
+        assert!(!q.matches(&udp_pkt(1)));
+    }
+
+    #[test]
+    fn syn_predicate() {
+        use crate::TcpFlags;
+        let p: PatternExpr = "tcp syn".parse().unwrap();
+        let syn = PacketBuilder::tcp().flags(TcpFlags::SYN).build();
+        let synack = PacketBuilder::tcp()
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .build();
+        assert!(p.matches(&syn));
+        assert!(!p.matches(&synack));
+    }
+
+    #[test]
+    fn ip_proto_number() {
+        let p: PatternExpr = "ip proto 132".parse().unwrap();
+        let sctp = PacketBuilder::raw(IpProto::Sctp).build();
+        assert!(p.matches(&sctp));
+    }
+
+    #[test]
+    fn empty_means_any() {
+        let p: PatternExpr = "".parse().unwrap();
+        assert!(p.matches(&udp_pkt(1)));
+    }
+
+    #[test]
+    fn catch_all_dash() {
+        let p: PatternExpr = "-".parse().unwrap();
+        assert!(p.matches(&udp_pkt(1)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!("udp dst port banana".parse::<PatternExpr>().is_err());
+        assert!("( udp".parse::<PatternExpr>().is_err());
+        assert!("frobnicate".parse::<PatternExpr>().is_err());
+        assert!("dst portrange 9-2".parse::<PatternExpr>().is_err());
+    }
+
+    #[test]
+    fn view_agrees_with_direct_matching() {
+        use crate::TcpFlags;
+        let exprs = [
+            "udp dst port 1500",
+            "tcp syn",
+            "port 5000",
+            "dst net 172.16.0.0/16",
+            "(tcp or udp) and not dst port 22",
+            "host 10.0.0.1",
+            "dst portrange 1000-2000",
+        ];
+        let pkts = [
+            PacketBuilder::udp()
+                .src(Ipv4Addr::new(10, 0, 0, 1), 5000)
+                .dst(Ipv4Addr::new(172, 16, 15, 133), 1500)
+                .build(),
+            PacketBuilder::tcp().flags(TcpFlags::SYN).build(),
+            PacketBuilder::tcp()
+                .flags(TcpFlags::ACK)
+                .dst(Ipv4Addr::new(9, 9, 9, 9), 22)
+                .build(),
+            PacketBuilder::raw(IpProto::Sctp).build(),
+            Packet::from_bytes(vec![0u8; 14]),
+        ];
+        for e in exprs {
+            let p: PatternExpr = e.parse().unwrap();
+            for pkt in &pkts {
+                let view = PacketView::of(pkt);
+                assert_eq!(
+                    p.matches(pkt),
+                    p.matches_view(&view),
+                    "{e} diverges on {pkt:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_ip_matches_only_true() {
+        let raw = Packet::from_bytes(vec![0u8; 14]);
+        assert!(PatternExpr::any().matches(&raw));
+        let p: PatternExpr = "udp".parse().unwrap();
+        assert!(!p.matches(&raw));
+    }
+}

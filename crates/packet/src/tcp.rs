@@ -1,0 +1,219 @@
+//! TCP header view.
+
+use crate::{PacketError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length in bytes of a TCP header without options.
+pub const TCP_HDR_LEN: usize = 20;
+
+/// TCP flag bits (lower byte of the flags word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+
+    /// Whether all bits in `other` are set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// Whether this is a bare SYN (SYN set, ACK clear) — the "new flow"
+    /// signal used by the platform's on-the-fly VM instantiation.
+    pub fn is_initial_syn(self) -> bool {
+        self.contains(TcpFlags::SYN) && !self.contains(TcpFlags::ACK)
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+/// A typed view of a TCP header over a byte buffer that begins at the first
+/// byte of the TCP header.
+#[derive(Debug)]
+pub struct TcpView<T> {
+    buf: T,
+    header_len: usize,
+}
+
+impl<T: AsRef<[u8]>> TcpView<T> {
+    /// Validates data-offset/length and wraps the buffer.
+    pub fn new(buf: T) -> Result<Self> {
+        let b = buf.as_ref();
+        if b.len() < TCP_HDR_LEN {
+            return Err(PacketError::Truncated {
+                what: "TCP header",
+                need: TCP_HDR_LEN,
+                have: b.len(),
+            });
+        }
+        let data_off = b[12] >> 4;
+        if data_off < 5 {
+            return Err(PacketError::BadHeaderLength(data_off));
+        }
+        let header_len = usize::from(data_off) * 4;
+        if b.len() < header_len {
+            return Err(PacketError::Truncated {
+                what: "TCP options",
+                need: header_len,
+                have: b.len(),
+            });
+        }
+        Ok(TcpView { buf, header_len })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buf.as_ref()
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        self.header_len
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[0], self.b()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.b()[4..8].try_into().expect("validated length"))
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes(self.b()[8..12].try_into().expect("validated length"))
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.b()[13])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.b()[14], self.b()[15]])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpView<T> {
+    /// Validates and wraps the buffer for mutation.
+    pub fn new_mut(buf: T) -> Result<Self> {
+        TcpView::new(buf)
+    }
+
+    fn bm(&mut self) -> &mut [u8] {
+        self.buf.as_mut()
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.bm()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.bm()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, s: u32) {
+        self.bm()[4..8].copy_from_slice(&s.to_be_bytes());
+    }
+
+    /// Sets the acknowledgment number.
+    pub fn set_ack(&mut self, a: u32) {
+        self.bm()[8..12].copy_from_slice(&a.to_be_bytes());
+    }
+
+    /// Sets the flag bits.
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        self.bm()[13] = f.0;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, w: u16) {
+        self.bm()[14..16].copy_from_slice(&w.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<u8> {
+        let mut b = vec![0u8; TCP_HDR_LEN];
+        b[12] = 5 << 4;
+        b
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = base();
+        let mut v = TcpView::new_mut(&mut buf[..]).unwrap();
+        v.set_src_port(80);
+        v.set_dst_port(55555);
+        v.set_seq(0x01020304);
+        v.set_ack(0x0a0b0c0d);
+        v.set_flags(TcpFlags::SYN | TcpFlags::ACK);
+        v.set_window(65535);
+        assert_eq!(v.src_port(), 80);
+        assert_eq!(v.dst_port(), 55555);
+        assert_eq!(v.seq(), 0x01020304);
+        assert_eq!(v.ack(), 0x0a0b0c0d);
+        assert!(v.flags().contains(TcpFlags::SYN));
+        assert!(v.flags().contains(TcpFlags::ACK));
+        assert_eq!(v.window(), 65535);
+    }
+
+    #[test]
+    fn initial_syn_detection() {
+        assert!(TcpFlags::SYN.is_initial_syn());
+        assert!(!(TcpFlags::SYN | TcpFlags::ACK).is_initial_syn());
+        assert!(!TcpFlags::ACK.is_initial_syn());
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut buf = base();
+        buf[12] = 2 << 4;
+        assert_eq!(
+            TcpView::new(&buf[..]).unwrap_err(),
+            PacketError::BadHeaderLength(2)
+        );
+    }
+
+    #[test]
+    fn options_need_room() {
+        let mut buf = base();
+        buf[12] = 8 << 4; // 32-byte header, 20-byte buffer.
+        assert!(matches!(
+            TcpView::new(&buf[..]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+}

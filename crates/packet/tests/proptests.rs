@@ -1,0 +1,107 @@
+//! Property-based tests for the packet layer.
+
+use std::net::Ipv4Addr;
+
+use innet_packet::{internet_checksum, Cidr, FlowKey, IpProto, Packet, PacketBuilder, TcpFlags};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    /// Any packet the builder emits decodes back to the fields it was
+    /// built from, and carries a valid IP checksum.
+    #[test]
+    fn builder_decode_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        ttl in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        is_tcp in any::<bool>(),
+    ) {
+        let b = if is_tcp { PacketBuilder::tcp().flags(TcpFlags::SYN) } else { PacketBuilder::udp() };
+        let pkt = b.src(src, sport).dst(dst, dport).ttl(ttl).payload(&payload).build();
+
+        let ip = pkt.ipv4().unwrap();
+        prop_assert_eq!(ip.src(), src);
+        prop_assert_eq!(ip.dst(), dst);
+        prop_assert_eq!(ip.ttl(), ttl);
+        prop_assert!(ip.verify_checksum());
+
+        let key = FlowKey::of(&pkt).unwrap();
+        prop_assert_eq!(key.src_port, sport);
+        prop_assert_eq!(key.dst_port, dport);
+        prop_assert_eq!(key.proto, if is_tcp { IpProto::Tcp } else { IpProto::Udp });
+        prop_assert_eq!(pkt.payload().unwrap(), &payload[..]);
+    }
+
+    /// The checksum update is a fixed point: updating twice equals once,
+    /// and verification holds after any field mutation + update.
+    #[test]
+    fn checksum_update_fixed_point(
+        src in arb_addr(),
+        dst in arb_addr(),
+        new_dst in arb_addr(),
+    ) {
+        let mut pkt = PacketBuilder::udp().src(src, 1).dst(dst, 2).build();
+        {
+            let mut ip = pkt.ipv4_mut().unwrap();
+            ip.set_dst(new_dst);
+            ip.update_checksum();
+        }
+        prop_assert!(pkt.ipv4().unwrap().verify_checksum());
+        let before = pkt.bytes().to_vec();
+        pkt.ipv4_mut().unwrap().update_checksum();
+        prop_assert_eq!(pkt.bytes(), &before[..]);
+    }
+
+    /// Canonical flow tuples are direction-insensitive for all inputs.
+    #[test]
+    fn canonical_flow_symmetry(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+    ) {
+        let pkt = PacketBuilder::tcp().src(src, sport).dst(dst, dport).build();
+        let k = FlowKey::of(&pkt).unwrap();
+        prop_assert_eq!(k.canonical(), k.reversed().canonical());
+    }
+
+    /// CIDR parse/display round-trips and containment is consistent with
+    /// the numeric range.
+    #[test]
+    fn cidr_roundtrip_and_range(addr in arb_addr(), len in 0u8..=32, probe in arb_addr()) {
+        let c = Cidr::new(addr, len).unwrap();
+        let reparsed: Cidr = c.to_string().parse().unwrap();
+        prop_assert_eq!(c, reparsed);
+        let inside = (c.first_u32()..=c.last_u32()).contains(&u32::from(probe));
+        prop_assert_eq!(c.contains(probe), inside);
+    }
+
+    /// Raw-buffer packets never panic on header access, whatever the bytes.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let pkt = Packet::from_bytes(data);
+        let _ = pkt.ether().map(|e| e.ethertype());
+        let _ = pkt.ipv4().map(|ip| (ip.src(), ip.dst(), ip.proto(), ip.verify_checksum()));
+        let _ = pkt.udp().map(|u| u.dst_port());
+        let _ = pkt.tcp().map(|t| t.flags());
+        let _ = pkt.icmp().map(|i| i.kind());
+        let _ = pkt.payload();
+        let _ = FlowKey::of(&pkt);
+    }
+
+    /// RFC 1071 invariant: appending the computed checksum to (even-length)
+    /// data makes the whole buffer sum to zero.
+    #[test]
+    fn checksum_self_consistent(half in proptest::collection::vec(any::<u16>(), 1..32)) {
+        let mut data: Vec<u8> = half.iter().flat_map(|w| w.to_be_bytes()).collect();
+        let c = internet_checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&data), 0);
+    }
+}

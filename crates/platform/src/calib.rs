@@ -1,0 +1,144 @@
+//! Calibration constants for the virtual-time platform model.
+//!
+//! Every latency and memory constant in this module is taken from the
+//! paper's own measurements; the module is the single source of truth for
+//! "modelled from the paper" numbers, so the line between *measured on
+//! our code* (the native execution engine) and *modelled* (VM lifecycle
+//! timing) stays explicit.
+//!
+//! | Constant | Paper source |
+//! |---|---|
+//! | ClickOS boot ≈ 30 ms | §5 "ClickOS VMs can boot rather quickly (in about 30 milliseconds)" |
+//! | First-packet RTT grows to ≈ 100 ms at 100 VMs | §6 / Figure 5 |
+//! | Linux VM first-packet RTT ≈ 700 ms | §6 "the average round-trip time of the first packet is around 700ms" |
+//! | ClickOS memory ≈ 8 MB (plus toolstack overhead) | §6 "the memory footprint of a ClickOS VM … around 8MB", 10,000 VMs on 128 GB |
+//! | Linux VM memory 512 MB (plus overhead) | §6 "200 stripped down Linux VMs, each with a 512MB memory footprint" |
+//! | Suspend/resume 30–100 ms, growing with VM count | §6 / Figure 7 |
+
+/// Nanoseconds per millisecond, for readability.
+const MS: f64 = 1e6;
+
+/// Base ClickOS boot latency (≈30 ms).
+pub const CLICKOS_BOOT_BASE_NS: u64 = (30.0 * MS) as u64;
+
+/// Base Linux VM boot latency (the ≈700 ms first-RTT of §6, minus the
+/// same network component ClickOS pays).
+pub const LINUX_BOOT_BASE_NS: u64 = (690.0 * MS) as u64;
+
+/// ClickOS VM resident memory in MB.
+pub const CLICKOS_MEM_MB: u64 = 8;
+
+/// Per-VM Xen/toolstack overhead in MB. Chosen so that a 128 GB host
+/// saturates at ≈10,000 ClickOS VMs, the paper's measured bound.
+pub const XEN_OVERHEAD_MB: u64 = 5;
+
+/// Stripped-down Linux VM resident memory in MB.
+pub const LINUX_MEM_MB: u64 = 512;
+
+/// Per-Linux-VM overhead in MB (512 + 128 ⇒ 200 VMs on 128 GB, the
+/// paper's measured bound).
+pub const LINUX_OVERHEAD_MB: u64 = 128;
+
+/// Boot latency of one more VM when `existing` VMs are already running.
+///
+/// The Xen toolstack walks xenstore state that grows with the number of
+/// domains, so creation cost rises superlinearly; the coefficients are
+/// fitted to Figure 5 (≈50 ms average over the first 100 flows, ≈100 ms
+/// for the 100th).
+pub fn boot_latency_ns(kind: VmTimingKind, existing: usize) -> u64 {
+    let n = existing as f64;
+    let growth = 0.2 * n + 0.005 * n * n; // In milliseconds.
+    let base = match kind {
+        VmTimingKind::ClickOs => CLICKOS_BOOT_BASE_NS,
+        VmTimingKind::Linux => LINUX_BOOT_BASE_NS,
+    };
+    base + (growth * MS) as u64
+}
+
+/// Suspend latency with `existing` other VMs (Figure 7: ~30 ms alone,
+/// ~70 ms with 200 VMs).
+pub fn suspend_latency_ns(existing: usize) -> u64 {
+    ((30.0 + 0.2 * existing as f64) * MS) as u64
+}
+
+/// Resume latency with `existing` other VMs (Figure 7: ~40 ms alone,
+/// ~100 ms with 200 VMs).
+pub fn resume_latency_ns(existing: usize) -> u64 {
+    ((40.0 + 0.3 * existing as f64) * MS) as u64
+}
+
+/// Total memory charged to one VM, including hypervisor overhead.
+pub fn vm_mem_mb(kind: VmTimingKind) -> u64 {
+    match kind {
+        VmTimingKind::ClickOs => CLICKOS_MEM_MB + XEN_OVERHEAD_MB,
+        VmTimingKind::Linux => LINUX_MEM_MB + LINUX_OVERHEAD_MB,
+    }
+}
+
+/// The two guest types whose timing the model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmTimingKind {
+    /// A ClickOS unikernel.
+    ClickOs,
+    /// A stripped-down Linux guest.
+    Linux,
+}
+
+/// Maximum VMs of a kind a host with `host_mem_mb` MB can run (§6's
+/// capacity experiment).
+pub fn max_vms(host_mem_mb: u64, kind: VmTimingKind) -> u64 {
+    host_mem_mb / vm_mem_mb(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_latency_matches_figure5_shape() {
+        // First VM: ~30 ms.
+        let first = boot_latency_ns(VmTimingKind::ClickOs, 0);
+        assert!((29.0..=31.0).contains(&(first as f64 / MS)));
+        // 100th VM: ~100 ms.
+        let hundredth = boot_latency_ns(VmTimingKind::ClickOs, 99);
+        assert!(
+            (90.0..=110.0).contains(&(hundredth as f64 / MS)),
+            "{}",
+            hundredth as f64 / MS
+        );
+        // Average of the first 100 boots: ~50 ms (paper: "still only
+        // 50 milliseconds on average").
+        let avg: f64 = (0..100)
+            .map(|n| boot_latency_ns(VmTimingKind::ClickOs, n) as f64 / MS)
+            .sum::<f64>()
+            / 100.0;
+        assert!((45.0..=60.0).contains(&avg), "{avg}");
+    }
+
+    #[test]
+    fn linux_vm_an_order_of_magnitude_slower() {
+        let clickos = boot_latency_ns(VmTimingKind::ClickOs, 0);
+        let linux = boot_latency_ns(VmTimingKind::Linux, 0);
+        assert!(linux > 10 * clickos);
+    }
+
+    #[test]
+    fn capacity_matches_section6() {
+        // "we were able run as many as 10000 instances of ClickOS" and
+        // "up to 200 stripped down Linux VMs" on 128 GB.
+        assert_eq!(max_vms(128 * 1024, VmTimingKind::ClickOs), 10082);
+        assert_eq!(max_vms(128 * 1024, VmTimingKind::Linux), 204);
+    }
+
+    #[test]
+    fn suspend_resume_band() {
+        // Figure 7: both curves within roughly 30–100 ms for 0–200 VMs.
+        for n in [0usize, 50, 100, 200] {
+            let s = suspend_latency_ns(n) as f64 / MS;
+            let r = resume_latency_ns(n) as f64 / MS;
+            assert!((25.0..=105.0).contains(&s), "suspend {s}");
+            assert!((25.0..=105.0).contains(&r), "resume {r}");
+            assert!(r > s, "resume costs more than suspend");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # innet-platform
+//!
+//! The In-Net processing platform (paper §5): a ClickOS/Xen host model
+//! with the scaling mechanisms the paper adds —
+//!
+//! * **On-the-fly middleboxes** — the back-end switch controller detects
+//!   new flows (TCP SYN / UDP) and boots a tiny ClickOS VM for them,
+//!   buffering the first packets ([`SwitchController`]).
+//! * **Suspend and resume** — stateful VMs are parked instead of
+//!   destroyed, so per-flow state survives idle periods ([`Host`]).
+//! * **Consolidation** — many stateless tenants share one VM behind an
+//!   `IPClassifier` demultiplexer, which is safe because static analysis
+//!   proved their configurations cannot interact
+//!   ([`consolidated_config`]).
+//!
+//! Control-plane latencies (boot/suspend/resume) and memory are *modelled*
+//! from the paper's own measurements — [`calib`] is the single source of
+//! truth and cites each constant. Data-plane processing is *executed*: a
+//! VM's interior is a real `innet_click::Router`, and the [`NativeRunner`]
+//! measures real throughput for the evaluation figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod native;
+mod switch;
+mod vm;
+
+pub use calib::{max_vms, VmTimingKind};
+pub use native::{
+    consolidated_config, middlebox_config, plain_firewall, sandboxed_firewall, NativeRunner,
+    NativeStats,
+};
+pub use switch::{ClientEntry, SwitchController, SwitchStats, Usage};
+pub use vm::{Host, HostError, Vm, VmId, VmState};

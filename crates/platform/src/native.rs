@@ -1,0 +1,221 @@
+//! Native execution: running tenant Click graphs at full speed on host
+//! threads and measuring real throughput.
+//!
+//! The paper's data-plane numbers (Figures 8, 11, 12) are measured, not
+//! modelled; this module provides the measured equivalent on our runtime.
+//! Absolute rates differ from the authors' 10 Gb/s testbed (our substrate
+//! is an in-process ring, not a NIC), but the *shapes* — flat consolidation
+//! until the demux scan bites, sandboxing hurting small packets most,
+//! per-middlebox differences — emerge from the same mechanisms.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use innet_click::{ClickConfig, Registry, Router, RouterError};
+use innet_packet::Packet;
+
+/// Result of a timed native run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeStats {
+    /// Packets pushed in.
+    pub packets: u64,
+    /// Packets transmitted out.
+    pub transmitted: u64,
+    /// Wall-clock nanoseconds elapsed.
+    pub elapsed_ns: u64,
+}
+
+impl NativeStats {
+    /// Input rate in packets/second.
+    pub fn pps(&self) -> f64 {
+        self.packets as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Throughput in Gbit/s assuming `frame_len`-byte frames.
+    pub fn gbps(&self, frame_len: usize) -> f64 {
+        self.pps() * frame_len as f64 * 8.0 / 1e9
+    }
+}
+
+/// A single-threaded native runner around one router instance (one
+/// ClickOS VM pins its Click thread to one vCPU).
+pub struct NativeRunner {
+    router: Router,
+}
+
+impl NativeRunner {
+    /// Instantiates the configuration.
+    pub fn new(cfg: &ClickConfig) -> Result<NativeRunner, RouterError> {
+        Ok(NativeRunner {
+            router: Router::from_config(cfg, &Registry::standard())?,
+        })
+    }
+
+    /// Access to the underlying router (for counter inspection).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Pushes the packet set through the graph `rounds` times, measuring
+    /// wall-clock time. Virtual time advances by `1 µs` per packet so
+    /// token buckets refill realistically.
+    pub fn run(&mut self, packets: &[Packet], rounds: usize) -> NativeStats {
+        let mut now_ns = 0u64;
+        let mut transmitted = 0u64;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for pkt in packets {
+                now_ns += 1_000;
+                let _ = self.router.deliver(pkt.meta.ingress, pkt.clone(), now_ns);
+                transmitted += self.router.take_tx().len() as u64;
+            }
+        }
+        NativeStats {
+            packets: (packets.len() * rounds) as u64,
+            transmitted,
+            elapsed_ns: start.elapsed().as_nanos().max(1) as u64,
+        }
+    }
+}
+
+/// Builds the consolidated multi-tenant configuration of §5/Figure 8:
+/// one `IPClassifier` demultiplexer with a `dst host` rule per client,
+/// each output feeding that client's firewall, all re-multiplexed onto
+/// the outgoing interface.
+pub fn consolidated_config(clients: &[Ipv4Addr]) -> ClickConfig {
+    let mut cfg = ClickConfig::new();
+    cfg.add_element("src", "FromNetfront", &[]);
+    cfg.add_element("snk", "ToNetfront", &[]);
+    let rules: Vec<String> = clients.iter().map(|a| format!("dst host {a}")).collect();
+    let rule_refs: Vec<&str> = rules.iter().map(|s| s.as_str()).collect();
+    cfg.add_element("demux", "IPClassifier", &rule_refs);
+    cfg.connect("src", 0, "demux", 0);
+    for (i, addr) in clients.iter().enumerate() {
+        let udp = format!("allow udp dst host {addr}");
+        let tcp = format!("allow tcp dst host {addr}");
+        let fw = cfg.add_element(format!("fw{i}"), "IPFilter", &[&udp, &tcp]);
+        cfg.connect("demux", i, &fw, 0);
+        cfg.connect(&fw, 0, "snk", 0);
+    }
+    cfg
+}
+
+/// The middlebox configurations of the Figure 12 sweep.
+pub fn middlebox_config(kind: &str) -> ClickConfig {
+    let text = match kind {
+        "nat" => "FromNetfront() -> [0]n :: IPNAT(203.0.113.1); n[0] -> ToNetfront();".to_string(),
+        "iprouter" => "FromNetfront() -> CheckIPHeader() -> DecIPTTL() \
+             -> r :: StaticIPLookup(0.0.0.0/0 0); r[0] -> ToNetfront();"
+            .to_string(),
+        "firewall" => {
+            "FromNetfront() -> IPFilter(allow udp, allow tcp dst port 80) -> ToNetfront();"
+                .to_string()
+        }
+        "flowmeter" => "FromNetfront() -> FlowMeter() -> ToNetfront();".to_string(),
+        other => panic!("unknown middlebox kind '{other}'"),
+    };
+    ClickConfig::parse(&text).expect("middlebox configs are valid")
+}
+
+/// Wraps the firewall with a `ChangeEnforcer` on the world→module (RX)
+/// path, the direction the paper's Figure 11 measures: every received
+/// packet pays the enforcer's implicit-authorization bookkeeping before
+/// reaching the firewall.
+pub fn sandboxed_firewall(module_addr: Ipv4Addr, whitelist: Ipv4Addr) -> ClickConfig {
+    ClickConfig::parse(&format!(
+        "FromNetfront() -> [0]enf :: ChangeEnforcer({module_addr}, {whitelist}); \
+         enf[0] -> IPFilter(allow udp, allow tcp) -> ToNetfront();"
+    ))
+    .expect("valid literal config")
+}
+
+/// The plain firewall the sandboxed variant is compared against.
+pub fn plain_firewall() -> ClickConfig {
+    ClickConfig::parse("FromNetfront() -> IPFilter(allow udp, allow tcp) -> ToNetfront();")
+        .expect("valid literal config")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_packet::PacketBuilder;
+
+    fn client_addrs(n: usize) -> Vec<Ipv4Addr> {
+        (0..n)
+            .map(|i| Ipv4Addr::new(203, 0, (113 + i / 250) as u8, (1 + i % 250) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn consolidated_config_isolates_clients() {
+        let clients = client_addrs(10);
+        let cfg = consolidated_config(&clients);
+        cfg.validate().unwrap();
+        let mut runner = NativeRunner::new(&cfg).unwrap();
+        // Traffic to client 3 passes; to a stranger drops.
+        let ok = PacketBuilder::udp().dst(clients[3], 80).build();
+        let bad = PacketBuilder::udp()
+            .dst(Ipv4Addr::new(9, 9, 9, 9), 80)
+            .build();
+        let stats = runner.run(&[ok, bad], 1);
+        assert_eq!(stats.packets, 2);
+        assert_eq!(stats.transmitted, 1);
+    }
+
+    #[test]
+    fn throughput_measurable() {
+        let cfg = plain_firewall();
+        let mut runner = NativeRunner::new(&cfg).unwrap();
+        let pkts: Vec<Packet> = (0..64)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .dst(Ipv4Addr::new(10, 0, 0, 1), i)
+                    .pad_to(64)
+                    .build()
+            })
+            .collect();
+        let stats = runner.run(&pkts, 50);
+        assert_eq!(stats.transmitted, stats.packets);
+        assert!(stats.pps() > 1000.0, "sane rate: {}", stats.pps());
+    }
+
+    #[test]
+    fn sandbox_costs_throughput() {
+        let module = Ipv4Addr::new(203, 0, 113, 10);
+        let white = Ipv4Addr::new(198, 51, 100, 1);
+        let pkts: Vec<Packet> = (0..64)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .src(
+                        Ipv4Addr::new(8, 8, 8, (i % 250) as u8 + 1),
+                        40_000 + i as u16,
+                    )
+                    .dst(module, 1500)
+                    .pad_to(64)
+                    .build()
+            })
+            .collect();
+        let mut plain = NativeRunner::new(&plain_firewall()).unwrap();
+        let mut boxed = NativeRunner::new(&sandboxed_firewall(module, white)).unwrap();
+        let p = plain.run(&pkts, 50);
+        let b = boxed.run(&pkts, 50);
+        // Functional: the sandboxed RX path forwards everything (inbound
+        // traffic to the module is always allowed), it just costs more.
+        assert_eq!(b.transmitted, b.packets);
+        assert_eq!(p.transmitted, p.packets);
+        // The cost *comparison* is measured by the Figure 11 bench in
+        // release mode; asserting relative wall-clock times in a debug
+        // test would be flaky.
+    }
+
+    #[test]
+    fn middlebox_configs_run() {
+        for kind in ["nat", "iprouter", "firewall", "flowmeter"] {
+            let cfg = middlebox_config(kind);
+            let mut runner = NativeRunner::new(&cfg).unwrap();
+            let pkts = vec![PacketBuilder::udp().ttl(64).build()];
+            let stats = runner.run(&pkts, 10);
+            assert_eq!(stats.transmitted, 10, "{kind} forwards traffic");
+        }
+    }
+}

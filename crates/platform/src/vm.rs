@@ -1,0 +1,401 @@
+//! Virtual machines and the host that runs them, in virtual time.
+//!
+//! The host model charges calibrated latencies (see [`crate::calib`]) for
+//! boot, suspend, and resume, and real memory accounting; the packet
+//! processing *inside* a ClickOS VM is the real `innet_click::Router`, so
+//! data-plane behaviour is executed, not modelled.
+
+use innet_click::{ClickConfig, Registry, Router, RouterError};
+use innet_packet::Packet;
+
+use crate::calib::{
+    boot_latency_ns, resume_latency_ns, suspend_latency_ns, vm_mem_mb, VmTimingKind,
+};
+
+/// Identifier of a VM within one host.
+pub type VmId = usize;
+
+/// VM lifecycle state, with virtual-time transition deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmState {
+    /// Being created; ready at the embedded virtual time.
+    Booting {
+        /// When the VM becomes runnable.
+        ready_at: u64,
+    },
+    /// Runnable and processing packets.
+    Running,
+    /// Being suspended; suspended at the embedded virtual time.
+    Suspending {
+        /// When the suspend completes.
+        done_at: u64,
+    },
+    /// Suspended to memory: state retained, no processing.
+    Suspended,
+    /// Being resumed; runnable again at the embedded virtual time.
+    Resuming {
+        /// When the resume completes.
+        ready_at: u64,
+    },
+    /// Destroyed (slot retained for id stability).
+    Destroyed,
+}
+
+/// One virtual machine.
+pub struct Vm {
+    /// Guest kind (drives timing and memory).
+    pub kind: VmTimingKind,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// The Click instance running inside (ClickOS guests only).
+    pub router: Option<Router>,
+    /// Packets that arrived while booting/resuming, delivered when the VM
+    /// becomes runnable (the switch controller buffers the first packets
+    /// of a flow while its VM boots).
+    pub pending: Vec<(u16, Packet)>,
+}
+
+/// Errors from host operations.
+#[derive(Debug, PartialEq)]
+pub enum HostError {
+    /// Not enough free memory for another VM.
+    OutOfMemory {
+        /// MB needed.
+        need_mb: u64,
+        /// MB free.
+        free_mb: u64,
+    },
+    /// The VM id does not exist or is destroyed.
+    NoSuchVm(VmId),
+    /// The operation is invalid in the VM's current state.
+    BadState(VmId, &'static str),
+    /// The guest configuration failed to instantiate.
+    Router(RouterError),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::OutOfMemory { need_mb, free_mb } => {
+                write!(f, "out of memory: need {need_mb} MB, {free_mb} MB free")
+            }
+            HostError::NoSuchVm(id) => write!(f, "no such VM {id}"),
+            HostError::BadState(id, what) => write!(f, "VM {id}: cannot {what} in this state"),
+            HostError::Router(e) => write!(f, "guest configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<RouterError> for HostError {
+    fn from(e: RouterError) -> Self {
+        HostError::Router(e)
+    }
+}
+
+/// A physical platform host: memory pool plus a set of VMs.
+pub struct Host {
+    mem_mb: u64,
+    mem_used_mb: u64,
+    vms: Vec<Vm>,
+    registry: Registry,
+}
+
+impl Host {
+    /// Creates a host with the given physical memory.
+    pub fn new(mem_mb: u64) -> Host {
+        Host {
+            mem_mb,
+            mem_used_mb: 0,
+            vms: Vec::new(),
+            registry: Registry::standard(),
+        }
+    }
+
+    /// Free memory in MB.
+    pub fn free_mem_mb(&self) -> u64 {
+        self.mem_mb - self.mem_used_mb
+    }
+
+    /// Number of VMs in any live state.
+    pub fn live_vms(&self) -> usize {
+        self.vms
+            .iter()
+            .filter(|v| !matches!(v.state, VmState::Destroyed))
+            .count()
+    }
+
+    /// Number of currently runnable VMs.
+    pub fn running_vms(&self) -> usize {
+        self.vms
+            .iter()
+            .filter(|v| matches!(v.state, VmState::Running))
+            .count()
+    }
+
+    /// Immutable access to a VM.
+    pub fn vm(&self, id: VmId) -> Result<&Vm, HostError> {
+        self.vms
+            .get(id)
+            .filter(|v| !matches!(v.state, VmState::Destroyed))
+            .ok_or(HostError::NoSuchVm(id))
+    }
+
+    /// Mutable access to a VM.
+    pub fn vm_mut(&mut self, id: VmId) -> Result<&mut Vm, HostError> {
+        self.vms
+            .get_mut(id)
+            .filter(|v| !matches!(v.state, VmState::Destroyed))
+            .ok_or(HostError::NoSuchVm(id))
+    }
+
+    /// Boots a ClickOS VM running `config`, charging the calibrated boot
+    /// latency. Returns the VM id; the VM is `Booting` until
+    /// [`Host::advance`] passes its deadline.
+    pub fn boot_clickos(&mut self, config: &ClickConfig, now_ns: u64) -> Result<VmId, HostError> {
+        self.boot(VmTimingKind::ClickOs, Some(config), now_ns)
+    }
+
+    /// Boots a (router-less) Linux VM — the expensive baseline.
+    pub fn boot_linux(&mut self, now_ns: u64) -> Result<VmId, HostError> {
+        self.boot(VmTimingKind::Linux, None, now_ns)
+    }
+
+    fn boot(
+        &mut self,
+        kind: VmTimingKind,
+        config: Option<&ClickConfig>,
+        now_ns: u64,
+    ) -> Result<VmId, HostError> {
+        let need = vm_mem_mb(kind);
+        if self.free_mem_mb() < need {
+            return Err(HostError::OutOfMemory {
+                need_mb: need,
+                free_mb: self.free_mem_mb(),
+            });
+        }
+        let router = match config {
+            Some(cfg) => Some(Router::from_config(cfg, &self.registry)?),
+            None => None,
+        };
+        self.mem_used_mb += need;
+        let ready_at = now_ns + boot_latency_ns(kind, self.live_vms());
+        self.vms.push(Vm {
+            kind,
+            state: VmState::Booting { ready_at },
+            router,
+            pending: Vec::new(),
+        });
+        Ok(self.vms.len() - 1)
+    }
+
+    /// Starts suspending a running VM.
+    pub fn suspend(&mut self, id: VmId, now_ns: u64) -> Result<u64, HostError> {
+        let existing = self.live_vms();
+        let vm = self.vm_mut(id)?;
+        if !matches!(vm.state, VmState::Running) {
+            return Err(HostError::BadState(id, "suspend"));
+        }
+        let done_at = now_ns + suspend_latency_ns(existing.saturating_sub(1));
+        vm.state = VmState::Suspending { done_at };
+        Ok(done_at)
+    }
+
+    /// Starts resuming a suspended VM.
+    pub fn resume(&mut self, id: VmId, now_ns: u64) -> Result<u64, HostError> {
+        let existing = self.live_vms();
+        let vm = self.vm_mut(id)?;
+        if !matches!(vm.state, VmState::Suspended) {
+            return Err(HostError::BadState(id, "resume"));
+        }
+        let ready_at = now_ns + resume_latency_ns(existing.saturating_sub(1));
+        vm.state = VmState::Resuming { ready_at };
+        Ok(ready_at)
+    }
+
+    /// Destroys a VM, releasing its memory. Stateful guests lose their
+    /// state (which is why stateful modules are suspended instead — §5).
+    pub fn destroy(&mut self, id: VmId) -> Result<(), HostError> {
+        let kind = self.vm(id)?.kind;
+        self.mem_used_mb -= vm_mem_mb(kind);
+        let vm = &mut self.vms[id];
+        vm.state = VmState::Destroyed;
+        vm.router = None;
+        vm.pending.clear();
+        Ok(())
+    }
+
+    /// Advances virtual time: completes lifecycle transitions whose
+    /// deadlines have passed and flushes packets buffered for VMs that
+    /// just became runnable. Returns packets transmitted by those VMs as
+    /// `(vm, iface, packet)`.
+    pub fn advance(&mut self, now_ns: u64) -> Vec<(VmId, u16, Packet)> {
+        let mut out = Vec::new();
+        for (id, vm) in self.vms.iter_mut().enumerate() {
+            let became_running = match vm.state {
+                VmState::Booting { ready_at } | VmState::Resuming { ready_at }
+                    if now_ns >= ready_at =>
+                {
+                    vm.state = VmState::Running;
+                    true
+                }
+                VmState::Suspending { done_at } if now_ns >= done_at => {
+                    vm.state = VmState::Suspended;
+                    false
+                }
+                _ => false,
+            };
+            if became_running {
+                if let Some(router) = vm.router.as_mut() {
+                    for (iface, pkt) in vm.pending.drain(..) {
+                        let _ = router.deliver(iface, pkt, now_ns);
+                    }
+                    for (iface, pkt) in router.take_tx() {
+                        out.push((id, iface, pkt));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Delivers a packet to a VM at virtual time `now_ns`.
+    ///
+    /// Running VMs process immediately (returning any transmissions);
+    /// booting/resuming VMs buffer; suspended or Linux VMs drop.
+    pub fn deliver(
+        &mut self,
+        id: VmId,
+        iface: u16,
+        pkt: Packet,
+        now_ns: u64,
+    ) -> Result<Vec<(u16, Packet)>, HostError> {
+        let vm = self.vm_mut(id)?;
+        match vm.state {
+            VmState::Running => {
+                let Some(router) = vm.router.as_mut() else {
+                    return Ok(Vec::new());
+                };
+                let _ = router.deliver(iface, pkt, now_ns);
+                Ok(router.take_tx())
+            }
+            VmState::Booting { .. } | VmState::Resuming { .. } => {
+                vm.pending.push((iface, pkt));
+                Ok(Vec::new())
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_packet::PacketBuilder;
+
+    fn firewall_cfg() -> ClickConfig {
+        ClickConfig::parse("FromNetfront() -> IPFilter(allow udp, allow icmp) -> ToNetfront();")
+            .unwrap()
+    }
+
+    #[test]
+    fn boot_buffers_then_processes() {
+        let mut host = Host::new(16 * 1024);
+        let vm = host.boot_clickos(&firewall_cfg(), 0).unwrap();
+        // Packet arrives while booting: buffered.
+        let out = host
+            .deliver(vm, 0, PacketBuilder::udp().build(), 1_000_000)
+            .unwrap();
+        assert!(out.is_empty());
+        // After the boot deadline the buffered packet flows out.
+        let flushed = host.advance(60_000_000);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].0, vm);
+        // Subsequent packets process synchronously.
+        let out = host
+            .deliver(vm, 0, PacketBuilder::udp().build(), 70_000_000)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn memory_accounting_and_exhaustion() {
+        // Host with room for exactly two ClickOS VMs.
+        let mut host = Host::new(2 * vm_mem_mb(VmTimingKind::ClickOs));
+        host.boot_clickos(&firewall_cfg(), 0).unwrap();
+        host.boot_clickos(&firewall_cfg(), 0).unwrap();
+        assert!(matches!(
+            host.boot_clickos(&firewall_cfg(), 0),
+            Err(HostError::OutOfMemory { .. })
+        ));
+        assert_eq!(host.free_mem_mb(), 0);
+    }
+
+    #[test]
+    fn destroy_releases_memory() {
+        let mut host = Host::new(16 * 1024);
+        let vm = host.boot_clickos(&firewall_cfg(), 0).unwrap();
+        let free_before = host.free_mem_mb();
+        host.destroy(vm).unwrap();
+        assert!(host.free_mem_mb() > free_before);
+        assert!(matches!(
+            host.deliver(vm, 0, PacketBuilder::udp().build(), 0),
+            Err(HostError::NoSuchVm(_))
+        ));
+    }
+
+    #[test]
+    fn suspend_resume_cycle() {
+        let mut host = Host::new(16 * 1024);
+        let vm = host.boot_clickos(&firewall_cfg(), 0).unwrap();
+        host.advance(100_000_000);
+        assert_eq!(host.running_vms(), 1);
+
+        let done = host.suspend(vm, 100_000_000).unwrap();
+        assert!(done > 100_000_000);
+        host.advance(done);
+        assert!(matches!(host.vm(vm).unwrap().state, VmState::Suspended));
+        // Suspended VMs drop traffic.
+        let out = host
+            .deliver(vm, 0, PacketBuilder::udp().build(), done + 1)
+            .unwrap();
+        assert!(out.is_empty());
+
+        let ready = host.resume(vm, done + 1).unwrap();
+        host.advance(ready);
+        assert_eq!(host.running_vms(), 1);
+        let out = host
+            .deliver(vm, 0, PacketBuilder::udp().build(), ready + 1)
+            .unwrap();
+        assert_eq!(out.len(), 1, "state survived suspend/resume");
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        let mut host = Host::new(16 * 1024);
+        let vm = host.boot_clickos(&firewall_cfg(), 0).unwrap();
+        // Cannot suspend a booting VM.
+        assert!(matches!(
+            host.suspend(vm, 0),
+            Err(HostError::BadState(_, "suspend"))
+        ));
+        host.advance(100_000_000);
+        // Cannot resume a running VM.
+        assert!(matches!(
+            host.resume(vm, 100_000_000),
+            Err(HostError::BadState(_, "resume"))
+        ));
+    }
+
+    #[test]
+    fn linux_vm_has_no_router() {
+        let mut host = Host::new(16 * 1024);
+        let vm = host.boot_linux(0).unwrap();
+        host.advance(1_000_000_000);
+        let out = host
+            .deliver(vm, 0, PacketBuilder::udp().build(), 1_000_000_001)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+}

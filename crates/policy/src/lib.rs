@@ -1,0 +1,51 @@
+//! # innet-policy
+//!
+//! The In-Net requirements API (paper §4.2): the language both operators
+//! and clients use to express how traffic must flow — reachability via
+//! way-points, per-hop flow specifications, and `const` header-field
+//! invariants — without either side revealing its topology or policy to
+//! the other.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! requirement := "reach" "from" node [flow]
+//!                ("->" node [flow] ["const" fields])+
+//! node        := "internet" | "client"
+//!              | ADDR | CIDR                      -- an address or subnet
+//!              | NAME                             -- a named network node
+//!              | NAME ":" NAME [":" PORT]         -- module:element[:port]
+//! flow        := tcpdump-subset expression (see innet-packet::pattern)
+//! fields      := field ("&&" field)*
+//! field       := "proto" | "src port" | "dst port" | "src host"
+//!              | "dst host" | "ttl" | "tos" | "payload"
+//! ```
+//!
+//! ## Example — the paper's Figure 4 requirement
+//!
+//! ```
+//! use innet_policy::{Requirement, NodeRef, ConstField};
+//!
+//! let r = Requirement::parse(
+//!     "reach from internet udp \
+//!      -> batcher:dst:0 dst 172.16.15.133 \
+//!      -> client dst port 1500 const proto && dst port && payload",
+//! ).unwrap();
+//!
+//! assert_eq!(r.from, NodeRef::Internet);
+//! assert_eq!(r.hops.len(), 2);
+//! assert_eq!(r.hops[1].node, NodeRef::Client);
+//! assert_eq!(
+//!     r.hops[1].const_fields,
+//!     vec![ConstField::Proto, ConstField::DstPort, ConstField::Payload],
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod types;
+
+pub use parse::PolicyParseError;
+pub use types::{ConstField, HopSpec, NodeRef, Requirement};

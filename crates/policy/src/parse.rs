@@ -1,0 +1,245 @@
+//! Parser for the requirements language.
+
+use innet_packet::{pattern::PatternExpr, Cidr};
+
+use crate::types::{ConstField, HopSpec, NodeRef, Requirement};
+
+/// Error produced when a requirement fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "requirement parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+fn err(m: impl Into<String>) -> PolicyParseError {
+    PolicyParseError { message: m.into() }
+}
+
+fn parse_node(tok: &str) -> Result<NodeRef, PolicyParseError> {
+    match tok {
+        "internet" => return Ok(NodeRef::Internet),
+        "client" | "clients" => return Ok(NodeRef::Client),
+        _ => {}
+    }
+    if let Ok(c) = tok.parse::<Cidr>() {
+        return Ok(NodeRef::Addr(c));
+    }
+    // Reject IP-with-port-count-like garbage early: a node must be an
+    // identifier or identifier:identifier[:port].
+    let parts: Vec<&str> = tok.split(':').collect();
+    let ident_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '@' || c == '/')
+    };
+    match parts.as_slice() {
+        [name] if ident_ok(name) => Ok(NodeRef::Named(name.to_string())),
+        [module, element] if ident_ok(module) && ident_ok(element) => Ok(NodeRef::ElementPort {
+            module: module.to_string(),
+            element: element.to_string(),
+            port: 0,
+        }),
+        [module, element, port] if ident_ok(module) && ident_ok(element) => {
+            Ok(NodeRef::ElementPort {
+                module: module.to_string(),
+                element: element.to_string(),
+                port: port
+                    .parse()
+                    .map_err(|_| err(format!("bad port in node '{tok}'")))?,
+            })
+        }
+        _ => Err(err(format!("bad node '{tok}'"))),
+    }
+}
+
+fn parse_const_fields(s: &str) -> Result<Vec<ConstField>, PolicyParseError> {
+    let mut out = Vec::new();
+    for part in s.split("&&") {
+        let norm = part.split_whitespace().collect::<Vec<_>>().join(" ");
+        let field = match norm.as_str() {
+            "proto" | "ip proto" => ConstField::Proto,
+            "src port" => ConstField::SrcPort,
+            "dst port" => ConstField::DstPort,
+            "src host" | "src" | "src addr" => ConstField::SrcAddr,
+            "dst host" | "dst" | "dst addr" => ConstField::DstAddr,
+            "ttl" => ConstField::Ttl,
+            "tos" => ConstField::Tos,
+            "payload" => ConstField::Payload,
+            other => return Err(err(format!("unknown const field '{other}'"))),
+        };
+        out.push(field);
+    }
+    if out.is_empty() {
+        return Err(err("empty const clause"));
+    }
+    Ok(out)
+}
+
+/// Parses one hop segment: `node [flow] [const fields]`.
+fn parse_hop(seg: &str) -> Result<HopSpec, PolicyParseError> {
+    let seg = seg.trim();
+    let (node_tok, rest) = match seg.split_once(char::is_whitespace) {
+        Some((n, r)) => (n, r.trim()),
+        None => (seg, ""),
+    };
+    if node_tok.is_empty() {
+        return Err(err("empty hop"));
+    }
+    let node = parse_node(node_tok)?;
+    let (flow_s, const_s) = match rest.split_once("const") {
+        Some((f, c)) => (f.trim(), Some(c.trim())),
+        None => (rest, None),
+    };
+    let flow: PatternExpr = flow_s
+        .parse()
+        .map_err(|e| err(format!("bad flow specification '{flow_s}': {e}")))?;
+    let const_fields = match const_s {
+        Some(c) => parse_const_fields(c)?,
+        None => Vec::new(),
+    };
+    Ok(HopSpec {
+        node,
+        flow,
+        const_fields,
+    })
+}
+
+/// Parses a full requirement statement.
+pub fn parse_requirement(s: &str) -> Result<Requirement, PolicyParseError> {
+    let s = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    let body = s
+        .strip_prefix("reach from ")
+        .or_else(|| s.strip_prefix("reach from"))
+        .ok_or_else(|| err("requirement must start with 'reach from'"))?;
+    let mut segments = body.split("->");
+    let first = segments.next().ok_or_else(|| err("missing source"))?;
+    let first_hop = parse_hop(first)?;
+    if !first_hop.const_fields.is_empty() {
+        return Err(err("the source hop cannot carry a const clause"));
+    }
+    let hops: Vec<HopSpec> = segments.map(parse_hop).collect::<Result<_, _>>()?;
+    if hops.is_empty() {
+        return Err(err("a requirement needs at least one '->' way-point"));
+    }
+    Ok(Requirement {
+        from: first_hop.node,
+        from_flow: first_hop.flow,
+        hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_packet::pattern::PatternExpr;
+
+    #[test]
+    fn figure4_requirement() {
+        let r = parse_requirement(
+            "reach from internet udp -> Batcher:dst:0 dst 172.16.15.133 \
+             -> client dst port 1500 const proto && dst port && payload",
+        )
+        .unwrap();
+        assert_eq!(r.from, NodeRef::Internet);
+        assert_eq!(r.from_flow, "udp".parse::<PatternExpr>().unwrap());
+        assert_eq!(r.hops.len(), 2);
+        assert_eq!(
+            r.hops[0].node,
+            NodeRef::ElementPort {
+                module: "Batcher".to_string(),
+                element: "dst".to_string(),
+                port: 0
+            }
+        );
+        assert_eq!(
+            r.hops[1].const_fields,
+            vec![ConstField::Proto, ConstField::DstPort, ConstField::Payload]
+        );
+    }
+
+    #[test]
+    fn operator_http_policy() {
+        let r = parse_requirement("reach from internet tcp src port 80 -> HTTPOptimizer -> client")
+            .unwrap();
+        assert_eq!(r.hops[0].node, NodeRef::Named("HTTPOptimizer".to_string()));
+        assert_eq!(r.hops[1].node, NodeRef::Client);
+        assert!(r.hops[1].const_fields.is_empty());
+    }
+
+    #[test]
+    fn simple_udp_reachability() {
+        let r = parse_requirement("reach from internet udp -> client dst port 1500").unwrap();
+        assert_eq!(r.hops.len(), 1);
+        assert_eq!(
+            r.hops[0].flow,
+            "dst port 1500".parse::<PatternExpr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn address_nodes() {
+        let r = parse_requirement("reach from 10.0.0.0/8 -> 192.0.2.7").unwrap();
+        assert!(matches!(r.from, NodeRef::Addr(_)));
+        assert!(matches!(r.hops[0].node, NodeRef::Addr(c) if c.prefix_len() == 32));
+    }
+
+    #[test]
+    fn element_port_defaults_to_zero() {
+        let r = parse_requirement("reach from internet -> batcher:dst -> client").unwrap();
+        assert_eq!(
+            r.hops[0].node,
+            NodeRef::ElementPort {
+                module: "batcher".to_string(),
+                element: "dst".to_string(),
+                port: 0
+            }
+        );
+    }
+
+    #[test]
+    fn empty_flow_means_any() {
+        let r = parse_requirement("reach from internet -> client").unwrap();
+        assert_eq!(r.from_flow, PatternExpr::any());
+        assert_eq!(r.hops[0].flow, PatternExpr::any());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_requirement("from internet -> client").is_err());
+        assert!(parse_requirement("reach from internet").is_err());
+        assert!(parse_requirement("reach from internet -> client const wibble").is_err());
+        assert!(parse_requirement("reach from internet banana -> client").is_err());
+        assert!(parse_requirement("reach from internet ->").is_err());
+        assert!(
+            parse_requirement("reach from internet udp const payload -> client").is_err(),
+            "source hop cannot carry const"
+        );
+        assert!(parse_requirement("reach from a:b:c:d -> client").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_nodes() {
+        let r =
+            parse_requirement("reach from internet udp -> batcher:dst:0 -> client dst port 1500")
+                .unwrap();
+        let shown = r.to_string();
+        assert!(shown.contains("reach from internet"));
+        assert!(shown.contains("batcher:dst:0"));
+        assert!(shown.contains("client"));
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_requirement("reach from internet udp -> client").unwrap();
+        let b = parse_requirement("reach   from\n internet\t udp ->\n  client").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! AST of the requirements language.
+
+use innet_packet::{pattern::PatternExpr, Cidr};
+use serde::{Deserialize, Serialize};
+
+/// A vertex of the network graph, as named in a requirement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// Arbitrary traffic from outside the operator's network.
+    Internet,
+    /// The operator's residential/mobile client subnets.
+    Client,
+    /// A specific address or subnet.
+    Addr(Cidr),
+    /// A named network node (an operator middlebox such as
+    /// `HTTPOptimizer`, or a whole processing module).
+    Named(String),
+    /// A port of a Click element inside a processing module
+    /// (`module:element:port`; port 0 when omitted).
+    ElementPort {
+        /// Processing-module name.
+        module: String,
+        /// Element instance name within the module.
+        element: String,
+        /// Element port index.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeRef::Internet => write!(f, "internet"),
+            NodeRef::Client => write!(f, "client"),
+            NodeRef::Addr(c) => write!(f, "{c}"),
+            NodeRef::Named(n) => write!(f, "{n}"),
+            NodeRef::ElementPort {
+                module,
+                element,
+                port,
+            } => write!(f, "{module}:{element}:{port}"),
+        }
+    }
+}
+
+/// A header field that a `const` clause can pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstField {
+    /// IP protocol number.
+    Proto,
+    /// Transport source port.
+    SrcPort,
+    /// Transport destination port.
+    DstPort,
+    /// IP source address.
+    SrcAddr,
+    /// IP destination address.
+    DstAddr,
+    /// Time-to-live.
+    Ttl,
+    /// DSCP/ECN byte.
+    Tos,
+    /// The payload bytes.
+    Payload,
+}
+
+impl std::fmt::Display for ConstField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ConstField::Proto => "proto",
+            ConstField::SrcPort => "src port",
+            ConstField::DstPort => "dst port",
+            ConstField::SrcAddr => "src host",
+            ConstField::DstAddr => "dst host",
+            ConstField::Ttl => "ttl",
+            ConstField::Tos => "tos",
+            ConstField::Payload => "payload",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One way-point of a requirement: the node traffic must reach, the flow
+/// it must match there, and the fields that must not have been modified
+/// on the hop leading to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopSpec {
+    /// The way-point.
+    pub node: NodeRef,
+    /// Flow specification the traffic must satisfy on arrival
+    /// ([`PatternExpr::any`] when omitted).
+    pub flow: PatternExpr,
+    /// Fields that must be invariant on the hop from the previous
+    /// way-point to this one.
+    pub const_fields: Vec<ConstField>,
+}
+
+/// A full `reach from … -> …` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Where the traffic originates.
+    pub from: NodeRef,
+    /// Flow specification constraining the originating traffic.
+    pub from_flow: PatternExpr,
+    /// The way-points, in order.
+    pub hops: Vec<HopSpec>,
+}
+
+impl Requirement {
+    /// Parses a requirement statement (see the crate docs for the
+    /// grammar).
+    pub fn parse(s: &str) -> Result<Requirement, crate::parse::PolicyParseError> {
+        crate::parse::parse_requirement(s)
+    }
+}
+
+impl std::fmt::Display for Requirement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reach from {}", self.from)?;
+        for hop in &self.hops {
+            write!(f, " -> {}", hop.node)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,149 @@
+//! A minimal discrete-event core: a time-ordered queue of typed events
+//! with deterministic tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+/// One nanosecond-scale second.
+pub const SECOND: SimTime = 1_000_000_000;
+
+/// One millisecond in [`SimTime`] units.
+pub const MILLI: SimTime = 1_000_000;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events scheduled for the same instant pop in scheduling order, so runs
+/// are reproducible regardless of event payloads.
+#[derive(Debug)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling into the past is clamped to `now` (the event fires
+    /// immediately but still in FIFO order).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing virtual time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn now_advances_and_clamps() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        assert_eq!(q.now(), 100);
+        // Scheduling into the past clamps to now.
+        q.schedule(50, "y");
+        assert_eq!(q.pop(), Some((100, "y")));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule_in(25, "y");
+        assert_eq!(q.pop(), Some((125, "y")));
+    }
+}

@@ -1,0 +1,30 @@
+//! # innet-sim
+//!
+//! Discrete-event network substrate for the In-Net wide-area experiments.
+//!
+//! The paper's evaluation mixes data-plane measurements (done natively by
+//! `innet-platform`) with wide-area and device-level experiments that
+//! depend on protocol and hardware dynamics: stacked congestion control
+//! (Figure 14), connection starvation under Slowloris (Figure 15),
+//! geolocation latency (Figure 16), 3G radio energy (Figure 13), and the
+//! MAWI backbone workload (§6). This crate rebuilds those substrates:
+//!
+//! * [`des`] — a generic event queue with deterministic ordering.
+//! * [`link`] — rate/latency/loss link arithmetic.
+//! * [`transport`] — packet-level TCP-style and SCTP-style congestion
+//!   control, plus the tunnel-stacking model (SCTP over TCP suffers the
+//!   tunnel's in-order recovery stalls).
+//! * [`energy`] — a 3G RRC state machine (IDLE/FACH/DCH with promotion
+//!   and tail timers) integrated over a delivery schedule.
+//! * [`workload`] — MAWI-style synthetic traces and active-flow counting.
+//!
+//! Everything is parameterized and deterministic given an RNG seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod energy;
+pub mod link;
+pub mod transport;
+pub mod workload;

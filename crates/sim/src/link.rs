@@ -1,0 +1,96 @@
+//! Link arithmetic: serialization, propagation, loss, and rate caps.
+
+use rand::Rng;
+
+use crate::des::{SimTime, SECOND};
+
+/// A point-to-point link with rate, one-way latency, and random loss.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// Capacity in bits per second.
+    pub rate_bps: f64,
+    /// One-way propagation latency.
+    pub latency: SimTime,
+    /// Independent per-packet loss probability (0..1).
+    pub loss: f64,
+    /// Earliest time the transmitter is free (FIFO serialization).
+    next_free: SimTime,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(rate_bps: f64, latency: SimTime, loss: f64) -> Link {
+        Link {
+            rate_bps,
+            latency,
+            loss,
+            next_free: 0,
+        }
+    }
+
+    /// Serialization delay of `bytes` at the link rate.
+    pub fn serialize_ns(&self, bytes: usize) -> SimTime {
+        (bytes as f64 * 8.0 / self.rate_bps * SECOND as f64) as SimTime
+    }
+
+    /// Transmits `bytes` starting no earlier than `now`: returns
+    /// `Some(arrival_time)` or `None` when the packet is lost.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize, rng: &mut impl Rng) -> Option<SimTime> {
+        let start = now.max(self.next_free);
+        let tx_done = start + self.serialize_ns(bytes);
+        self.next_free = tx_done;
+        if self.loss > 0.0 && rng.gen_bool(self.loss.clamp(0.0, 1.0)) {
+            return None;
+        }
+        Some(tx_done + self.latency)
+    }
+
+    /// Time to move `bytes` over the link at full rate plus one latency
+    /// (a fluid approximation for large transfers).
+    pub fn bulk_transfer_ns(&self, bytes: u64) -> SimTime {
+        self.latency + (bytes as f64 * 8.0 / self.rate_bps * SECOND as f64) as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn serialization_delay() {
+        let l = Link::new(100e6, 0, 0.0);
+        // 1250 bytes at 100 Mb/s = 100 µs.
+        assert_eq!(l.serialize_ns(1250), 100_000);
+    }
+
+    #[test]
+    fn fifo_backpressure() {
+        let mut l = Link::new(8e6, 1_000_000, 0.0); // 8 Mb/s, 1 ms.
+        let mut rng = StdRng::seed_from_u64(1);
+        // Two 1000-byte packets sent at t=0: 1 ms serialization each.
+        let a = l.transmit(0, 1000, &mut rng).unwrap();
+        let b = l.transmit(0, 1000, &mut rng).unwrap();
+        assert_eq!(a, 2_000_000); // 1 ms tx + 1 ms latency.
+        assert_eq!(b, 3_000_000); // Queued behind the first.
+    }
+
+    #[test]
+    fn loss_rate_statistical() {
+        let mut l = Link::new(1e9, 0, 0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let lost = (0..10_000)
+            .filter(|_| l.transmit(0, 100, &mut rng).is_none())
+            .count();
+        assert!((2_700..=3_300).contains(&lost), "lost {lost}");
+    }
+
+    #[test]
+    fn bulk_transfer() {
+        let l = Link::new(25e6, 5_000_000, 0.0);
+        // 50 MB at 25 Mb/s = 16 s.
+        let t = l.bulk_transfer_ns(50 * 1_000_000);
+        assert!((t as f64 / SECOND as f64 - 16.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Window-based transport models for the protocol-tunneling experiment
+//! (paper §8, Figure 14).
+//!
+//! The experiment compares SCTP tunneled over UDP against SCTP tunneled
+//! over TCP on an emulated 100 Mb/s, 20 ms-RTT path with induced random
+//! loss:
+//!
+//! * Over **UDP**, the tunnel is transparent: SCTP's own AIMD loop sees
+//!   the losses directly and recovers with fast retransmit —
+//!   [`sctp_over_udp`].
+//! * Over **TCP**, the tunnel repairs every loss itself, but its in-order
+//!   delivery *stalls* the inner stream during recovery; the inner SCTP
+//!   sees delivery-rate collapses and retransmission-timer expirations
+//!   instead of clean loss signals, and both control loops back off —
+//!   the "bad interactions between SCTP's congestion control loop and
+//!   TCP's" — [`sctp_over_tcp`].
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::des::{SimTime, MILLI, SECOND};
+
+/// Parameters of the tunneled path.
+#[derive(Debug, Clone, Copy)]
+pub struct TunnelPath {
+    /// Bottleneck rate in bits/second.
+    pub rate_bps: f64,
+    /// Round-trip time.
+    pub rtt: SimTime,
+    /// Random per-packet loss probability (0..1).
+    pub loss: f64,
+    /// Segment size in bytes.
+    pub mss: usize,
+    /// Virtual duration to simulate.
+    pub duration: SimTime,
+}
+
+impl TunnelPath {
+    /// The paper's emulated path: 100 Mb/s, 20 ms RTT.
+    pub fn paper(loss: f64) -> TunnelPath {
+        TunnelPath {
+            rate_bps: 100e6,
+            rtt: 20 * MILLI,
+            loss,
+            mss: 1460,
+            duration: 30 * SECOND,
+        }
+    }
+
+    fn bdp_packets(&self) -> f64 {
+        self.rate_bps * (self.rtt as f64 / SECOND as f64) / 8.0 / self.mss as f64
+    }
+}
+
+/// Outcome of a tunnel simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct TunnelResult {
+    /// Application goodput in Mb/s.
+    pub goodput_mbps: f64,
+    /// Retransmission-timer expirations suffered by the inner protocol.
+    pub inner_timeouts: u64,
+}
+
+/// One AIMD sender simulated in RTT rounds.
+struct Aimd {
+    cwnd: f64,
+    ssthresh: f64,
+    cap: f64,
+}
+
+impl Aimd {
+    fn new(cap: f64) -> Aimd {
+        Aimd {
+            cwnd: 2.0,
+            ssthresh: cap,
+            cap,
+        }
+    }
+
+    fn on_clean_round(&mut self) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd * 2.0).min(self.ssthresh);
+        } else {
+            self.cwnd += 1.0;
+        }
+        self.cwnd = self.cwnd.min(self.cap);
+    }
+
+    fn on_loss(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 2.0;
+    }
+}
+
+/// SCTP directly exposed to the lossy path (UDP encapsulation).
+pub fn sctp_over_udp(path: &TunnelPath, seed: u64) -> TunnelResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = path.bdp_packets() * 1.5;
+    let mut cc = Aimd::new(cap);
+    let mut now: SimTime = 0;
+    let mut delivered = 0u64;
+    let mut timeouts = 0u64;
+    // SCTP RTO floor (RFC 4960 RTO.Min is 1 s; implementations commonly
+    // clamp near 200 ms — we use the conservative implementation value).
+    let rto: SimTime = 200 * MILLI;
+
+    let drain_per_round = path.bdp_packets(); // The link empties one BDP per RTT.
+    while now < path.duration {
+        let w = cc.cwnd.round().max(1.0) as u64;
+        let mut losses = 0u64;
+        for _ in 0..w {
+            if rng.gen_bool(path.loss.clamp(0.0, 1.0)) {
+                losses += 1;
+            }
+        }
+        // Goodput is bounded by the bottleneck drain rate regardless of
+        // how aggressive the window is (excess packets only queue).
+        delivered += ((w - losses) as f64).min(drain_per_round) as u64;
+        if losses == 0 {
+            cc.on_clean_round();
+        } else if losses >= w || w < 4 {
+            // Whole window (or a tiny window) lost: no dupacks, RTO.
+            cc.on_timeout();
+            timeouts += 1;
+            now += rto;
+        } else {
+            // Fast retransmit: one multiplicative decrease per round.
+            cc.on_loss();
+        }
+        now += path.rtt;
+    }
+    TunnelResult {
+        goodput_mbps: delivered as f64 * path.mss as f64 * 8.0 / (now as f64 / SECOND as f64) / 1e6,
+        inner_timeouts: timeouts,
+    }
+}
+
+/// SCTP inside a TCP tunnel: the classic TCP-over-TCP meltdown.
+///
+/// The outer TCP hides every loss but pays for it with in-order recovery
+/// stalls (one RTT for a fast retransmit; an exponentially backed-off RTO
+/// when the window was too small for duplicate acks, when several
+/// segments of one window were lost, or when the retransmission itself is
+/// lost). The inner SCTP sees a loss-free but *spiky* pipe: its
+/// retransmission timer adapts to the smoothed tunnel delay, so an outer
+/// RTO stall blows past it, triggering spurious inner retransmissions —
+/// duplicates the tunnel must still carry, in order, ahead of fresh data.
+/// The duplicate flush delays fresh data further, which can fire the
+/// inner timer again: both control loops back off against each other.
+pub fn sctp_over_tcp(path: &TunnelPath, seed: u64) -> TunnelResult {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e77);
+    let cap = path.bdp_packets() * 1.5;
+    let mut outer = Aimd::new(cap);
+
+    // Inner SCTP state: congestion window, outstanding fresh data queued
+    // in the tunnel, and duplicate (spuriously retransmitted) packets the
+    // tunnel must carry before any fresh data.
+    let inner_cap = path.bdp_packets() * 4.0; // Receiver window is ample.
+    let mut inner_cwnd = 2.0f64;
+    let mut inner_ssthresh = inner_cap;
+    let mut fresh_queue = 0.0f64;
+    let mut dup_queue = 0.0f64;
+
+    // Inner adaptive RTO: smoothed tunnel delay + variance, floored.
+    let mut srtt = path.rtt as f64;
+    let rto_floor = 100.0 * MILLI as f64;
+
+    let mut now: SimTime = 0;
+    let mut delivered = 0u64;
+    let mut inner_timeouts = 0u64;
+    let base_outer_rto = 200.0 * MILLI as f64;
+    let mut outer_backoff = 0u32;
+
+    while now < path.duration {
+        let outer_w = outer.cwnd.round().max(1.0) as u64;
+        let mut losses = 0u64;
+        for _ in 0..outer_w {
+            if rng.gen_bool(path.loss.clamp(0.0, 1.0)) {
+                losses += 1;
+            }
+        }
+
+        // The inner endpoint injects new data up to its window.
+        let inflight = fresh_queue + dup_queue;
+        let can_send = (inner_cwnd - inflight).max(0.0);
+        fresh_queue += can_send;
+
+        // Tunnel capacity this round; duplicates flush first (they carry
+        // the earliest sequence numbers). The bottleneck drains at most
+        // one BDP per RTT.
+        let mut capacity = ((outer_w - losses) as f64).min(path.bdp_packets());
+        let ship_dup = dup_queue.min(capacity);
+        dup_queue -= ship_dup;
+        capacity -= ship_dup;
+        let ship_fresh = fresh_queue.min(capacity);
+        fresh_queue -= ship_fresh;
+        delivered += ship_fresh as u64;
+
+        // Outer recovery stall for this round.
+        let stall = if losses == 0 {
+            outer.on_clean_round();
+            outer_backoff = 0;
+            0.0
+        } else {
+            let multi_loss = losses >= 2;
+            let tiny_window = outer_w < 4;
+            let rtx_lost = rng.gen_bool(path.loss.clamp(0.0, 1.0));
+            if multi_loss || tiny_window || rtx_lost {
+                outer.on_timeout();
+                let s = base_outer_rto * f64::from(1u32 << outer_backoff.min(5));
+                outer_backoff += 1;
+                s
+            } else {
+                outer.on_loss();
+                outer_backoff = 0;
+                path.rtt as f64
+            }
+        };
+
+        // The delay fresh data experiences this round: queueing behind the
+        // backlog at the (post-recovery) outer rate, plus the stall.
+        let outer_rate_pps = (outer.cwnd.max(1.0)) / (path.rtt as f64 / SECOND as f64);
+        let queue_delay = (fresh_queue + dup_queue) / outer_rate_pps * SECOND as f64;
+        let observed = path.rtt as f64 + stall + queue_delay;
+        let inner_rto = (2.0 * srtt).max(rto_floor);
+        // EWMA after the RTO comparison: the timer was armed on past
+        // estimates.
+        srtt = 0.875 * srtt + 0.125 * observed;
+
+        if observed > inner_rto {
+            // Spurious inner timeout: everything outstanding is
+            // retransmitted into the tunnel as duplicates.
+            dup_queue += fresh_queue;
+            inner_ssthresh = (inner_cwnd / 2.0).max(2.0);
+            inner_cwnd = 2.0;
+            inner_timeouts += 1;
+        } else if ship_fresh > 0.0 {
+            // Acks arrived: normal growth.
+            if inner_cwnd < inner_ssthresh {
+                inner_cwnd = (inner_cwnd * 2.0).min(inner_cap);
+            } else {
+                inner_cwnd = (inner_cwnd + 1.0).min(inner_cap);
+            }
+        }
+
+        now += path.rtt + stall as SimTime;
+    }
+    TunnelResult {
+        goodput_mbps: delivered as f64 * path.mss as f64 * 8.0 / (now as f64 / SECOND as f64) / 1e6,
+        inner_timeouts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg<F: Fn(u64) -> f64>(f: F) -> f64 {
+        (0..5).map(f).sum::<f64>() / 5.0
+    }
+
+    #[test]
+    fn lossless_path_fills_the_pipe() {
+        let r = sctp_over_udp(&TunnelPath::paper(0.0), 1);
+        assert!(r.goodput_mbps > 80.0, "{}", r.goodput_mbps);
+        assert_eq!(r.inner_timeouts, 0);
+    }
+
+    #[test]
+    fn goodput_declines_with_loss() {
+        let g1 = avg(|s| sctp_over_udp(&TunnelPath::paper(0.01), s).goodput_mbps);
+        let g3 = avg(|s| sctp_over_udp(&TunnelPath::paper(0.03), s).goodput_mbps);
+        let g5 = avg(|s| sctp_over_udp(&TunnelPath::paper(0.05), s).goodput_mbps);
+        assert!(g1 > g3 && g3 > g5, "{g1} {g3} {g5}");
+    }
+
+    #[test]
+    fn tcp_tunnel_two_to_five_times_worse() {
+        // The paper: "when loss rate varies from 1% to 5%, running SCTP
+        // over a TCP tunnel gives two to five times less throughput
+        // compared to running SCTP over a UDP tunnel."
+        for loss in [0.01, 0.02, 0.03, 0.04, 0.05] {
+            let udp = avg(|s| sctp_over_udp(&TunnelPath::paper(loss), s).goodput_mbps);
+            let tcp = avg(|s| sctp_over_tcp(&TunnelPath::paper(loss), s).goodput_mbps);
+            let ratio = udp / tcp;
+            assert!(
+                (1.5..=8.0).contains(&ratio),
+                "loss {loss}: udp {udp:.2} tcp {tcp:.2} ratio {ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn tcp_tunnel_suffers_inner_timeouts() {
+        let r = sctp_over_tcp(&TunnelPath::paper(0.03), 3);
+        assert!(r.inner_timeouts > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sctp_over_udp(&TunnelPath::paper(0.02), 9).goodput_mbps;
+        let b = sctp_over_udp(&TunnelPath::paper(0.02), 9).goodput_mbps;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Workload generation: MAWI-style backbone traces and their
+//! active-connection analysis (paper §6, "MAWI traces").
+
+use rand::distributions::Distribution;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::des::{SimTime, SECOND};
+
+/// One synthetic TCP connection with complete setup/teardown inside the
+/// trace window (the paper discards connections without both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFlow {
+    /// Connection establishment time.
+    pub start: SimTime,
+    /// Teardown time.
+    pub end: SimTime,
+    /// Anonymized active-opener (client) id.
+    pub client: u32,
+}
+
+/// Parameters of the synthetic backbone trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceParams {
+    /// Trace window length (the MAWI samples are 15 minutes).
+    pub duration: SimTime,
+    /// Mean connection arrival rate per second.
+    pub arrivals_per_sec: f64,
+    /// Log-normal μ of connection duration (seconds).
+    pub dur_mu: f64,
+    /// Log-normal σ of connection duration.
+    pub dur_sigma: f64,
+    /// Size of the client population (active openers draw from it with a
+    /// heavy-tailed preference).
+    pub clients: u32,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            duration: 900 * SECOND,
+            arrivals_per_sec: 200.0,
+            // exp(1.2) ≈ 3.3 s median, heavy tail up to minutes.
+            dur_mu: 1.2,
+            dur_sigma: 1.6,
+            clients: 1300,
+        }
+    }
+}
+
+/// Generates a synthetic 15-minute backbone trace. Only connections whose
+/// setup *and* teardown fall inside the window are produced, mirroring the
+/// paper's filtering.
+pub fn generate_trace(params: &TraceParams, seed: u64) -> Vec<TraceFlow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flows = Vec::new();
+    let mut t = 0.0f64;
+    let dur_s = params.duration as f64 / SECOND as f64;
+    let lognorm = rand_distr_lognormal(params.dur_mu, params.dur_sigma);
+    while t < dur_s {
+        // Poisson arrivals.
+        t += -(1.0 - rng.gen::<f64>()).ln() / params.arrivals_per_sec;
+        if t >= dur_s {
+            break;
+        }
+        let dur = lognorm.sample(&mut rng).min(dur_s);
+        let end = t + dur;
+        if end >= dur_s {
+            continue; // Teardown outside the window: discarded.
+        }
+        // Heavy-tailed client popularity (few heavy hitters, long tail).
+        let u: f64 = rng.gen::<f64>();
+        let client = ((params.clients as f64) * u.powf(4.0)) as u32;
+        flows.push(TraceFlow {
+            start: (t * SECOND as f64) as SimTime,
+            end: (end * SECOND as f64) as SimTime,
+            client,
+        });
+    }
+    flows.sort_by_key(|f| f.start);
+    flows
+}
+
+/// A simple log-normal sampler (avoiding an extra dependency).
+struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+fn rand_distr_lognormal(mu: f64, sigma: f64) -> LogNormal {
+    LogNormal { mu, sigma }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Peak concurrency statistics of a trace (the §6 take-away numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Maximum simultaneously active TCP connections.
+    pub max_active_connections: usize,
+    /// Maximum simultaneously active clients (distinct active openers).
+    pub max_active_clients: usize,
+    /// Total connections in the window.
+    pub total_connections: usize,
+}
+
+/// Sweeps the trace and reports peak concurrent connections and peak
+/// concurrent active openers.
+pub fn analyze(flows: &[TraceFlow]) -> TraceStats {
+    // Event sweep over starts/ends.
+    let mut events: Vec<(SimTime, bool, u32)> = Vec::with_capacity(flows.len() * 2);
+    for f in flows {
+        events.push((f.start, true, f.client));
+        events.push((f.end, false, f.client));
+    }
+    events.sort_unstable_by_key(|&(t, is_start, _)| (t, !is_start as u8));
+
+    let mut active = 0usize;
+    let mut max_active = 0usize;
+    let mut per_client: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut active_clients = 0usize;
+    let mut max_clients = 0usize;
+    for (_, is_start, client) in events {
+        if is_start {
+            active += 1;
+            let c = per_client.entry(client).or_insert(0);
+            if *c == 0 {
+                active_clients += 1;
+            }
+            *c += 1;
+        } else {
+            active -= 1;
+            let c = per_client.get_mut(&client).expect("balanced events");
+            *c -= 1;
+            if *c == 0 {
+                active_clients -= 1;
+            }
+        }
+        max_active = max_active.max(active);
+        max_clients = max_clients.max(active_clients);
+    }
+    TraceStats {
+        max_active_connections: max_active,
+        max_active_clients: max_clients,
+        total_connections: flows.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_matches_mawi_scale() {
+        // §6: "at any moment, there are at most 1,600 to 4,000 active TCP
+        // connections, and between 400 to 840 active TCP clients."
+        for seed in 0..3 {
+            let flows = generate_trace(&TraceParams::default(), seed);
+            let stats = analyze(&flows);
+            // §6: "at most 1,600 to 4,000 active TCP connections, and
+            // between 400 to 840 active TCP clients."
+            assert!(
+                (1600..=4000).contains(&stats.max_active_connections),
+                "connections {stats:?}"
+            );
+            assert!(
+                (400..=840).contains(&stats.max_active_clients),
+                "clients {stats:?}"
+            );
+            assert!(stats.max_active_clients < stats.max_active_connections);
+        }
+    }
+
+    #[test]
+    fn flows_are_inside_window() {
+        let p = TraceParams::default();
+        let flows = generate_trace(&p, 7);
+        for f in &flows {
+            assert!(f.start < f.end);
+            assert!(f.end < p.duration);
+        }
+    }
+
+    #[test]
+    fn analysis_counts_correctly() {
+        let flows = vec![
+            TraceFlow {
+                start: 0,
+                end: 100,
+                client: 1,
+            },
+            TraceFlow {
+                start: 50,
+                end: 150,
+                client: 1,
+            },
+            TraceFlow {
+                start: 60,
+                end: 70,
+                client: 2,
+            },
+        ];
+        let stats = analyze(&flows);
+        assert_eq!(stats.max_active_connections, 3);
+        assert_eq!(stats.max_active_clients, 2);
+        assert_eq!(stats.total_connections, 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_trace(&TraceParams::default(), 42);
+        let b = generate_trace(&TraceParams::default(), 42);
+        assert_eq!(a, b);
+    }
+}

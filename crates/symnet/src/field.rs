@@ -1,0 +1,126 @@
+//! The header fields SymNet tracks, and the per-layer field map.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::SymValue;
+
+/// A tracked packet header field.
+///
+/// This is the abstraction level of the paper's Figure 2 trace: IP
+/// addresses, protocol, ports, payload identity, plus middlebox state
+/// pushed into the flow (`FwTag` — the `firewall_tag` of the example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Field {
+    /// IPv4 source address (as u32).
+    IpSrc,
+    /// IPv4 destination address (as u32).
+    IpDst,
+    /// IP protocol number.
+    Proto,
+    /// Transport source port.
+    SrcPort,
+    /// Transport destination port.
+    DstPort,
+    /// IP time-to-live.
+    Ttl,
+    /// DSCP/ECN byte.
+    Tos,
+    /// 1 when the packet is a bare TCP SYN, 0 otherwise.
+    TcpSyn,
+    /// Identity of the payload bytes: same value ⇒ provably unmodified.
+    Payload,
+    /// Firewall state pushed into the flow (paper Figure 2's
+    /// `firewall_tag`): 1 once outbound traffic has authorized the flow.
+    FwTag,
+}
+
+/// All fields, in canonical order.
+pub const ALL_FIELDS: [Field; 10] = [
+    Field::IpSrc,
+    Field::IpDst,
+    Field::Proto,
+    Field::SrcPort,
+    Field::DstPort,
+    Field::Ttl,
+    Field::Tos,
+    Field::TcpSyn,
+    Field::Payload,
+    Field::FwTag,
+];
+
+impl std::fmt::Display for Field {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Field::IpSrc => "ip_src",
+            Field::IpDst => "ip_dst",
+            Field::Proto => "proto",
+            Field::SrcPort => "src_port",
+            Field::DstPort => "dst_port",
+            Field::Ttl => "ttl",
+            Field::Tos => "tos",
+            Field::TcpSyn => "tcp_syn",
+            Field::Payload => "payload",
+            Field::FwTag => "fw_tag",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One header layer: a total map from [`Field`] to [`SymValue`].
+///
+/// Implemented as a fixed array indexed by field ordinal — cloned on every
+/// hop for the trace, so it must stay small and flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldMap {
+    vals: [SymValue; ALL_FIELDS.len()],
+}
+
+fn idx(f: Field) -> usize {
+    ALL_FIELDS
+        .iter()
+        .position(|&g| g == f)
+        .expect("field in ALL_FIELDS")
+}
+
+impl FieldMap {
+    /// A map with every field set to `Const(0)` (callers overwrite).
+    pub fn zeroed() -> FieldMap {
+        FieldMap {
+            vals: [SymValue::Const(0); ALL_FIELDS.len()],
+        }
+    }
+
+    /// Reads a field.
+    pub fn get(&self, f: Field) -> SymValue {
+        self.vals[idx(f)]
+    }
+
+    /// Writes a field.
+    pub fn set(&mut self, f: Field, v: SymValue) {
+        self.vals[idx(f)] = v;
+    }
+
+    /// Iterates `(field, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Field, SymValue)> + '_ {
+        ALL_FIELDS.iter().map(move |&f| (f, self.get(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = FieldMap::zeroed();
+        m.set(Field::IpDst, SymValue::Var(7));
+        assert_eq!(m.get(Field::IpDst), SymValue::Var(7));
+        assert_eq!(m.get(Field::IpSrc), SymValue::Const(0));
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let m = FieldMap::zeroed();
+        assert_eq!(m.iter().count(), ALL_FIELDS.len());
+    }
+}

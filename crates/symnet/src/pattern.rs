@@ -1,0 +1,396 @@
+//! Symbolic evaluation of the tcpdump-subset pattern language.
+//!
+//! `satisfy` splits a symbolic packet into the branches that *match* an
+//! expression; `refute` into the branches that *do not*. Branches whose
+//! constraints become unsatisfiable are discarded. This is the mechanism
+//! behind classifier/filter models and behind flow-specification checks in
+//! requirements.
+
+use innet_packet::{
+    pattern::{Atom, Dir, PatternExpr},
+    IpProto,
+};
+
+use crate::{field::Field, packet::SymPacket, value::RangeSet};
+
+fn proto_tcp_udp() -> RangeSet {
+    // {6} ∪ {17}: complement-based union of two singletons.
+    RangeSet::single(IpProto::Tcp.number() as u64)
+        .complement()
+        .intersect(&RangeSet::single(IpProto::Udp.number() as u64).complement())
+        .complement()
+}
+
+fn cidr_set(c: &innet_packet::Cidr) -> RangeSet {
+    RangeSet::range(c.first_u32() as u64, c.last_u32() as u64)
+}
+
+fn keep_feasible(branches: Vec<SymPacket>) -> Vec<SymPacket> {
+    branches.into_iter().filter(|p| p.feasible()).collect()
+}
+
+fn constrained(mut pkt: SymPacket, f: Field, set: &RangeSet) -> Option<SymPacket> {
+    if pkt.constrain(f, set) {
+        Some(pkt)
+    } else {
+        None
+    }
+}
+
+fn satisfy_atom(pkt: &SymPacket, atom: &Atom) -> Vec<SymPacket> {
+    match atom {
+        Atom::True => vec![pkt.clone()],
+        Atom::Proto(p) => constrained(
+            pkt.clone(),
+            Field::Proto,
+            &RangeSet::single(p.number() as u64),
+        )
+        .into_iter()
+        .collect(),
+        Atom::Net(dir, c) => {
+            let set = cidr_set(c);
+            match dir {
+                Dir::Src => constrained(pkt.clone(), Field::IpSrc, &set)
+                    .into_iter()
+                    .collect(),
+                Dir::Dst => constrained(pkt.clone(), Field::IpDst, &set)
+                    .into_iter()
+                    .collect(),
+                Dir::Either => {
+                    // Disjoint split: (src ∈ S) ∪ (src ∉ S ∧ dst ∈ S).
+                    // Overlap-free branches keep the branch count bounded
+                    // when the same predicate recurs along a path.
+                    let mut out = Vec::new();
+                    out.extend(constrained(pkt.clone(), Field::IpSrc, &set));
+                    out.extend(
+                        constrained(pkt.clone(), Field::IpSrc, &set.complement())
+                            .and_then(|p| constrained(p, Field::IpDst, &set)),
+                    );
+                    out
+                }
+            }
+        }
+        Atom::Port(dir, p) => satisfy_port(pkt, *dir, &RangeSet::single(*p as u64)),
+        Atom::PortRange(dir, lo, hi) => {
+            satisfy_port(pkt, *dir, &RangeSet::range(*lo as u64, *hi as u64))
+        }
+        Atom::Syn => {
+            let mut p = pkt.clone();
+            if p.constrain_eq(Field::Proto, IpProto::Tcp.number() as u64)
+                && p.constrain_eq(Field::TcpSyn, 1)
+            {
+                vec![p]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+fn satisfy_port(pkt: &SymPacket, dir: Dir, set: &RangeSet) -> Vec<SymPacket> {
+    // Port predicates implicitly require TCP or UDP.
+    let Some(base) = constrained(pkt.clone(), Field::Proto, &proto_tcp_udp()) else {
+        return vec![];
+    };
+    match dir {
+        Dir::Src => constrained(base, Field::SrcPort, set).into_iter().collect(),
+        Dir::Dst => constrained(base, Field::DstPort, set).into_iter().collect(),
+        Dir::Either => {
+            // Disjoint split, as for address predicates.
+            let mut out = Vec::new();
+            out.extend(constrained(base.clone(), Field::SrcPort, set));
+            out.extend(
+                constrained(base, Field::SrcPort, &set.complement())
+                    .and_then(|p| constrained(p, Field::DstPort, set)),
+            );
+            out
+        }
+    }
+}
+
+fn refute_atom(pkt: &SymPacket, atom: &Atom) -> Vec<SymPacket> {
+    match atom {
+        Atom::True => vec![],
+        Atom::Proto(p) => constrained(
+            pkt.clone(),
+            Field::Proto,
+            &RangeSet::single(p.number() as u64).complement(),
+        )
+        .into_iter()
+        .collect(),
+        Atom::Net(dir, c) => {
+            let not_set = cidr_set(c).complement();
+            match dir {
+                Dir::Src => constrained(pkt.clone(), Field::IpSrc, &not_set)
+                    .into_iter()
+                    .collect(),
+                Dir::Dst => constrained(pkt.clone(), Field::IpDst, &not_set)
+                    .into_iter()
+                    .collect(),
+                Dir::Either => {
+                    // ¬(src ∈ S ∨ dst ∈ S) = src ∉ S ∧ dst ∉ S.
+                    constrained(pkt.clone(), Field::IpSrc, &not_set)
+                        .and_then(|p| constrained(p, Field::IpDst, &not_set))
+                        .into_iter()
+                        .collect()
+                }
+            }
+        }
+        Atom::Port(dir, p) => refute_port(pkt, *dir, &RangeSet::single(*p as u64)),
+        Atom::PortRange(dir, lo, hi) => {
+            refute_port(pkt, *dir, &RangeSet::range(*lo as u64, *hi as u64))
+        }
+        Atom::Syn => {
+            // ¬(tcp ∧ syn) = ¬tcp ∨ (tcp ∧ ¬syn).
+            let mut out = Vec::new();
+            out.extend(constrained(
+                pkt.clone(),
+                Field::Proto,
+                &RangeSet::single(IpProto::Tcp.number() as u64).complement(),
+            ));
+            if let Some(p) = constrained(
+                pkt.clone(),
+                Field::Proto,
+                &RangeSet::single(IpProto::Tcp.number() as u64),
+            ) {
+                out.extend(constrained(p, Field::TcpSyn, &RangeSet::single(0)));
+            }
+            out
+        }
+    }
+}
+
+fn refute_port(pkt: &SymPacket, dir: Dir, set: &RangeSet) -> Vec<SymPacket> {
+    // ¬(proto ∈ {tcp,udp} ∧ P(port)) = proto ∉ {tcp,udp} ∨ (proto ∈ ∧ ¬P).
+    let mut out = Vec::new();
+    out.extend(constrained(
+        pkt.clone(),
+        Field::Proto,
+        &proto_tcp_udp().complement(),
+    ));
+    let Some(base) = constrained(pkt.clone(), Field::Proto, &proto_tcp_udp()) else {
+        return out;
+    };
+    let not_set = set.complement();
+    match dir {
+        Dir::Src => out.extend(constrained(base, Field::SrcPort, &not_set)),
+        Dir::Dst => out.extend(constrained(base, Field::DstPort, &not_set)),
+        Dir::Either => {
+            // ¬(sp ∈ S ∨ dp ∈ S) = sp ∉ S ∧ dp ∉ S.
+            out.extend(
+                constrained(base, Field::SrcPort, &not_set)
+                    .and_then(|p| constrained(p, Field::DstPort, &not_set)),
+            );
+        }
+    }
+    out
+}
+
+/// The branches of `pkt` that match `expr`.
+pub fn satisfy(pkt: &SymPacket, expr: &PatternExpr) -> Vec<SymPacket> {
+    let branches = match expr {
+        PatternExpr::Atom(a) => satisfy_atom(pkt, a),
+        PatternExpr::And(xs) => {
+            let mut branches = vec![pkt.clone()];
+            for x in xs {
+                branches = branches.iter().flat_map(|b| satisfy(b, x)).collect();
+                if branches.is_empty() {
+                    break;
+                }
+            }
+            branches
+        }
+        PatternExpr::Or(xs) => {
+            // Disjoint union: a ∨ b ∨ c ≡ a ∪ (¬a ∧ b) ∪ (¬a ∧ ¬b ∧ c).
+            // Without this, a branch that satisfies several disjuncts is
+            // emitted several times, and repeated evaluation of the same
+            // expression along a path multiplies branches exponentially.
+            let mut out = Vec::new();
+            let mut remaining = vec![pkt.clone()];
+            for x in xs {
+                out.extend(remaining.iter().flat_map(|r| satisfy(r, x)));
+                remaining = remaining.iter().flat_map(|r| refute(r, x)).collect();
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+            out
+        }
+        PatternExpr::Not(x) => refute(pkt, x),
+    };
+    keep_feasible(branches)
+}
+
+/// The branches of `pkt` that do *not* match `expr`.
+pub fn refute(pkt: &SymPacket, expr: &PatternExpr) -> Vec<SymPacket> {
+    let branches = match expr {
+        PatternExpr::Atom(a) => refute_atom(pkt, a),
+        // ¬(a ∧ b ∧ …) = ¬a ∪ (a ∧ ¬b) ∪ (a ∧ b ∧ ¬c) ∪ … — the
+        // disjoint expansion, for the same branch-count reason as Or.
+        PatternExpr::And(xs) => {
+            let mut out = Vec::new();
+            let mut satisfied_prefix = vec![pkt.clone()];
+            for x in xs {
+                out.extend(satisfied_prefix.iter().flat_map(|r| refute(r, x)));
+                satisfied_prefix = satisfied_prefix
+                    .iter()
+                    .flat_map(|r| satisfy(r, x))
+                    .collect();
+                if satisfied_prefix.is_empty() {
+                    break;
+                }
+            }
+            out
+        }
+        // ¬(a ∨ b ∨ …) = ¬a ∧ ¬b ∧ …
+        PatternExpr::Or(xs) => {
+            let mut branches = vec![pkt.clone()];
+            for x in xs {
+                branches = branches.iter().flat_map(|b| refute(b, x)).collect();
+                if branches.is_empty() {
+                    break;
+                }
+            }
+            branches
+        }
+        PatternExpr::Not(x) => satisfy(pkt, x),
+    };
+    keep_feasible(branches)
+}
+
+/// Whether any branch of `pkt` can match `expr`.
+pub fn satisfiable(pkt: &SymPacket, expr: &PatternExpr) -> bool {
+    !satisfy(pkt, expr).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(s: &str) -> PatternExpr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn satisfy_constrains() {
+        let p = SymPacket::unconstrained();
+        let out = satisfy(&p, &expr("udp dst port 1500"));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].provably_eq(Field::Proto, 17));
+        assert!(out[0].provably_eq(Field::DstPort, 1500));
+    }
+
+    #[test]
+    fn satisfy_then_conflict_infeasible() {
+        let p = SymPacket::unconstrained();
+        let udp = satisfy(&p, &expr("udp")).remove(0);
+        assert!(satisfy(&udp, &expr("tcp")).is_empty());
+    }
+
+    #[test]
+    fn refute_excludes() {
+        let p = SymPacket::unconstrained();
+        let out = refute(&p, &expr("udp"));
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].possible(Field::Proto).contains(17));
+        assert!(out[0].possible(Field::Proto).contains(6));
+    }
+
+    #[test]
+    fn either_direction_branches() {
+        let p = SymPacket::unconstrained();
+        let out = satisfy(&p, &expr("port 53"));
+        assert_eq!(out.len(), 2, "src branch and disjoint dst branch");
+        // The branches are disjoint: the second excludes src=53.
+        assert!(out[0].possible(Field::SrcPort).contains(53));
+        assert!(!out[1].possible(Field::SrcPort).contains(53));
+        assert!(out[1].possible(Field::DstPort).as_single() == Some(53));
+    }
+
+    #[test]
+    fn repeated_or_does_not_multiply_branches() {
+        // Evaluating the same disjunction repeatedly must not grow the
+        // branch set (the Figure 10 scaling depends on this).
+        let p = SymPacket::unconstrained();
+        let e = expr("tcp src port 80 or tcp dst port 80");
+        let mut branches = satisfy(&p, &e);
+        for _ in 0..5 {
+            branches = branches.iter().flat_map(|b| satisfy(b, &e)).collect();
+        }
+        assert!(branches.len() <= 4, "{}", branches.len());
+    }
+
+    #[test]
+    fn or_branches_and_not() {
+        let p = SymPacket::unconstrained();
+        let out = satisfy(&p, &expr("tcp or udp"));
+        assert_eq!(out.len(), 2);
+        let out = satisfy(&p, &expr("not (tcp or udp)"));
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].possible(Field::Proto).contains(6));
+        assert!(!out[0].possible(Field::Proto).contains(17));
+        assert!(out[0].possible(Field::Proto).contains(1));
+    }
+
+    #[test]
+    fn net_predicates() {
+        let p = SymPacket::unconstrained();
+        let out = satisfy(&p, &expr("dst net 10.0.0.0/8"));
+        assert_eq!(out.len(), 1);
+        let dst = out[0].possible(Field::IpDst);
+        assert!(dst.contains(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3)) as u64));
+        assert!(!dst.contains(u32::from(std::net::Ipv4Addr::new(11, 0, 0, 0)) as u64));
+    }
+
+    #[test]
+    fn satisfy_refute_partition() {
+        // For a deterministic expression, satisfy + refute cover the
+        // packet space: a concrete witness from either side evaluates
+        // consistently with the concrete matcher.
+        let p = SymPacket::unconstrained();
+        let e = expr("udp dst portrange 1000-2000");
+        let sat = satisfy(&p, &e);
+        let unsat = refute(&p, &e);
+        assert!(!sat.is_empty() && !unsat.is_empty());
+        for b in &sat {
+            assert!(b.possible(Field::Proto).contains(17));
+        }
+    }
+
+    #[test]
+    fn port_requires_tcp_or_udp() {
+        let p = SymPacket::unconstrained();
+        let mut q = p.clone();
+        q.constrain_eq(Field::Proto, 1); // ICMP.
+        assert!(satisfy(&q, &expr("dst port 80")).is_empty());
+    }
+
+    #[test]
+    fn refute_true_is_empty() {
+        let p = SymPacket::unconstrained();
+        assert!(refute(&p, &PatternExpr::any()).is_empty());
+    }
+
+    #[test]
+    fn syn_satisfy_and_refute() {
+        let p = SymPacket::unconstrained();
+        let sat = satisfy(&p, &expr("tcp syn"));
+        assert_eq!(sat.len(), 1);
+        assert!(sat[0].provably_eq(Field::TcpSyn, 1));
+        // "tcp syn" is And(tcp, syn); ¬(a∧b) expands to ¬a ∨ ¬b, and ¬syn
+        // itself branches — overlapping branches are fine for
+        // exists-semantics. Every branch must avoid (tcp ∧ syn).
+        let unsat = refute(&p, &expr("tcp syn"));
+        assert!(!unsat.is_empty());
+        for b in &unsat {
+            let tcp_possible = b.possible(Field::Proto).contains(6);
+            let syn_possible = b.possible(Field::TcpSyn).contains(1);
+            assert!(
+                !(tcp_possible
+                    && syn_possible
+                    && b.provably_eq(Field::TcpSyn, 1)
+                    && b.provably_eq(Field::Proto, 6))
+            );
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The symbolic value domain: variables, constants, ranges, and origins.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a symbolic variable, unique within one execution branch.
+pub type VarId = u64;
+
+/// Where a symbolic variable came from. Origin drives the security
+/// verdict: values revealed by decapsulation can be attributed to the
+/// tunnel peer, while values produced by opaque code cannot be attributed
+/// at all (paper §7.1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// An unconstrained input field (the "any possible traffic" injection
+    /// of §4.4).
+    Free,
+    /// Revealed by decapsulating traffic that was addressed to the module.
+    Decap,
+    /// Produced by unmodellable (opaque) processing such as an x86 VM.
+    Opaque,
+    /// Result of modeled arithmetic whose exact value we do not track
+    /// (e.g. a decremented unknown TTL, an allocated NAT port).
+    Computed,
+}
+
+/// A symbolic value: either a known constant or a variable.
+///
+/// Equality of two `Var` values with the same [`VarId`] is *semantic*
+/// equality — SymNet's "bound to the same symbolic variable" (paper §4.4):
+/// when the server model executes `p[ip_dst] = p[ip_src]`, the destination
+/// field receives the very same variable the source field held, and the
+/// implicit-authorization check later recognizes the binding structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymValue {
+    /// A known constant (addresses are stored as `u32`, ports as `u16`,
+    /// widened to `u64`).
+    Const(u64),
+    /// A symbolic variable.
+    Var(VarId),
+}
+
+impl SymValue {
+    /// The constant payload, if this is a constant.
+    pub fn as_const(&self) -> Option<u64> {
+        match self {
+            SymValue::Const(c) => Some(*c),
+            SymValue::Var(_) => None,
+        }
+    }
+
+    /// The variable id, if this is a variable.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            SymValue::Const(_) => None,
+            SymValue::Var(v) => Some(*v),
+        }
+    }
+}
+
+/// A set of `u64` values represented as sorted, disjoint, inclusive ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// The full domain.
+    pub fn full() -> RangeSet {
+        RangeSet {
+            ranges: vec![(0, u64::MAX)],
+        }
+    }
+
+    /// The empty set.
+    pub fn empty() -> RangeSet {
+        RangeSet { ranges: vec![] }
+    }
+
+    /// A single value.
+    pub fn single(v: u64) -> RangeSet {
+        RangeSet {
+            ranges: vec![(v, v)],
+        }
+    }
+
+    /// An inclusive range. `lo > hi` yields the empty set.
+    pub fn range(lo: u64, hi: u64) -> RangeSet {
+        if lo > hi {
+            RangeSet::empty()
+        } else {
+            RangeSet {
+                ranges: vec![(lo, hi)],
+            }
+        }
+    }
+
+    /// Whether no value satisfies the set.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether the set is the full domain.
+    pub fn is_full(&self) -> bool {
+        self.ranges == [(0, u64::MAX)]
+    }
+
+    /// Whether `v` is a member.
+    pub fn contains(&self, v: u64) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= v && v <= hi)
+    }
+
+    /// Some member of the set, if any (used to produce witness packets).
+    pub fn witness(&self) -> Option<u64> {
+        self.ranges.first().map(|&(lo, _)| lo)
+    }
+
+    /// The single member, if the set has exactly one.
+    pub fn as_single(&self) -> Option<u64> {
+        match self.ranges.as_slice() {
+            [(lo, hi)] if lo == hi => Some(*lo),
+            _ => None,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &RangeSet) -> RangeSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (a_lo, a_hi) = self.ranges[i];
+            let (b_lo, b_hi) = other.ranges[j];
+            let lo = a_lo.max(b_lo);
+            let hi = a_hi.min(b_hi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if a_hi < b_hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        RangeSet { ranges: out }
+    }
+
+    /// Set complement.
+    pub fn complement(&self) -> RangeSet {
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        let mut saturated = false;
+        for &(lo, hi) in &self.ranges {
+            if lo > next {
+                out.push((next, lo - 1));
+            }
+            match hi.checked_add(1) {
+                Some(n) => next = n.max(next),
+                None => {
+                    saturated = true;
+                    break;
+                }
+            }
+        }
+        if !saturated && !self.is_empty() {
+            out.push((next, u64::MAX));
+        }
+        if self.is_empty() {
+            return RangeSet::full();
+        }
+        RangeSet { ranges: out }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn minus(&self, other: &RangeSet) -> RangeSet {
+        self.intersect(&other.complement())
+    }
+}
+
+/// Constraint information attached to one variable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarInfo {
+    /// Values the variable may take.
+    pub ranges: RangeSet,
+    /// Where the variable came from.
+    pub origin: Origin,
+}
+
+impl VarInfo {
+    /// A fully unconstrained variable of the given origin.
+    pub fn free(origin: Origin) -> VarInfo {
+        VarInfo {
+            ranges: RangeSet::full(),
+            origin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_range() {
+        let s = RangeSet::single(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert_eq!(s.as_single(), Some(5));
+        assert!(RangeSet::range(9, 3).is_empty());
+    }
+
+    #[test]
+    fn intersect_disjoint_and_overlapping() {
+        let a = RangeSet::range(0, 10);
+        let b = RangeSet::range(5, 20);
+        assert_eq!(a.intersect(&b), RangeSet::range(5, 10));
+        let c = RangeSet::range(11, 12);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let a = RangeSet::range(10, 20);
+        let c = a.complement();
+        assert!(c.contains(9));
+        assert!(c.contains(21));
+        assert!(!c.contains(15));
+        assert_eq!(c.complement(), a);
+    }
+
+    #[test]
+    fn complement_edges() {
+        assert_eq!(RangeSet::empty().complement(), RangeSet::full());
+        assert!(RangeSet::full().complement().is_empty());
+        let zero = RangeSet::single(0);
+        assert!(!zero.complement().contains(0));
+        assert!(zero.complement().contains(1));
+        let max = RangeSet::single(u64::MAX);
+        assert!(max.complement().contains(u64::MAX - 1));
+        assert!(!max.complement().contains(u64::MAX));
+    }
+
+    #[test]
+    fn minus() {
+        let a = RangeSet::range(0, 10);
+        let d = a.minus(&RangeSet::single(5));
+        assert!(d.contains(4));
+        assert!(!d.contains(5));
+        assert!(d.contains(6));
+        assert!(!d.contains(11));
+    }
+
+    #[test]
+    fn witness_is_member() {
+        let a = RangeSet::range(42, 99);
+        assert!(a.contains(a.witness().unwrap()));
+        assert_eq!(RangeSet::empty().witness(), None);
+    }
+
+    #[test]
+    fn multi_range_intersect() {
+        let a = RangeSet::range(0, 100).minus(&RangeSet::range(40, 60));
+        let b = RangeSet::range(30, 70);
+        let i = a.intersect(&b);
+        assert!(i.contains(30));
+        assert!(i.contains(39));
+        assert!(!i.contains(50));
+        assert!(i.contains(61));
+        assert!(!i.contains(71));
+    }
+}

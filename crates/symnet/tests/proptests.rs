@@ -1,0 +1,124 @@
+//! Property tests linking the symbolic engine to concrete execution.
+
+use std::net::Ipv4Addr;
+
+use innet_packet::{pattern::PatternExpr, IpProto, PacketBuilder, TcpFlags};
+use innet_symnet::{pattern, Field, SymPacket};
+use proptest::prelude::*;
+
+/// Builds a concrete packet from a symbolic branch by taking a witness
+/// value for every constrained field.
+fn witness_packet(branch: &SymPacket) -> Option<innet_packet::Packet> {
+    let proto = branch.possible(Field::Proto).witness()? as u8;
+    let src = Ipv4Addr::from(branch.possible(Field::IpSrc).witness()? as u32);
+    let dst = Ipv4Addr::from(branch.possible(Field::IpDst).witness()? as u32);
+    let sport = branch.possible(Field::SrcPort).witness()? as u16;
+    let dport = branch.possible(Field::DstPort).witness()? as u16;
+    let syn = branch.possible(Field::TcpSyn).witness()? == 1;
+    let b = match IpProto::from(proto) {
+        IpProto::Udp => PacketBuilder::udp(),
+        IpProto::Tcp => {
+            let flags = if syn { TcpFlags::SYN } else { TcpFlags::ACK };
+            PacketBuilder::tcp().flags(flags)
+        }
+        IpProto::Icmp => PacketBuilder::icmp_echo_request(1, 1),
+        other => PacketBuilder::raw(other),
+    };
+    Some(b.src(src, sport).dst(dst, dport).build())
+}
+
+fn arb_expr() -> impl Strategy<Value = PatternExpr> {
+    prop_oneof![
+        Just("udp"),
+        Just("tcp"),
+        Just("icmp"),
+        Just("udp dst port 1500"),
+        Just("tcp src port 80"),
+        Just("dst portrange 1000-2000"),
+        Just("src net 10.0.0.0/8"),
+        Just("dst net 192.168.0.0/16"),
+        Just("host 8.8.8.8"),
+        Just("(tcp or udp) and not dst port 22"),
+        Just("udp and dst net 10.0.0.0/8 and dst port 53"),
+        Just("not udp"),
+        Just("tcp syn"),
+        Just("port 443"),
+    ]
+    .prop_map(|s: &str| s.parse().unwrap())
+}
+
+proptest! {
+    /// Soundness of `satisfy`: every symbolic branch's witness packet
+    /// matches the expression concretely.
+    #[test]
+    fn satisfy_witnesses_match(e in arb_expr()) {
+        let p = SymPacket::unconstrained();
+        for branch in pattern::satisfy(&p, &e) {
+            if let Some(pkt) = witness_packet(&branch) {
+                // TcpSyn witnessing is only faithful for TCP packets
+                // (other protocols have no flags to set).
+                prop_assert!(
+                    e.matches(&pkt),
+                    "witness of a satisfying branch must match: {e:?} {:?}",
+                    branch.render_fields()
+                );
+            }
+        }
+    }
+
+    /// Soundness of `refute`: every refuting branch's witness packet does
+    /// NOT match the expression concretely.
+    #[test]
+    fn refute_witnesses_do_not_match(e in arb_expr()) {
+        let p = SymPacket::unconstrained();
+        for branch in pattern::refute(&p, &e) {
+            if let Some(pkt) = witness_packet(&branch) {
+                prop_assert!(
+                    !e.matches(&pkt),
+                    "witness of a refuting branch must not match: {e:?} {}",
+                    branch.render_fields()
+                );
+            }
+        }
+    }
+
+    /// Completeness on a concrete sample: any concrete packet is covered
+    /// by either the satisfy set or the refute set (evaluated by checking
+    /// which side the concrete matcher picks is satisfiable).
+    #[test]
+    fn concrete_packet_covered(
+        e in arb_expr(),
+        dport in any::<u16>(),
+        daddr in any::<u32>(),
+        is_tcp in any::<bool>(),
+    ) {
+        let pkt = if is_tcp {
+            PacketBuilder::tcp().dst(Ipv4Addr::from(daddr), dport).build()
+        } else {
+            PacketBuilder::udp().dst(Ipv4Addr::from(daddr), dport).build()
+        };
+        // Constrain a symbolic packet to exactly this concrete packet.
+        let mut sp = SymPacket::unconstrained();
+        let ip = pkt.ipv4().unwrap();
+        sp.constrain_eq(Field::Proto, ip.proto().number() as u64);
+        sp.constrain_eq(Field::IpSrc, u32::from(ip.src()) as u64);
+        sp.constrain_eq(Field::IpDst, u32::from(ip.dst()) as u64);
+        let (spv, dpv) = if is_tcp {
+            let t = pkt.tcp().unwrap();
+            (t.src_port(), t.dst_port())
+        } else {
+            let u = pkt.udp().unwrap();
+            (u.src_port(), u.dst_port())
+        };
+        sp.constrain_eq(Field::SrcPort, spv as u64);
+        sp.constrain_eq(Field::DstPort, dpv as u64);
+        sp.constrain_eq(Field::TcpSyn, 0);
+
+        let concrete_matches = e.matches(&pkt);
+        let sym_sat = !pattern::satisfy(&sp, &e).is_empty();
+        let sym_unsat = !pattern::refute(&sp, &e).is_empty();
+        // A fully concrete symbolic packet sits on exactly one side.
+        prop_assert_eq!(concrete_matches, sym_sat, "satisfy agrees with concrete");
+        prop_assert_eq!(!concrete_matches, sym_unsat, "refute agrees with concrete");
+    }
+}

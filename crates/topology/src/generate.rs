@@ -1,0 +1,176 @@
+//! Random operator-network growth for the controller-scalability
+//! experiment (paper Figure 10: "we randomly add more routers and
+//! platforms to the topology shown in figure 3").
+
+use innet_click::ClickConfig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::graph::{NodeKind, PlatformSpec, Topology};
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GenerateParams {
+    /// Number of middlebox nodes to add (the x-axis of Figure 10).
+    pub middleboxes: usize,
+    /// Add one platform per this many middleboxes.
+    pub platform_every: usize,
+    /// RNG seed (growth is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for GenerateParams {
+    fn default() -> Self {
+        GenerateParams {
+            middleboxes: 15,
+            platform_every: 4,
+            seed: 42,
+        }
+    }
+}
+
+fn random_middlebox(rng: &mut StdRng, idx: usize) -> ClickConfig {
+    // A rotating mix of the operator middlebox shapes the paper deploys.
+    let text = match rng.gen_range(0..4) {
+        0 => {
+            r#"
+            in :: FromNetfront(0); rin :: FromNetfront(1);
+            fw :: StatefulFirewall(allow tcp, allow udp);
+            out :: ToNetfront(1); rout :: ToNetfront(0);
+            in -> [0]fw; fw[0] -> out;
+            rin -> [1]fw; fw[1] -> rout;
+            "#
+        }
+        1 => {
+            r#"
+            in :: FromNetfront(0); rin :: FromNetfront(1);
+            m :: FlowMeter();
+            out :: ToNetfront(1); rout :: ToNetfront(0);
+            in -> m -> out; rin -> rout;
+            "#
+        }
+        2 => {
+            r#"
+            in :: FromNetfront(0); rin :: FromNetfront(1);
+            r :: RateLimiter(100000);
+            out :: ToNetfront(1); rout :: ToNetfront(0);
+            in -> r -> out; rin -> rout;
+            "#
+        }
+        _ => {
+            r#"
+            in :: FromNetfront(0); rin :: FromNetfront(1);
+            c :: IPClassifier(tcp src port 80 or tcp dst port 80, -);
+            opt :: SetTOS(46);
+            out :: ToNetfront(1); rout :: ToNetfront(0);
+            in -> c; c[0] -> opt -> out; c[1] -> out;
+            rin -> rout;
+            "#
+        }
+    };
+    let _ = idx;
+    ClickConfig::parse(text).expect("valid literal config")
+}
+
+/// Grows the Figure 3 topology with `params.middleboxes` extra
+/// router+middlebox pairs (and platforms sprinkled in), chained off the
+/// border router — the setup used to measure controller request latency
+/// versus network size.
+pub fn generate(params: &GenerateParams) -> Topology {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut t = Topology::figure3();
+    let border = t.index_of("border").expect("figure3 has a border router");
+    // Steer a dedicated aggregate into the chain so that verification
+    // walks every added middlebox: the border's port 5 leads into the
+    // generated region (10.0.0.0/8).
+    if let NodeKind::Router(routes) = &mut t.nodes[border].kind {
+        let default = routes.pop().expect("figure3 border has a default route");
+        routes.push(("10.0.0.0/8".parse().expect("valid literal"), 5));
+        routes.push(default);
+    }
+    let mut attach = border;
+    let mut attach_port = 5usize;
+
+    for i in 0..params.middleboxes {
+        let mbox = t
+            .add(
+                format!("mbox{i}"),
+                NodeKind::Middlebox(random_middlebox(&mut rng, i)),
+            )
+            .expect("generated names are unique");
+        let pool: innet_packet::Cidr = format!("10.{}.{}.0/24", 1 + (i / 250), i % 250)
+            .parse()
+            .expect("generated pool is valid");
+        // Chain router: port 0 back toward the core, port 1 a local
+        // platform (when present), port 2 deeper into the chain.
+        let mut routes = vec![(pool, 1)];
+        routes.push(("10.0.0.0/8".parse().expect("valid literal"), 2));
+        routes.push((innet_packet::Cidr::ANY, 0));
+        let router = t
+            .add(format!("router{i}"), NodeKind::Router(routes))
+            .expect("generated names are unique");
+        t.link_bidir(attach, attach_port, mbox, 0);
+        t.link_bidir(mbox, 1, router, 0);
+
+        if params.platform_every > 0 && i % params.platform_every == 0 {
+            let p = t
+                .add(
+                    format!("gplatform{i}"),
+                    NodeKind::Platform(PlatformSpec {
+                        addr_pool: pool,
+                        external: rng.gen_bool(0.5),
+                        ..PlatformSpec::default()
+                    }),
+                )
+                .expect("generated names are unique");
+            t.link_bidir(router, 1, p, 0);
+        }
+        attach = router;
+        attach_port = 2;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        for n in [1usize, 7, 31] {
+            let t = generate(&GenerateParams {
+                middleboxes: n,
+                ..GenerateParams::default()
+            });
+            // Figure 3 contributes 3 middleboxes of its own.
+            assert_eq!(t.middlebox_count(), n + 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = GenerateParams {
+            middleboxes: 10,
+            ..GenerateParams::default()
+        };
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a, b);
+        let c = generate(&GenerateParams { seed: 1, ..p });
+        // Different seed, same structure size.
+        assert_eq!(a.middlebox_count(), c.middlebox_count());
+    }
+
+    #[test]
+    fn chain_is_connected() {
+        let t = generate(&GenerateParams {
+            middleboxes: 5,
+            ..GenerateParams::default()
+        });
+        // Every generated middlebox has links on both sides.
+        for i in 0..5 {
+            let m = t.index_of(&format!("mbox{i}")).unwrap();
+            assert!(t.out_link(m, 0).is_some());
+            assert!(t.out_link(m, 1).is_some());
+        }
+    }
+}

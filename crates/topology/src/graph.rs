@@ -1,0 +1,341 @@
+//! Topology data model.
+
+use innet_click::ClickConfig;
+use innet_packet::Cidr;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`Topology`].
+pub type NodeId = usize;
+
+/// Deployment attributes of a processing platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Address pool from which module addresses are assigned.
+    pub addr_pool: Cidr,
+    /// Whether traffic from the Internet can reach this platform at all
+    /// (the paper's Figure 3: Platforms 1 and 2 are not reachable from
+    /// the outside, only Platform 3 is).
+    pub external: bool,
+    /// Maximum number of concurrent processing modules.
+    pub capacity: usize,
+    /// Physical memory in MB (drives the VM-count model of §6).
+    pub mem_mb: u64,
+    /// CPU cores.
+    pub cores: u32,
+}
+
+impl Default for PlatformSpec {
+    fn default() -> Self {
+        PlatformSpec {
+            addr_pool: "192.0.2.0/24".parse().expect("valid literal"),
+            external: true,
+            capacity: 1000,
+            mem_mb: 16 * 1024,
+            cores: 4,
+        }
+    }
+}
+
+/// What a topology node is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The Internet edge: arbitrary external traffic enters and leaves
+    /// here.
+    Internet,
+    /// A subnet of the operator's own customers.
+    ClientSubnet(Cidr),
+    /// A router: longest-prefix-match over `(prefix, output port)`.
+    Router(Vec<(Cidr, usize)>),
+    /// An operator middlebox expressed as a Click configuration whose
+    /// `FromNetfront(i)`/`ToNetfront(i)` elements bind to the node's
+    /// topology ports.
+    Middlebox(ClickConfig),
+    /// A processing platform.
+    Platform(PlatformSpec),
+}
+
+/// A named topology node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopoNode {
+    /// Unique node name.
+    pub name: String,
+    /// Node kind and configuration.
+    pub kind: NodeKind,
+}
+
+/// A directed link between node ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Source output port.
+    pub from_port: usize,
+    /// Destination node.
+    pub to: NodeId,
+    /// Destination input port.
+    pub to_port: usize,
+}
+
+/// Errors raised while building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoError {
+    /// A node name was used twice.
+    DuplicateName(String),
+    /// A referenced node does not exist.
+    UnknownNode(String),
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopoError::DuplicateName(n) => write!(f, "duplicate node '{n}'"),
+            TopoError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// The operator's network graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Nodes, indexed by [`NodeId`].
+    pub nodes: Vec<TopoNode>,
+    /// Directed links.
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add(&mut self, name: impl Into<String>, kind: NodeKind) -> Result<NodeId, TopoError> {
+        let name = name.into();
+        if self.index_of(&name).is_some() {
+            return Err(TopoError::DuplicateName(name));
+        }
+        self.nodes.push(TopoNode { name, kind });
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Looks up a node id by name.
+    pub fn index_of(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &TopoNode {
+        &self.nodes[id]
+    }
+
+    /// Adds a directed link.
+    pub fn link(&mut self, from: NodeId, from_port: usize, to: NodeId, to_port: usize) {
+        self.links.push(Link {
+            from,
+            from_port,
+            to,
+            to_port,
+        });
+    }
+
+    /// Adds a pair of links wiring `a` and `b` in both directions on the
+    /// given ports (out and in share the port index on each side).
+    pub fn link_bidir(&mut self, a: NodeId, a_port: usize, b: NodeId, b_port: usize) {
+        self.link(a, a_port, b, b_port);
+        self.link(b, b_port, a, a_port);
+    }
+
+    /// The link leaving `(node, port)`, if any.
+    pub fn out_link(&self, from: NodeId, from_port: usize) -> Option<&Link> {
+        self.links
+            .iter()
+            .find(|l| l.from == from && l.from_port == from_port)
+    }
+
+    /// All platform node ids.
+    pub fn platforms(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Platform(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Count of middlebox nodes (the x-axis of Figure 10).
+    pub fn middlebox_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Middlebox(_)))
+            .count()
+    }
+
+    /// The paper's Figure 3 topology.
+    ///
+    /// ```text
+    /// internet ── border router ──┬── nat&fw1 ── platform1
+    ///                             ├── nat&fw2 ── http-optimizer ── platform2
+    ///                             ├── platform3            (externally reachable)
+    ///                             └── clients (172.16.0.0/16)
+    /// ```
+    ///
+    /// Platforms 1 and 2 sit behind operator NAT/firewall middleboxes and
+    /// are not reachable from the Internet; HTTP traffic toward clients
+    /// is steered through the HTTP optimizer.
+    pub fn figure3() -> Topology {
+        let mut t = Topology::new();
+        let internet = t.add("internet", NodeKind::Internet).expect("fresh");
+        let clients = t
+            .add(
+                "clients",
+                NodeKind::ClientSubnet("172.16.0.0/16".parse().expect("valid literal")),
+            )
+            .expect("fresh");
+
+        // Border router: port 0 internet, 1..=3 platforms, 4 clients.
+        let router = t
+            .add(
+                "border",
+                NodeKind::Router(vec![
+                    ("192.0.2.0/24".parse().expect("valid"), 1),
+                    ("198.51.100.0/24".parse().expect("valid"), 2),
+                    ("203.0.113.0/24".parse().expect("valid"), 3),
+                    ("172.16.0.0/16".parse().expect("valid"), 4),
+                    (Cidr::ANY, 0),
+                ]),
+            )
+            .expect("fresh");
+
+        // Operator middleboxes guarding platforms 1 and 2: stateful
+        // firewalls that only let operator-side traffic out.
+        let fw_cfg = ClickConfig::parse(
+            r#"
+            in  :: FromNetfront(0);
+            out :: FromNetfront(1);
+            fw  :: StatefulFirewall(allow tcp, allow udp, allow icmp);
+            to_in  :: ToNetfront(0);
+            to_out :: ToNetfront(1);
+            in  -> [1]fw;  fw[1] -> to_out;
+            out -> [0]fw;  fw[0] -> to_in;
+            "#,
+        )
+        .expect("valid literal config");
+        let natfw1 = t
+            .add("natfw1", NodeKind::Middlebox(fw_cfg.clone()))
+            .expect("fresh");
+        let natfw2 = t.add("natfw2", NodeKind::Middlebox(fw_cfg)).expect("fresh");
+
+        // The HTTP optimizer on the path to platform 2 (it rewrites the
+        // TOS byte of web traffic; what matters is that it *modifies*
+        // HTTP flows, which the static checks must notice).
+        let http_opt_cfg = ClickConfig::parse(
+            r#"
+            in :: FromNetfront(0);
+            c  :: IPClassifier(tcp src port 80 or tcp dst port 80, -);
+            opt :: SetTOS(46);
+            out :: ToNetfront(1);
+            rin :: FromNetfront(1);
+            rout :: ToNetfront(0);
+            in -> c; c[0] -> opt -> out; c[1] -> out;
+            rin -> rout;
+            "#,
+        )
+        .expect("valid literal config");
+        let http_opt = t
+            .add("HTTPOptimizer", NodeKind::Middlebox(http_opt_cfg))
+            .expect("fresh");
+
+        let p1 = t
+            .add(
+                "platform1",
+                NodeKind::Platform(PlatformSpec {
+                    addr_pool: "192.0.2.0/24".parse().expect("valid"),
+                    external: false,
+                    ..PlatformSpec::default()
+                }),
+            )
+            .expect("fresh");
+        let p2 = t
+            .add(
+                "platform2",
+                NodeKind::Platform(PlatformSpec {
+                    addr_pool: "198.51.100.0/24".parse().expect("valid"),
+                    external: false,
+                    ..PlatformSpec::default()
+                }),
+            )
+            .expect("fresh");
+        let p3 = t
+            .add(
+                "platform3",
+                NodeKind::Platform(PlatformSpec {
+                    addr_pool: "203.0.113.0/24".parse().expect("valid"),
+                    external: true,
+                    ..PlatformSpec::default()
+                }),
+            )
+            .expect("fresh");
+
+        t.link_bidir(internet, 0, router, 0);
+        t.link_bidir(router, 1, natfw1, 0);
+        t.link_bidir(natfw1, 1, p1, 0);
+        t.link_bidir(router, 2, natfw2, 0);
+        t.link_bidir(natfw2, 1, http_opt, 0);
+        t.link_bidir(http_opt, 1, p2, 0);
+        t.link_bidir(router, 3, p3, 0);
+        t.link_bidir(router, 4, clients, 0);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape() {
+        let t = Topology::figure3();
+        assert_eq!(t.platforms().len(), 3);
+        assert_eq!(t.middlebox_count(), 3);
+        assert!(t.index_of("HTTPOptimizer").is_some());
+        // Platform 3 is the only externally reachable one.
+        let externals: Vec<&str> = t
+            .platforms()
+            .into_iter()
+            .filter(|&p| matches!(&t.node(p).kind, NodeKind::Platform(s) if s.external))
+            .map(|p| t.node(p).name.as_str())
+            .collect();
+        assert_eq!(externals, vec!["platform3"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut t = Topology::new();
+        t.add("x", NodeKind::Internet).unwrap();
+        assert!(t.add("x", NodeKind::Internet).is_err());
+    }
+
+    #[test]
+    fn out_link_lookup() {
+        let t = Topology::figure3();
+        let router = t.index_of("border").unwrap();
+        let internet = t.index_of("internet").unwrap();
+        let l = t.out_link(router, 0).unwrap();
+        assert_eq!(l.to, internet);
+        assert!(t.out_link(router, 99).is_none());
+    }
+
+    #[test]
+    fn bidirectional_links_paired() {
+        let t = Topology::figure3();
+        for l in &t.links {
+            assert!(
+                t.links.iter().any(|m| m.from == l.to && m.to == l.from),
+                "every link has a reverse"
+            );
+        }
+    }
+}

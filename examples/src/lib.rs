@@ -1,0 +1,1 @@
+//! Example binaries live under `src/bin`; this library is intentionally empty.

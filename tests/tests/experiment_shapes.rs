@@ -1,0 +1,125 @@
+//! Shape checks over every evaluation experiment: the paper's qualitative
+//! claims must hold on small, fast parameterizations.
+
+use innet::experiments::*;
+use innet::sim::des::SECOND;
+
+#[test]
+fn fig05_shape() {
+    let series = fig05_reaction::reaction_time(&fig05_reaction::ReactionParams {
+        flows: 40,
+        ..Default::default()
+    });
+    // First probe slow (boot), rest fast; later flows slower to boot.
+    assert!(series.iter().all(|s| s.rtts_ms[0] > 10.0));
+    assert!(series
+        .iter()
+        .all(|s| s.rtts_ms[1..].iter().all(|&r| r < 5.0)));
+    assert!(series[39].rtts_ms[0] > series[0].rtts_ms[0]);
+}
+
+#[test]
+fn fig06_shape() {
+    let flows = fig06_http::http_concurrent(&fig06_http::HttpParams::default());
+    let min = flows.iter().map(|f| f.total_s).fold(f64::MAX, f64::min);
+    let max = flows.iter().map(|f| f.total_s).fold(0.0, f64::max);
+    // The paper's band: ~16.6–17.8 s total.
+    assert!(min > 15.5 && max < 18.0, "{min}..{max}");
+}
+
+#[test]
+fn fig07_shape() {
+    let pts = fig07_suspend::suspend_resume_sweep(&[0, 100, 200]);
+    assert!(pts.windows(2).all(|w| w[1].suspend_ms > w[0].suspend_ms));
+    assert!(pts
+        .iter()
+        .all(|p| p.suspend_ms < 110.0 && p.resume_ms < 110.0));
+}
+
+#[test]
+fn fig08_shape() {
+    // Small sweep: delivery complete and measurable throughput.
+    let pts = fig08_consolidation::consolidation_sweep(&[8, 48], 512, 3);
+    assert!(pts.iter().all(|p| (p.delivery - 1.0).abs() < 1e-9));
+    assert!(pts.iter().all(|p| p.pps > 0.0));
+}
+
+#[test]
+fn fig09_shape() {
+    let pts = fig09_thousand::thousand_clients(
+        &fig09_thousand::ScaleParams::default(),
+        &[200, 600, 1000],
+    );
+    assert!((pts[2].offered_gbps - 8.0).abs() < 1e-9);
+    assert!(pts
+        .windows(2)
+        .all(|w| w[1].offered_gbps > w[0].offered_gbps));
+}
+
+#[test]
+fn fig10_shape() {
+    let pts = fig10_controller::controller_scaling(&[3, 31]);
+    assert!(pts.iter().all(|p| p.compile_ms > 0.0 && p.check_ms > 0.0));
+    // No exponential blow-up.
+    let t0 = pts[0].compile_ms + pts[0].check_ms;
+    let t1 = pts[1].compile_ms + pts[1].check_ms;
+    assert!(t1 < t0 * 110.0 + 100.0, "{t0} -> {t1}");
+}
+
+#[test]
+fn fig11_shape() {
+    let pts = fig11_sandbox::sandbox_cost(&[64, 1472], 4);
+    assert_eq!(pts.len(), 2);
+    assert!(pts
+        .iter()
+        .all(|p| p.plain_mpps > 0.0 && p.sandboxed_mpps > 0.0));
+}
+
+#[test]
+fn fig12_shape() {
+    for kind in fig12_middleboxes::KINDS {
+        let pts = fig12_middleboxes::middlebox_sweep(kind, &[1, 8], 512);
+        assert!(pts.iter().all(|p| p.mpps > 0.0), "{kind}");
+    }
+}
+
+#[test]
+fn fig13_shape() {
+    let pts = fig13_energy::push_energy(&[30, 240], 30 * SECOND, 1800 * SECOND);
+    assert!(pts[0].avg_power_mw > pts[1].avg_power_mw);
+    assert!(pts[0].avg_power_mw > 200.0 && pts[1].avg_power_mw < 170.0);
+}
+
+#[test]
+fn fig14_shape() {
+    let pts = fig14_tunnel::tunnel_sweep(&[1.0, 5.0], 3);
+    for p in &pts {
+        assert!(p.udp_mbps > p.tcp_mbps, "{p:?}");
+    }
+    assert!(pts[0].udp_mbps > pts[1].udp_mbps);
+}
+
+#[test]
+fn fig15_shape() {
+    let s = fig15_slowloris::slowloris(&fig15_slowloris::SlowlorisParams::default());
+    let at = |t: u64| s.iter().find(|x| x.t_s == t).unwrap();
+    assert!(at(100).single_server_rps > 250.0);
+    assert!(at(500).single_server_rps < 60.0);
+    assert!(at(500).with_innet_rps > 200.0);
+    assert!(at(850).single_server_rps > 250.0);
+}
+
+#[test]
+fn fig16_shape() {
+    let clients = fig16_cdn::cdn_downloads(&fig16_cdn::CdnParams::default());
+    assert_eq!(clients.len(), 75);
+    assert!(clients.iter().all(|c| c.cdn_ms < c.origin_ms));
+}
+
+#[test]
+fn sec6_shape() {
+    let density = sec6_capacity::vm_density(128);
+    assert!(density.clickos_vms > 40 * density.linux_vms);
+    let (stats, fits) = sec6_capacity::mawi_check(1);
+    assert!(fits, "{stats:?}");
+}

@@ -1,0 +1,156 @@
+//! Model-soundness property tests: the symbolic models over-approximate
+//! the concrete elements, so any packet the real router transmits must be
+//! admitted by some symbolic egress flow class.
+//!
+//! This is the property the In-Net security argument rests on: if the
+//! symbolic egress flows all satisfy the security rules, and every
+//! concrete behaviour is covered by some symbolic flow, then no concrete
+//! run can violate the rules.
+
+use innet::prelude::*;
+use innet::symnet::{build_sym_graph, ExecOptions, Field, SymPacket};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Whether the symbolic flow class admits this concrete packet at egress.
+fn admits(flow: &SymPacket, pkt: &Packet) -> bool {
+    let Ok(ip) = pkt.ipv4() else { return false };
+    let mut f = flow.clone();
+    let mut ok = f.constrain_eq(Field::IpSrc, u32::from(ip.src()) as u64)
+        && f.constrain_eq(Field::IpDst, u32::from(ip.dst()) as u64)
+        && f.constrain_eq(Field::Proto, ip.proto().number() as u64)
+        && f.constrain_eq(Field::Ttl, ip.ttl() as u64)
+        && f.constrain_eq(Field::Tos, ip.tos() as u64);
+    if ok {
+        if let Ok(u) = pkt.udp() {
+            ok = f.constrain_eq(Field::SrcPort, u.src_port() as u64)
+                && f.constrain_eq(Field::DstPort, u.dst_port() as u64);
+        } else if let Ok(t) = pkt.tcp() {
+            ok = f.constrain_eq(Field::SrcPort, t.src_port() as u64)
+                && f.constrain_eq(Field::DstPort, t.dst_port() as u64)
+                && f.constrain_eq(Field::TcpSyn, t.flags().is_initial_syn() as u64);
+        }
+    }
+    ok
+}
+
+/// Configurations whose concrete and symbolic behaviour we compare.
+fn arb_config() -> impl Strategy<Value = String> {
+    let stage = prop_oneof![
+        Just("-> Counter() ".to_string()),
+        Just("-> DecIPTTL() ".to_string()),
+        Just("-> CheckIPHeader() ".to_string()),
+        Just("-> IPFilter(allow udp) ".to_string()),
+        Just("-> IPFilter(allow tcp dst port 80, allow udp dst port 53) ".to_string()),
+        Just("-> IPFilter(allow udp dst net 10.0.0.0/8, deny udp, allow tcp) ".to_string()),
+        Just("-> SetIPDst(172.16.15.133) ".to_string()),
+        Just("-> SetIPSrc(203.0.113.10) ".to_string()),
+        Just("-> FlowMeter() ".to_string()),
+        Just("-> IPRewriter(pattern - - 172.16.15.133 4242 0 0) ".to_string()),
+        Just("-> UDPTunnelEncap(203.0.113.10, 7000, 198.51.100.1, 7001) ".to_string()),
+        Just(
+            "-> UDPTunnelEncap(203.0.113.10, 7000, 198.51.100.1, 7001) \
+             -> UDPTunnelDecap() "
+                .to_string(),
+        ),
+        Just("-> ICMPPingResponder() ".to_string()),
+        Just("-> RateLimiter(1000000) ".to_string()),
+    ];
+    proptest::collection::vec(stage, 0..4).prop_map(|stages| {
+        format!(
+            "src :: FromNetfront(); snk :: ToNetfront(); src {} -> snk;",
+            stages.concat()
+        )
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        proptest::sample::select(vec![53u16, 80, 443, 1500, 9]),
+        1u8..=255,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(src, dst, sport, dport, ttl, is_tcp, syn)| {
+            let b = if is_tcp {
+                PacketBuilder::tcp().flags(if syn {
+                    innet::packet::TcpFlags::SYN
+                } else {
+                    innet::packet::TcpFlags::ACK
+                })
+            } else {
+                PacketBuilder::udp()
+            };
+            b.src(Ipv4Addr::from(src), sport)
+                .dst(Ipv4Addr::from(dst), dport)
+                .ttl(ttl)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: concrete transmission ⇒ symbolic coverage.
+    #[test]
+    fn concrete_transmission_covered_by_symbolic_flow(
+        cfg_text in arb_config(),
+        packets in proptest::collection::vec(arb_packet(), 1..12),
+    ) {
+        let cfg = ClickConfig::parse(&cfg_text).unwrap();
+        let registry = Registry::standard();
+
+        // Symbolic egress flow classes.
+        let graph = build_sym_graph(&cfg, &registry).unwrap();
+        let sym = graph
+            .run_named("src", 0, SymPacket::unconstrained(), &ExecOptions::default())
+            .unwrap();
+
+        // Concrete execution.
+        let mut router = Router::from_config(&cfg, &registry).unwrap();
+        for (i, pkt) in packets.iter().enumerate() {
+            router.deliver(0, pkt.clone(), i as u64 * 1000).unwrap();
+            for (_, out_pkt) in router.take_tx() {
+                prop_assert!(
+                    sym.egress.iter().any(|(_, flow)| admits(flow, &out_pkt)),
+                    "transmitted packet not covered by any of {} symbolic flows\n\
+                     config: {cfg_text}\npacket: {out_pkt:?}",
+                    sym.egress.len()
+                );
+            }
+        }
+    }
+
+    /// Completeness on filters: a packet the symbolic analysis proves
+    /// *cannot* egress (no flow admits it at ingress either) is indeed
+    /// dropped by the concrete router.
+    #[test]
+    fn symbolically_dead_traffic_is_dropped(
+        packets in proptest::collection::vec(arb_packet(), 1..12),
+    ) {
+        // A filter whose symbolic egress is precisely "udp dst port 53".
+        let cfg = ClickConfig::parse(
+            "src :: FromNetfront(); snk :: ToNetfront(); \
+             src -> IPFilter(allow udp dst port 53) -> snk;",
+        )
+        .unwrap();
+        let registry = Registry::standard();
+        let graph = build_sym_graph(&cfg, &registry).unwrap();
+        let sym = graph
+            .run_named("src", 0, SymPacket::unconstrained(), &ExecOptions::default())
+            .unwrap();
+        let mut router = Router::from_config(&cfg, &registry).unwrap();
+        for (i, pkt) in packets.iter().enumerate() {
+            let covered = sym.egress.iter().any(|(_, f)| admits(f, pkt));
+            router.deliver(0, pkt.clone(), i as u64).unwrap();
+            let transmitted = !router.take_tx().is_empty();
+            prop_assert_eq!(
+                covered, transmitted,
+                "symbolic and concrete disagree for {:?}", pkt
+            );
+        }
+    }
+}

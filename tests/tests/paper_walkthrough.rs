@@ -1,0 +1,278 @@
+//! End-to-end integration tests following the paper's own narrative:
+//! the Figure 1/2 static-checking walk-through, the Figure 4 request,
+//! the §4.5 unifying example, and Table 1.
+
+use innet::prelude::*;
+use innet::symnet::{
+    build_sym_graph, ExecOptions, Field, Observe, RequesterClass as RC, SymPacket, Verdict,
+};
+use innet::{controller::table1_matrix, policy::NodeRef};
+
+/// §3, Figures 1 and 2: the client's payload traverses the stateful
+/// firewall and the flipping server unchanged, and arrives only as UDP.
+#[test]
+fn figure2_symbolic_trace() {
+    let cfg = ClickConfig::parse(
+        r#"
+        client :: FromNetfront();
+        fw :: StatefulFirewall(allow udp);
+        s :: ServerS();
+        back :: ToNetfront();
+        client -> [0]fw; fw[0] -> s -> [1]fw; fw[1] -> back;
+        "#,
+    )
+    .unwrap();
+    let g = build_sym_graph(&cfg, &Registry::standard()).unwrap();
+    let res = g
+        .run_named(
+            "client",
+            0,
+            SymPacket::unconstrained(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+
+    // Exactly one flow class comes back, and it reproduces every row of
+    // the Figure 2 trace's final line: src/dst flipped, proto pinned to
+    // UDP, data untouched.
+    assert_eq!(res.egress.len(), 1);
+    let flow = &res.egress[0].1;
+    assert!(flow.provably_eq(Field::Proto, 17), "restricted to UDP");
+    assert!(
+        flow.provably_same(flow.get(Field::IpDst), flow.ingress.get(Field::IpSrc)),
+        "destination bound to the original client"
+    );
+    assert!(
+        flow.provably_same(flow.get(Field::IpSrc), flow.ingress.get(Field::IpDst)),
+        "source bound to the original server"
+    );
+    assert!(
+        !flow.ever_written(Field::Payload),
+        "the data will not change en-route (Figure 2's conclusion)"
+    );
+}
+
+/// §3 "Checking Operator Policy Compliance": running server S inside the
+/// operator's network is equivalent to running it in the Internet — and
+/// the security rules accept it (its responses are implicitly
+/// authorized).
+#[test]
+fn server_s_is_safe_to_host() {
+    let cfg = ClickConfig::parse("FromNetfront() -> ServerS() -> ToNetfront();").unwrap();
+    for class in [RC::ThirdParty, RC::Client, RC::Operator] {
+        let report = innet::symnet::check_module(
+            &cfg,
+            &innet::symnet::SecurityContext {
+                assigned_addr: "203.0.113.10".parse().unwrap(),
+                registered: vec![],
+                class,
+            },
+            &Registry::standard(),
+        )
+        .unwrap();
+        assert_eq!(report.verdict, Verdict::Safe, "{class:?}");
+    }
+}
+
+/// §4.5: the unifying example end to end — deploy, verify, route, kill.
+#[test]
+fn unifying_example() {
+    let mut ctl = Controller::new(Topology::figure3());
+    ctl.register_client(
+        "mobile-7",
+        RC::Client,
+        vec!["172.16.15.133".parse().unwrap()],
+    );
+    let req = ClientRequest::parse(
+        r#"
+        module batcher:
+        FromNetfront()
+          -> IPFilter(allow udp dst port 1500)
+          -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+          -> TimedUnqueue(120, 100)
+          -> dst :: ToNetfront();
+
+        reach from internet udp
+          -> batcher:dst:0 dst 172.16.15.133
+          -> client dst port 1500
+          const proto && dst port && payload
+        "#,
+    )
+    .unwrap();
+
+    // (1) "only Platform 3 applies, since Platforms 1 and 2 are not
+    // reachable from the outside."
+    let resp = ctl.deploy("mobile-7", req).unwrap();
+    assert_eq!(resp.platform, "platform3");
+    // (2) The client learns the module's external address.
+    assert!(resp.public_addr.octets()[0] == 203);
+    // (3) Forwarding rules exist for exactly this module.
+    assert_eq!(ctl.flow_rules().len(), 1);
+    assert_eq!(ctl.flow_rules()[0].dst, resp.public_addr);
+    // Kill tears everything down.
+    ctl.kill(resp.module_id).unwrap();
+    assert!(ctl.flow_rules().is_empty());
+    assert!(ctl.modules().is_empty());
+}
+
+/// Table 1, all 36 cells.
+#[test]
+fn table1_matrix_matches_paper() {
+    use Verdict::{Reject as X, Safe as V, SafeWithSandbox as S};
+    let expected = [
+        ("IP Router", [X, X, V]),
+        ("DPI", [X, X, V]),
+        ("NAT", [X, X, V]),
+        ("Transparent Proxy", [X, X, V]),
+        ("Flow meter", [V, V, V]),
+        ("Rate limiter", [V, V, V]),
+        ("Firewall", [V, V, V]),
+        ("Tunnel", [S, V, V]),
+        ("Multicast", [V, V, V]),
+        ("DNS server (stock)", [V, V, V]),
+        ("Reverse proxy (stock)", [V, V, V]),
+        ("x86 VM", [S, S, V]),
+    ];
+    let matrix = table1_matrix();
+    for (row, (name, verdicts)) in matrix.iter().zip(expected.iter()) {
+        assert_eq!(row.name, *name);
+        assert_eq!(row.verdicts, *verdicts, "{name}");
+    }
+}
+
+/// §3 "Checking Operator Policy Compliance": symbolic execution of the
+/// *original* setup (server in the Internet) and the *platform* setup
+/// (server hosted behind the platform demultiplexer) yields the same
+/// symbolic packet — "implying the two configurations are equivalent.
+/// Hence, it is safe for the operator to run the content-provider's
+/// server inside its own network, without sandboxing."
+#[test]
+fn platform_setup_equivalent_to_internet_setup() {
+    let registry = Registry::standard();
+    // Original: client -> firewall -> server somewhere in the Internet.
+    let original = ClickConfig::parse(
+        r#"
+        client :: FromNetfront();
+        fw :: StatefulFirewall(allow udp);
+        s :: ServerS();
+        back :: ToNetfront();
+        client -> [0]fw; fw[0] -> s -> [1]fw; fw[1] -> back;
+        "#,
+    )
+    .unwrap();
+    // Platform: the same server behind the platform's vswitch demux (an
+    // extra classifier hop on the path).
+    let platform = ClickConfig::parse(
+        r#"
+        client :: FromNetfront();
+        fw :: StatefulFirewall(allow udp);
+        vswitch :: IPClassifier(-);
+        s :: ServerS();
+        back :: ToNetfront();
+        client -> [0]fw; fw[0] -> vswitch; vswitch[0] -> s -> [1]fw;
+        fw[1] -> back;
+        "#,
+    )
+    .unwrap();
+
+    let run = |cfg: &ClickConfig| {
+        let g = build_sym_graph(cfg, &registry).unwrap();
+        let mut res = g
+            .run_named(
+                "client",
+                0,
+                SymPacket::unconstrained(),
+                &ExecOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(res.egress.len(), 1);
+        res.egress.pop().unwrap().1
+    };
+    let a = run(&original);
+    let b = run(&platform);
+
+    // "Exactly the same symbolic packet": identical possible-value sets
+    // for every field, and identical binding relations to the ingress.
+    use innet::symnet::ALL_FIELDS;
+    for f in ALL_FIELDS {
+        assert_eq!(a.possible(f), b.possible(f), "{f}");
+        assert_eq!(a.ever_written(f), b.ever_written(f), "{f} write history");
+    }
+    for (pkt, name) in [(&a, "original"), (&b, "platform")] {
+        assert!(
+            pkt.provably_same(pkt.get(Field::IpDst), pkt.ingress.get(Field::IpSrc)),
+            "{name}: response bound to the client"
+        );
+        assert!(
+            pkt.provably_same(pkt.get(Field::Payload), pkt.ingress.get(Field::Payload)),
+            "{name}: payload invariant"
+        );
+    }
+}
+
+/// The requirements API rejects nodes the network does not have, instead
+/// of silently succeeding.
+#[test]
+fn unknown_waypoints_error() {
+    let ctl = {
+        let mut c = Controller::new(Topology::figure3());
+        c.register_client("x", RC::Client, vec![]);
+        c
+    };
+    let model = ctl.network_model().unwrap();
+    let req = Requirement::parse("reach from internet -> Narnia").unwrap();
+    assert!(innet::controller::check_requirement(&model, &req).is_err());
+    // But known operator middleboxes resolve.
+    let req2 = Requirement::parse("reach from client -> HTTPOptimizer").unwrap();
+    let _ = innet::controller::check_requirement(&model, &req2).unwrap();
+    assert!(matches!(req2.hops[0].node, NodeRef::Named(_)));
+}
+
+/// Symbolic egress observation and the concrete runtime agree on the
+/// Figure 4 module: the symbolic flow class admits the concrete packet
+/// the runtime forwards, and excludes the one it drops.
+#[test]
+fn symbolic_concrete_agreement_on_figure4() {
+    let cfg_text = r#"
+        src :: FromNetfront();
+        f :: IPFilter(allow udp dst port 1500);
+        rw :: IPRewriter(pattern - - 172.16.15.133 - 0 0);
+        dst :: ToNetfront();
+        src -> f -> rw -> dst;
+    "#;
+    let cfg = ClickConfig::parse(cfg_text).unwrap();
+
+    // Symbolic: one egress class with dst rewritten and port 1500.
+    let g = build_sym_graph(&cfg, &Registry::standard()).unwrap();
+    let res = g
+        .run_named(
+            "src",
+            0,
+            SymPacket::unconstrained(),
+            &ExecOptions {
+                max_hops: 1000,
+                max_node_visits: 6,
+                observe: Observe::EgressOnly,
+            },
+        )
+        .unwrap();
+    assert_eq!(res.egress.len(), 1);
+
+    // Concrete: the runtime forwards the in-class packet, drops the rest.
+    let mut router = Router::from_config(&cfg, &Registry::standard()).unwrap();
+    let good = PacketBuilder::udp()
+        .src("8.8.8.8".parse().unwrap(), 999)
+        .dst("203.0.113.10".parse().unwrap(), 1500)
+        .build();
+    let bad = PacketBuilder::tcp()
+        .dst("203.0.113.10".parse().unwrap(), 1500)
+        .build();
+    router.deliver(0, good, 0).unwrap();
+    router.deliver(0, bad, 1).unwrap();
+    let tx = router.take_tx();
+    assert_eq!(tx.len(), 1);
+    assert_eq!(
+        tx[0].1.ipv4().unwrap().dst(),
+        "172.16.15.133".parse::<std::net::Ipv4Addr>().unwrap()
+    );
+}

@@ -1,0 +1,107 @@
+//! Property tests for the requirements language and its interaction with
+//! the verification pipeline.
+
+use innet::policy::{ConstField, NodeRef, Requirement};
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("internet".to_string()),
+        Just("client".to_string()),
+        Just("10.0.0.0/8".to_string()),
+        Just("192.0.2.7".to_string()),
+        Just("HTTPOptimizer".to_string()),
+        Just("batcher:dst:0".to_string()),
+        Just("batcher:dst".to_string()),
+    ]
+}
+
+fn arb_flow() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("udp".to_string()),
+        Just("tcp src port 80".to_string()),
+        Just("udp dst port 1500".to_string()),
+        Just("dst net 172.16.0.0/16".to_string()),
+        Just("(tcp or udp) and not dst port 22".to_string()),
+    ]
+}
+
+fn arb_const() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just(" const proto".to_string()),
+        Just(" const dst port && payload".to_string()),
+        Just(" const proto && dst port && payload".to_string()),
+        Just(" const src host && ttl".to_string()),
+    ]
+}
+
+proptest! {
+    /// Any statement assembled from valid pieces parses, with the right
+    /// hop count, and re-parses identically after whitespace mangling.
+    #[test]
+    fn assembled_requirements_parse(
+        from in arb_node(),
+        from_flow in arb_flow(),
+        hops in proptest::collection::vec((arb_node(), arb_flow(), arb_const()), 1..4),
+    ) {
+        let mut text = format!("reach from {from} {from_flow}");
+        for (node, flow, cst) in &hops {
+            text.push_str(&format!(" -> {node} {flow}{cst}"));
+        }
+        let parsed = Requirement::parse(&text).unwrap();
+        prop_assert_eq!(parsed.hops.len(), hops.len());
+
+        // Whitespace-mangled variant parses to the same AST.
+        let mangled = text.split_whitespace().collect::<Vec<_>>().join("  \n ");
+        let reparsed = Requirement::parse(&mangled).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// Const fields parse to the expected variants in order.
+    #[test]
+    fn const_fields_ordered(perm in proptest::sample::subsequence(
+        vec!["proto", "src port", "dst port", "payload", "ttl", "tos"], 1..6))
+    {
+        let text = format!(
+            "reach from internet -> client const {}",
+            perm.join(" && ")
+        );
+        let r = Requirement::parse(&text).unwrap();
+        prop_assert_eq!(r.hops[0].const_fields.len(), perm.len());
+        for (f, name) in r.hops[0].const_fields.iter().zip(perm.iter()) {
+            let expect = match *name {
+                "proto" => ConstField::Proto,
+                "src port" => ConstField::SrcPort,
+                "dst port" => ConstField::DstPort,
+                "payload" => ConstField::Payload,
+                "ttl" => ConstField::Ttl,
+                "tos" => ConstField::Tos,
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(*f, expect);
+        }
+    }
+
+    /// Garbage never panics the parser.
+    #[test]
+    fn garbage_never_panics(s in "\\PC{0,80}") {
+        let _ = Requirement::parse(&s);
+    }
+
+    /// Node references classify as expected.
+    #[test]
+    fn node_kinds(label in arb_node()) {
+        let r = Requirement::parse(&format!("reach from internet -> {label}")).unwrap();
+        let node = &r.hops[0].node;
+        let ok = match label.as_str() {
+            "internet" => *node == NodeRef::Internet,
+            "client" => *node == NodeRef::Client,
+            "10.0.0.0/8" | "192.0.2.7" => matches!(node, NodeRef::Addr(_)),
+            "HTTPOptimizer" => matches!(node, NodeRef::Named(_)),
+            _ => matches!(node, NodeRef::ElementPort { .. }),
+        };
+        prop_assert!(ok, "label {} parsed to {:?}", label, node);
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the sandbox path: what static analysis cannot
+//! prove, the `ChangeEnforcer` must contain at runtime.
+
+use innet::controller::wrap_with_enforcer;
+use innet::prelude::*;
+use std::net::Ipv4Addr;
+
+const MODULE: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
+const PEER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+const VICTIM: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 66);
+
+/// A tunnel decapsulator is the paper's canonical sandbox case: inner
+/// destinations are unknown at verify time. At runtime, the enforcer
+/// lets decapsulated traffic reach white-listed destinations and blocks
+/// the rest.
+#[test]
+fn sandboxed_tunnel_contained_at_runtime() {
+    let cfg = ClickConfig::parse("FromNetfront() -> UDPTunnelDecap() -> ToNetfront();").unwrap();
+    let wrapped = wrap_with_enforcer(&cfg, MODULE, &[PEER]);
+    let mut router = Router::from_config(&wrapped, &Registry::standard()).unwrap();
+
+    // An encapsulated packet whose inner destination is the white-listed
+    // peer — but whose inner SOURCE is not the module: blocked as spoofed.
+    let inner_spoof = PacketBuilder::udp()
+        .src(Ipv4Addr::new(6, 6, 6, 6), 1)
+        .dst(PEER, 80)
+        .build();
+    let outer = encapsulate(&inner_spoof);
+    router.deliver(0, outer, 0).unwrap();
+    assert!(
+        router.take_tx().is_empty(),
+        "spoofed inner source must not escape"
+    );
+
+    // Inner traffic correctly sourced at the module, to the peer: passes.
+    let inner_ok = PacketBuilder::udp().src(MODULE, 7000).dst(PEER, 80).build();
+    router.deliver(0, encapsulate(&inner_ok), 1).unwrap();
+    let tx = router.take_tx();
+    assert_eq!(tx.len(), 1);
+    assert_eq!(tx[0].1.ipv4().unwrap().dst(), PEER);
+
+    // Inner traffic to an unauthorized victim: blocked.
+    let inner_bad = PacketBuilder::udp()
+        .src(MODULE, 7000)
+        .dst(VICTIM, 80)
+        .build();
+    router.deliver(0, encapsulate(&inner_bad), 2).unwrap();
+    assert!(router.take_tx().is_empty());
+}
+
+fn encapsulate(inner: &Packet) -> Packet {
+    use innet::click::{ConfigArgs, Context, Element, VecSink};
+    let mut enc = innet::click::elements::UdpTunnelEncap::from_args(&ConfigArgs::parse(
+        "UDPTunnelEncap",
+        "8.8.8.8, 7000, 203.0.113.10, 7001",
+    ))
+    .unwrap();
+    let mut sink = VecSink::new();
+    enc.push(0, inner.clone(), &Context::default(), &mut sink);
+    sink.pushed.pop().unwrap().1
+}
+
+/// Implicit authorizations expire: the paper's §7 time-based caveat is
+/// bounded by the enforcer's idle timeout.
+#[test]
+fn implicit_authorization_expires_in_sandbox() {
+    let cfg = ClickConfig::parse("FromNetfront() -> StockX86VM() -> ToNetfront();").unwrap();
+    // The StockX86VM has no runtime implementation (it is opaque); swap
+    // in a concrete stand-in with the same wiring for the runtime test.
+    let runtime_cfg =
+        ClickConfig::parse("FromNetfront() -> ICMPPingResponder() -> ToNetfront();").unwrap();
+    let _ = cfg;
+    let wrapped = wrap_with_enforcer(&runtime_cfg, MODULE, &[]);
+    let mut router = Router::from_config(&wrapped, &Registry::standard()).unwrap();
+
+    let ping = |seq: u16| {
+        PacketBuilder::icmp_echo_request(9, seq)
+            .src_addr(Ipv4Addr::new(8, 8, 4, 4))
+            .dst_addr(MODULE)
+            .build()
+    };
+    // Within the window: request → reply passes.
+    router.deliver(0, ping(1), 0).unwrap();
+    assert_eq!(router.take_tx().len(), 1);
+
+    // ~10 minutes later, the module tries to reply *again* without a new
+    // request (simulated by injecting straight into the responder's
+    // output path): since no fresh ingress renewed the authorization, the
+    // enforcer must block. We exercise it by sending a packet from the
+    // module side via the enforcer's module→world input.
+    let stale_reply = PacketBuilder::icmp_echo_reply(9, 2)
+        .src_addr(MODULE)
+        .dst_addr(Ipv4Addr::new(8, 8, 4, 4))
+        .build();
+    router
+        .inject("__enforcer0", 1, stale_reply.clone(), 700_000_000_000)
+        .unwrap();
+    assert!(
+        router.take_tx().is_empty(),
+        "authorization expired after the idle timeout"
+    );
+
+    // A fresh request re-authorizes.
+    router.deliver(0, ping(3), 700_000_000_001).unwrap();
+    assert_eq!(router.take_tx().len(), 1);
+    router
+        .inject("__enforcer0", 1, stale_reply, 700_000_000_002)
+        .unwrap();
+    assert_eq!(router.take_tx().len(), 1, "renewed by the new request");
+}
+
+/// The controller's end-to-end sandbox decision: an x86 module deploys
+/// sandboxed and its runtime config actually contains the enforcer.
+#[test]
+fn controller_sandbox_roundtrip() {
+    let mut ctl = Controller::new(Topology::figure3());
+    ctl.register_client("cdn", RequesterClass::ThirdParty, vec![PEER]);
+    let resp = ctl
+        .deploy("cdn", ClientRequest::parse("stock cache: x86-vm").unwrap())
+        .unwrap();
+    assert!(resp.sandboxed);
+    let module = &ctl.modules()[0];
+    let enforcers = module.config.elements_of_class("ChangeEnforcer");
+    assert!(!enforcers.is_empty());
+    // The enforcer is configured with the module's own address.
+    let decl = module.config.element(enforcers[0]).unwrap();
+    assert_eq!(decl.args[0], resp.public_addr.to_string());
+}
