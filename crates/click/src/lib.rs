@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod args;
+mod canonical;
 mod config;
 mod element;
 pub mod elements;
@@ -60,6 +61,7 @@ mod netfront;
 mod registry;
 
 pub use args::ConfigArgs;
+pub use canonical::fnv1a_64;
 pub use config::{ClickConfig, ConfigError, Connection, ElementDecl, PortRef};
 pub use element::{Context, Element, ElementError, PortCount, Sink, VecSink};
 pub use graph::{Router, RouterError, RouterStats};

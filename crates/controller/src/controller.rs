@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Instant;
 
 use innet_click::{ClickConfig, Registry};
@@ -11,8 +12,10 @@ use innet_symnet::{
     check_module, RequesterClass, SecurityContext, SecurityReport, SymError, Verdict,
 };
 use innet_topology::{NodeId, NodeKind, Topology};
+use parking_lot::RwLock;
 
 use crate::{
+    cache::{verdict_key, CachedOutcome, CachedVerdict, VerdictCache},
     hardening::{apply_udp_reflection_ban, HardeningPolicy},
     netmodel::{compile, InstalledModule, NetworkModel},
     request::{ClientRequest, ModuleConfig},
@@ -60,10 +63,21 @@ pub struct ControllerStats {
     pub compile_ns: u64,
     /// Nanoseconds spent in symbolic checking.
     pub check_ns: u64,
+    /// Deploy requests answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Deploy requests that ran full verification (and populated the
+    /// cache).
+    pub cache_misses: u64,
+    /// Cached verdicts discarded by epoch bumps (operator policy,
+    /// hardening, or topology changes).
+    pub cache_invalidations: u64,
+    /// Checking nanoseconds avoided by cache hits: each hit credits the
+    /// `check_ns` the original full evaluation of that request spent.
+    pub check_ns_saved: u64,
 }
 
 /// Why a deployment failed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum DeployError {
     /// The client id is not registered.
     UnknownClient(String),
@@ -140,6 +154,10 @@ pub struct Controller {
     next_id: ModuleId,
     addr_cursor: HashMap<NodeId, u32>,
     hardening: HardeningPolicy,
+    /// The verification verdict cache, shared (behind `parking_lot`) with
+    /// the verification snapshots `deploy_batch` spawns, so shard misses
+    /// warm the cache for everyone.
+    verdicts: Arc<RwLock<VerdictCache>>,
     /// Cumulative statistics.
     pub stats: ControllerStats,
 }
@@ -157,14 +175,32 @@ impl Controller {
             next_id: 1,
             addr_cursor: HashMap::new(),
             hardening: HardeningPolicy::default(),
+            verdicts: Arc::new(RwLock::new(VerdictCache::default())),
             stats: ControllerStats::default(),
         }
     }
 
     /// Sets the §7 hardening policy (ingress filtering, UDP-reflection
-    /// ban). Applies to subsequent deployments.
+    /// ban). Applies to subsequent deployments; an effective change
+    /// invalidates all cached verdicts.
     pub fn set_hardening(&mut self, policy: HardeningPolicy) {
-        self.hardening = policy;
+        if policy != self.hardening {
+            self.hardening = policy;
+            self.invalidate_verdicts();
+        }
+    }
+
+    /// Discards every cached verification verdict by starting a new cache
+    /// epoch. Called automatically on operator policy, hardening, and
+    /// module-removal changes; operators can call it directly after
+    /// out-of-band changes (e.g. topology edits).
+    pub fn invalidate_verdicts(&mut self) {
+        self.stats.cache_invalidations += self.verdicts.write().bump_epoch();
+    }
+
+    /// Number of verdicts currently cached.
+    pub fn cached_verdicts(&self) -> usize {
+        self.verdicts.read().len()
     }
 
     /// The current hardening policy.
@@ -173,9 +209,11 @@ impl Controller {
     }
 
     /// Adds an operator policy rule that must hold after every network
-    /// modification.
+    /// modification. Invalidates all cached verdicts: they were computed
+    /// under the old rule set.
     pub fn add_operator_policy(&mut self, rule: Requirement) {
         self.operator_policy.push(rule);
+        self.invalidate_verdicts();
     }
 
     /// Registers a tenant with its requester class and registered
@@ -244,216 +282,21 @@ impl Controller {
         &self.topology
     }
 
-    fn allocate_addr(&mut self, platform: NodeId) -> Ipv4Addr {
+    fn allocate_addr(&mut self, platform: NodeId) -> Option<Ipv4Addr> {
         let NodeKind::Platform(spec) = &self.topology.node(platform).kind else {
-            unreachable!("allocate_addr is only called for platforms");
+            return None;
         };
         let cursor = self.addr_cursor.entry(platform).or_insert(10);
         let addr = spec.addr_pool.nth_host(*cursor);
         *cursor += 1;
-        addr
+        Some(addr)
     }
 
-    /// Handles a deployment request (§4.3, §4.5): parse → security check →
-    /// per-platform placement search → commit.
-    pub fn deploy(
-        &mut self,
-        client_id: &str,
-        request: ClientRequest,
-    ) -> Result<DeployResponse, DeployError> {
-        self.stats.requests += 1;
-        let account = self
-            .clients
-            .get(client_id)
-            .cloned()
-            .ok_or_else(|| DeployError::UnknownClient(client_id.to_string()))?;
-
-        let mut compile_ns = 0u64;
-        let mut check_ns = 0u64;
-        let mut reasons: Vec<(String, String)> = Vec::new();
-
-        let platforms = self.topology.platforms();
-        for platform in platforms {
-            let platform_name = self.topology.node(platform).name.clone();
-
-            // Capacity check.
-            let NodeKind::Platform(spec) = &self.topology.node(platform).kind else {
-                continue;
-            };
-            let installed_here = self
-                .modules
-                .iter()
-                .filter(|m| m.platform == platform)
-                .count();
-            if installed_here >= spec.capacity {
-                reasons.push((platform_name, "platform full".to_string()));
-                continue;
-            }
-
-            // Tentatively assign an address on this platform.
-            let addr = self.allocate_addr(platform);
-
-            // Materialize the configuration (stock modules need the
-            // assigned address). Click configurations may reference the
-            // not-yet-known module address as `$SELF`; the controller
-            // binds it here, before verification.
-            let raw_cfg: ClickConfig = match &request.config {
-                ModuleConfig::Click(c) => {
-                    let mut c = c.clone();
-                    for e in &mut c.elements {
-                        for a in &mut e.args {
-                            if a.contains("$SELF") {
-                                *a = a.replace("$SELF", &addr.to_string());
-                            }
-                        }
-                    }
-                    c
-                }
-                ModuleConfig::Stock(kind) => stock_config(*kind, addr),
-            };
-
-            // Security check (per requester class).
-            let t0 = Instant::now();
-            let report = check_module(
-                &raw_cfg,
-                &SecurityContext {
-                    assigned_addr: addr,
-                    registered: account.registered.clone(),
-                    class: account.class,
-                },
-                &self.registry,
-            )
-            .map_err(DeployError::BadConfig)?;
-            check_ns += t0.elapsed().as_nanos() as u64;
-
-            // §7 hardening: the UDP-reflection (amplification) ban.
-            let mut report = report;
-            if self.hardening.ban_udp_reflection {
-                let (hardened, offenders) =
-                    apply_udp_reflection_ban(account.class, &report.egress_flows, &report);
-                report.verdict = hardened;
-                report.violations.extend(offenders);
-            }
-
-            let (run_cfg, sandboxed) = match report.verdict {
-                Verdict::Reject => {
-                    self.stats.rejected += 1;
-                    self.stats.check_ns += check_ns;
-                    return Err(DeployError::SecurityReject(report));
-                }
-                Verdict::SafeWithSandbox => (
-                    wrap_with_enforcer(&raw_cfg, addr, &account.registered),
-                    true,
-                ),
-                Verdict::Safe => (raw_cfg, false),
-            };
-
-            // Pretend the module is installed here.
-            let candidate = InstalledModule {
-                id: self.next_id,
-                name: request.module_name.clone(),
-                platform,
-                addr,
-                config: run_cfg,
-                sandboxed,
-                owner: client_id.to_string(),
-            };
-            let mut world = self.modules.clone();
-            world.push(candidate.clone());
-
-            let t1 = Instant::now();
-            let mut model = match compile(&self.topology, &world, &self.registry) {
-                Ok(m) => m,
-                Err(e) => {
-                    self.stats.rejected += 1;
-                    return Err(DeployError::BadConfig(e));
-                }
-            };
-            model.ingress_filtering = self.hardening.ingress_filtering;
-            compile_ns += t1.elapsed().as_nanos() as u64;
-
-            // Operator policy and client requirements must all hold.
-            let t2 = Instant::now();
-            let mut ok = true;
-            let mut why = String::new();
-            for rule in &self.operator_policy {
-                if !check_requirement(&model, rule)? {
-                    ok = false;
-                    why = format!("operator policy violated: {rule}");
-                    break;
-                }
-            }
-            if ok {
-                for rule in &request.requirements {
-                    if !check_requirement(&model, rule)? {
-                        ok = false;
-                        why = format!("client requirement unsatisfied: {rule}");
-                        break;
-                    }
-                }
-            }
-            check_ns += t2.elapsed().as_nanos() as u64;
-
-            if !ok {
-                reasons.push((platform_name, why));
-                continue;
-            }
-
-            // Commit.
-            let id = self.next_id;
-            self.next_id += 1;
-            self.flow_rules.push(FlowRule {
-                platform: platform_name.clone(),
-                dst: addr,
-                module: id,
-            });
-            self.modules.push(candidate);
-            self.stats.accepted += 1;
-            self.stats.compile_ns += compile_ns;
-            self.stats.check_ns += check_ns;
-            return Ok(DeployResponse {
-                module_id: id,
-                module_name: request.module_name,
-                public_addr: addr,
-                platform: platform_name,
-                sandboxed,
-                compile_ns,
-                check_ns,
-            });
-        }
-
-        self.stats.rejected += 1;
-        self.stats.compile_ns += compile_ns;
-        self.stats.check_ns += check_ns;
-        Err(DeployError::NoFeasiblePlacement { reasons })
-    }
-
-    /// Commits a deployment that a shard already verified against an
-    /// equivalent snapshot (same topology, same modules, an address from
-    /// the same pool): allocates a fresh address, materializes the
-    /// configuration, and installs — without re-running the symbolic
-    /// checks. Only `deploy_batch` may call this, and only when no
-    /// conflicting commit landed in between.
-    pub(crate) fn commit_verified(
-        &mut self,
-        client_id: &str,
-        request: ClientRequest,
-        platform_name: &str,
-        sandboxed: bool,
-    ) -> Result<DeployResponse, DeployError> {
-        self.stats.requests += 1;
-        let account = self
-            .clients
-            .get(client_id)
-            .cloned()
-            .ok_or_else(|| DeployError::UnknownClient(client_id.to_string()))?;
-        let platform = self.topology.index_of(platform_name).ok_or_else(|| {
-            DeployError::NoFeasiblePlacement {
-                reasons: vec![(platform_name.to_string(), "unknown platform".to_string())],
-            }
-        })?;
-        let addr = self.allocate_addr(platform);
-        let raw_cfg: ClickConfig = match &request.config {
+    /// Materializes a request's configuration for a concrete assigned
+    /// address: binds `$SELF` placeholders in Click configurations and
+    /// instantiates stock templates.
+    fn materialize_config(config: &ModuleConfig, addr: Ipv4Addr) -> ClickConfig {
+        match config {
             ModuleConfig::Click(c) => {
                 let mut c = c.clone();
                 for e in &mut c.elements {
@@ -466,7 +309,286 @@ impl Controller {
                 c
             }
             ModuleConfig::Stock(kind) => stock_config(*kind, addr),
+        }
+    }
+
+    /// Handles a deployment request (§4.3, §4.5): parse → verdict-cache
+    /// lookup → security check → per-platform placement search → commit.
+    ///
+    /// The verdict cache is consulted before any model is compiled: a hit
+    /// replays the memoized decision (re-checking only platform capacity
+    /// for accepts), a miss runs the full pipeline and memoizes its
+    /// outcome. See the [`crate::cache`] module docs for the key
+    /// derivation and the invalidation contract.
+    pub fn deploy(
+        &mut self,
+        client_id: &str,
+        request: ClientRequest,
+    ) -> Result<DeployResponse, DeployError> {
+        self.stats.requests += 1;
+        let account = self
+            .clients
+            .get(client_id)
+            .cloned()
+            .ok_or_else(|| DeployError::UnknownClient(client_id.to_string()))?;
+
+        let (epoch, key) = {
+            let cache = self.verdicts.read();
+            let epoch = cache.epoch();
+            (
+                epoch,
+                verdict_key(epoch, &request, &account, self.hardening),
+            )
         };
+        let hit = self.verdicts.read().get(&key);
+        if let Some(hit) = hit {
+            match hit.outcome {
+                CachedOutcome::Accept {
+                    ref platform,
+                    sandboxed,
+                } if self.platform_has_room(platform) => {
+                    self.stats.cache_hits += 1;
+                    self.stats.check_ns_saved += hit.check_ns;
+                    let platform = platform.clone();
+                    return self
+                        .commit_unchecked(client_id, &account, request, &platform, sandboxed);
+                }
+                CachedOutcome::Accept { .. } => {
+                    // The cached placement filled up since it was
+                    // verified. Fall through to a full re-verification
+                    // (counted as a miss); its outcome replaces the stale
+                    // entry.
+                }
+                CachedOutcome::Reject(e) => {
+                    self.stats.cache_hits += 1;
+                    self.stats.check_ns_saved += hit.check_ns;
+                    self.stats.rejected += 1;
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.cache_misses += 1;
+
+        let (result, compile_ns, check_ns) = self.deploy_uncached(client_id, &account, request);
+        self.stats.compile_ns += compile_ns;
+        self.stats.check_ns += check_ns;
+        match &result {
+            Ok(_) => self.stats.accepted += 1,
+            Err(_) => self.stats.rejected += 1,
+        }
+
+        let outcome = match &result {
+            Ok(resp) => Some(CachedOutcome::Accept {
+                platform: resp.platform.clone(),
+                sandboxed: resp.sandboxed,
+            }),
+            // Not verdicts about the request itself — never memoized.
+            Err(DeployError::UnknownClient(_)) | Err(DeployError::NoSuchModule(_)) => None,
+            Err(e) => Some(CachedOutcome::Reject(e.clone())),
+        };
+        if let Some(outcome) = outcome {
+            self.verdicts
+                .write()
+                .insert(epoch, key, CachedVerdict { outcome, check_ns });
+        }
+        result
+    }
+
+    /// The full (uncached) deployment pipeline. Returns the outcome plus
+    /// the nanoseconds spent compiling models and checking; the caller
+    /// owns all statistics accounting.
+    fn deploy_uncached(
+        &mut self,
+        client_id: &str,
+        account: &ClientAccount,
+        request: ClientRequest,
+    ) -> (Result<DeployResponse, DeployError>, u64, u64) {
+        let mut compile_ns = 0u64;
+        let mut check_ns = 0u64;
+        let mut reasons: Vec<(String, String)> = Vec::new();
+
+        let result = 'search: {
+            let platforms = self.topology.platforms();
+            for platform in platforms {
+                let platform_name = self.topology.node(platform).name.clone();
+
+                // Capacity check.
+                let NodeKind::Platform(spec) = &self.topology.node(platform).kind else {
+                    continue;
+                };
+                let installed_here = self
+                    .modules
+                    .iter()
+                    .filter(|m| m.platform == platform)
+                    .count();
+                if installed_here >= spec.capacity {
+                    reasons.push((platform_name, "platform full".to_string()));
+                    continue;
+                }
+
+                // Tentatively assign an address on this platform.
+                let Some(addr) = self.allocate_addr(platform) else {
+                    reasons.push((platform_name, "no address pool".to_string()));
+                    continue;
+                };
+
+                // Materialize the configuration (stock modules need the
+                // assigned address; Click configurations may reference
+                // the not-yet-known module address as `$SELF`).
+                let raw_cfg = Controller::materialize_config(&request.config, addr);
+
+                // Security check (per requester class).
+                let t0 = Instant::now();
+                let report = match check_module(
+                    &raw_cfg,
+                    &SecurityContext {
+                        assigned_addr: addr,
+                        registered: account.registered.clone(),
+                        class: account.class,
+                    },
+                    &self.registry,
+                ) {
+                    Ok(r) => r,
+                    Err(e) => break 'search Err(DeployError::BadConfig(e)),
+                };
+                check_ns += t0.elapsed().as_nanos() as u64;
+
+                // §7 hardening: the UDP-reflection (amplification) ban.
+                let mut report = report;
+                if self.hardening.ban_udp_reflection {
+                    let (hardened, offenders) =
+                        apply_udp_reflection_ban(account.class, &report.egress_flows, &report);
+                    report.verdict = hardened;
+                    report.violations.extend(offenders);
+                }
+
+                let (run_cfg, sandboxed) = match report.verdict {
+                    Verdict::Reject => {
+                        break 'search Err(DeployError::SecurityReject(report));
+                    }
+                    Verdict::SafeWithSandbox => (
+                        wrap_with_enforcer(&raw_cfg, addr, &account.registered),
+                        true,
+                    ),
+                    Verdict::Safe => (raw_cfg, false),
+                };
+
+                // Pretend the module is installed here.
+                let candidate = InstalledModule {
+                    id: self.next_id,
+                    name: request.module_name.clone(),
+                    platform,
+                    addr,
+                    config: run_cfg,
+                    sandboxed,
+                    owner: client_id.to_string(),
+                };
+                let mut world = self.modules.clone();
+                world.push(candidate.clone());
+
+                let t1 = Instant::now();
+                let mut model = match compile(&self.topology, &world, &self.registry) {
+                    Ok(m) => m,
+                    Err(e) => break 'search Err(DeployError::BadConfig(e)),
+                };
+                model.ingress_filtering = self.hardening.ingress_filtering;
+                compile_ns += t1.elapsed().as_nanos() as u64;
+
+                // Operator policy and client requirements must all hold.
+                let t2 = Instant::now();
+                let mut ok = true;
+                let mut why = String::new();
+                let mut failure: Option<VerifyError> = None;
+                for rule in &self.operator_policy {
+                    match check_requirement(&model, rule) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            ok = false;
+                            why = format!("operator policy violated: {rule}");
+                            break;
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if ok && failure.is_none() {
+                    for rule in &request.requirements {
+                        match check_requirement(&model, rule) {
+                            Ok(true) => {}
+                            Ok(false) => {
+                                ok = false;
+                                why = format!("client requirement unsatisfied: {rule}");
+                                break;
+                            }
+                            Err(e) => {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                }
+                check_ns += t2.elapsed().as_nanos() as u64;
+                if let Some(e) = failure {
+                    break 'search Err(DeployError::Verify(e));
+                }
+
+                if !ok {
+                    reasons.push((platform_name, why));
+                    continue;
+                }
+
+                // Commit.
+                let id = self.next_id;
+                self.next_id += 1;
+                self.flow_rules.push(FlowRule {
+                    platform: platform_name.clone(),
+                    dst: addr,
+                    module: id,
+                });
+                self.modules.push(candidate);
+                break 'search Ok(DeployResponse {
+                    module_id: id,
+                    module_name: request.module_name,
+                    public_addr: addr,
+                    platform: platform_name,
+                    sandboxed,
+                    compile_ns,
+                    check_ns,
+                });
+            }
+
+            Err(DeployError::NoFeasiblePlacement { reasons })
+        };
+        (result, compile_ns, check_ns)
+    }
+
+    /// Installs a request whose verdict was already established — either
+    /// by a `deploy_batch` shard against an equivalent snapshot, or by a
+    /// verdict-cache hit: allocates a fresh address, materializes the
+    /// configuration, and commits without re-running the symbolic checks.
+    /// The caller must have established that `platform_name` still has
+    /// room.
+    fn commit_unchecked(
+        &mut self,
+        client_id: &str,
+        account: &ClientAccount,
+        request: ClientRequest,
+        platform_name: &str,
+        sandboxed: bool,
+    ) -> Result<DeployResponse, DeployError> {
+        let platform = self.topology.index_of(platform_name).ok_or_else(|| {
+            DeployError::NoFeasiblePlacement {
+                reasons: vec![(platform_name.to_string(), "unknown platform".to_string())],
+            }
+        })?;
+        let addr =
+            self.allocate_addr(platform)
+                .ok_or_else(|| DeployError::NoFeasiblePlacement {
+                    reasons: vec![(platform_name.to_string(), "not a platform".to_string())],
+                })?;
+        let raw_cfg = Controller::materialize_config(&request.config, addr);
         let run_cfg = if sandboxed {
             wrap_with_enforcer(&raw_cfg, addr, &account.registered)
         } else {
@@ -500,7 +622,57 @@ impl Controller {
         })
     }
 
+    /// Commits a deployment that a shard already verified against an
+    /// equivalent snapshot (same topology, same modules, an address from
+    /// the same pool). Only `deploy_batch` may call this, and only when no
+    /// conflicting commit landed in between.
+    pub(crate) fn commit_verified(
+        &mut self,
+        client_id: &str,
+        request: ClientRequest,
+        platform_name: &str,
+        sandboxed: bool,
+    ) -> Result<DeployResponse, DeployError> {
+        self.stats.requests += 1;
+        let account = self
+            .clients
+            .get(client_id)
+            .cloned()
+            .ok_or_else(|| DeployError::UnknownClient(client_id.to_string()))?;
+        self.commit_unchecked(client_id, &account, request, platform_name, sandboxed)
+    }
+
+    /// A verification-only copy of this controller: same topology, policy,
+    /// accounts, installed modules, and hardening — with independent
+    /// statistics and allocators, and the *shared* verdict cache (built by
+    /// direct field access so construction never bumps the cache epoch).
+    pub(crate) fn verification_clone(&self) -> Controller {
+        Controller {
+            topology: self.topology.clone(),
+            registry: Registry::standard(),
+            operator_policy: self.operator_policy.clone(),
+            clients: self.clients.clone(),
+            modules: self.modules.clone(),
+            flow_rules: Vec::new(),
+            next_id: self
+                .modules
+                .iter()
+                .map(|m| m.id + 1)
+                .max()
+                .unwrap_or(self.next_id),
+            addr_cursor: HashMap::new(),
+            hardening: self.hardening,
+            verdicts: Arc::clone(&self.verdicts),
+            stats: ControllerStats::default(),
+        }
+    }
+
     /// Stops a module and removes its flow rules (§4.3 `kill`).
+    ///
+    /// Removing a module changes the installed topology, so all cached
+    /// verdicts are invalidated: a placement that was infeasible
+    /// ("platform full") or a requirement that failed against the old
+    /// module set may now succeed.
     pub fn kill(&mut self, id: ModuleId) -> Result<(), DeployError> {
         let before = self.modules.len();
         self.modules.retain(|m| m.id != id);
@@ -508,6 +680,7 @@ impl Controller {
             return Err(DeployError::NoSuchModule(id));
         }
         self.flow_rules.retain(|r| r.module != id);
+        self.invalidate_verdicts();
         Ok(())
     }
 }

@@ -244,7 +244,11 @@ pub fn compile(
                 }
 
                 for (mi, module) in local.iter().enumerate() {
-                    let prefix = format!("{}/{}", node.name, module.name);
+                    // Graph node names must be unique, but module names may
+                    // repeat across deployments — the id disambiguates.
+                    // Way-point lookups still go through the name-keyed
+                    // maps below (later instances win on a name clash).
+                    let prefix = format!("{}/{}#{}", node.name, module.name, module.id);
                     let flat = flatten_config(&mut graph, &prefix, &module.config, registry)?;
                     for decl in &module.config.elements {
                         let idx = graph.node_index(&format!("{prefix}/{}", decl.name))?;

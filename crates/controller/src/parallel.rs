@@ -34,22 +34,6 @@ struct Proposal {
 }
 
 impl Controller {
-    /// A verification-only copy of this controller: same topology, policy,
-    /// accounts, installed modules, and hardening — with independent
-    /// statistics and allocators.
-    fn verification_clone(&self) -> Controller {
-        let mut c = Controller::new(self.topology().clone());
-        c.set_hardening(self.hardening());
-        for rule in self.operator_policy_rules() {
-            c.add_operator_policy(rule.clone());
-        }
-        for (id, acct) in self.client_accounts() {
-            c.register_client(id.clone(), acct.class, acct.registered.clone());
-        }
-        c.adopt_modules(self.modules().to_vec());
-        c
-    }
-
     /// Deploys a batch of requests using `shards` parallel verifiers.
     ///
     /// Results are returned in batch order. Requests from the same client
@@ -89,12 +73,19 @@ impl Controller {
                             let r = snapshot.deploy(&client, request.clone());
                             out.push((idx, client, request, r));
                         }
-                        out
+                        (out, snapshot.stats)
                     })
                 })
                 .collect();
             for h in handles {
-                for (idx, client, request, r) in h.join().expect("shard panicked") {
+                let (rows, shard_stats) = h.join().expect("shard panicked");
+                // Shard verification runs against throwaway snapshots, but
+                // their verdict-cache traffic hit the shared cache — fold
+                // it into this controller's statistics.
+                self.stats.cache_hits += shard_stats.cache_hits;
+                self.stats.cache_misses += shard_stats.cache_misses;
+                self.stats.check_ns_saved += shard_stats.check_ns_saved;
+                for (idx, client, request, r) in rows {
                     match r {
                         Ok(resp) => proposals.push(Proposal {
                             batch_index: idx,

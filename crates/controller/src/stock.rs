@@ -12,27 +12,23 @@ use std::net::Ipv4Addr;
 use crate::request::StockModule;
 
 /// Builds the Click-level configuration of a stock module, parameterized
-/// by the address the controller assigned to it.
+/// by the address the controller assigned to it. Built with the
+/// programmatic builder, so it is infallible — no parse step, no panic.
 pub fn stock_config(kind: StockModule, assigned: Ipv4Addr) -> ClickConfig {
-    let text = match kind {
-        StockModule::ReverseHttpProxy => format!(
-            "in :: FromNetfront(); srv :: StockReverseProxy({assigned}); \
-             out :: ToNetfront(); in -> srv -> out;"
-        ),
-        StockModule::ExplicitProxy => format!(
-            "in :: FromNetfront(); srv :: StockExplicitProxy({assigned}); \
-             out :: ToNetfront(); in -> srv -> out;"
-        ),
-        StockModule::GeoDns => format!(
-            "in :: FromNetfront(); srv :: StockDNSServer({assigned}); \
-             out :: ToNetfront(); in -> srv -> out;"
-        ),
-        StockModule::X86Vm => {
-            "in :: FromNetfront(); vm :: StockX86VM(); out :: ToNetfront(); in -> vm -> out;"
-                .to_string()
-        }
+    let addr = assigned.to_string();
+    let (name, class, args): (&str, &str, Vec<&str>) = match kind {
+        StockModule::ReverseHttpProxy => ("srv", "StockReverseProxy", vec![addr.as_str()]),
+        StockModule::ExplicitProxy => ("srv", "StockExplicitProxy", vec![addr.as_str()]),
+        StockModule::GeoDns => ("srv", "StockDNSServer", vec![addr.as_str()]),
+        StockModule::X86Vm => ("vm", "StockX86VM", Vec::new()),
     };
-    ClickConfig::parse(&text).expect("stock configurations are valid by construction")
+    let mut cfg = ClickConfig::new();
+    cfg.add_element("in", "FromNetfront", &[]);
+    cfg.add_element(name, class, &args);
+    cfg.add_element("out", "ToNetfront", &[]);
+    cfg.connect("in", 0, name, 0);
+    cfg.connect(name, 0, "out", 0);
+    cfg
 }
 
 #[cfg(test)]

@@ -42,7 +42,10 @@ pub fn middlebox_sweep(kind: &str, vm_counts: &[usize], frame: usize) -> Vec<Mid
         .iter()
         .map(|&n| {
             let mut runners: Vec<NativeRunner> = (0..n)
-                .map(|_| NativeRunner::new(&middlebox_config(kind)).expect("valid config"))
+                .map(|_| {
+                    let cfg = middlebox_config(kind).expect("known middlebox kind");
+                    NativeRunner::new(&cfg).expect("valid config")
+                })
                 .collect();
             let pkts = traffic(kind, frame);
             // Warm-up.

@@ -70,13 +70,16 @@ impl std::fmt::Display for IpProto {
 /// The caller zeroes the checksum field before computing. Odd-length inputs
 /// are padded with a trailing zero byte, as the RFC requires.
 pub fn internet_checksum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
+    // A u64 accumulator cannot overflow below 2^48 words (~petabyte
+    // inputs); the u32 it replaces would wrap — a debug-build panic — on
+    // ~128 KiB of 0xFF bytes.
+    let mut sum: u64 = 0;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        sum += u64::from(u16::from_be_bytes([c[0], c[1]]));
     }
     if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
+        sum += u64::from(u16::from_be_bytes([*last, 0]));
     }
     while sum >> 16 != 0 {
         sum = (sum & 0xffff) + (sum >> 16);

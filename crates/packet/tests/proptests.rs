@@ -104,4 +104,74 @@ proptest! {
         data.extend_from_slice(&c.to_be_bytes());
         prop_assert_eq!(internet_checksum(&data), 0);
     }
+
+    /// Differential test against the bit-at-a-time reference: arbitrary
+    /// buffers, including odd lengths (tail padding).
+    #[test]
+    fn checksum_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(internet_checksum(&data), reference_checksum(&data));
+    }
+
+    /// Differential test on carry-heavy inputs: runs of 0xFF interleaved
+    /// with arbitrary words force the multi-carry folding paths.
+    #[test]
+    fn checksum_matches_reference_carry_heavy(
+        ff_run in 1usize..2048,
+        words in proptest::collection::vec(any::<u16>(), 0..16),
+        odd_tail in any::<bool>(),
+    ) {
+        let mut data = vec![0xFFu8; ff_run];
+        for w in &words {
+            data.extend_from_slice(&w.to_be_bytes());
+        }
+        if odd_tail {
+            data.push(0xAB);
+        }
+        prop_assert_eq!(internet_checksum(&data), reference_checksum(&data));
+    }
+}
+
+/// RFC 1071 computed the slow, obviously-correct way: each 16-bit word is
+/// added with an immediate end-around carry, one word at a time. The
+/// production implementation defers carry folding; this reference is the
+/// differential oracle for it.
+fn reference_checksum(data: &[u8]) -> u16 {
+    let mut sum: u16 = 0;
+    let mut add = |word: u16| {
+        let (s, carried) = sum.overflowing_add(word);
+        sum = s + u16::from(carried);
+    };
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        add(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        add(u16::from_be_bytes([*last, 0]));
+    }
+    !sum
+}
+
+/// Deterministic edge cases the random strategies may not always land on.
+#[test]
+fn checksum_edge_cases() {
+    // Empty buffer: sum 0, complemented.
+    assert_eq!(internet_checksum(&[]), 0xFFFF);
+    // Single odd byte pads to a zero low byte.
+    assert_eq!(internet_checksum(&[0x12]), !0x1200);
+    // All-0xFF buffers of every parity up to a few KiB: each word sums to
+    // 0xFFFF (one's-complement zero), the maximal-carry pattern. An odd
+    // tail adds 0xFF00.
+    for len in [1usize, 2, 3, 1499, 1500, 65535, 65536, 131072, 131073] {
+        let data = vec![0xFFu8; len];
+        assert_eq!(
+            internet_checksum(&data),
+            reference_checksum(&data),
+            "all-0xFF len {len}"
+        );
+    }
+    // RFC 1071 §3 worked example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2
+    // (before complement).
+    let rfc = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+    assert_eq!(internet_checksum(&rfc), !0xddf2);
+    assert_eq!(reference_checksum(&rfc), !0xddf2);
 }

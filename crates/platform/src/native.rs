@@ -100,8 +100,10 @@ pub fn consolidated_config(clients: &[Ipv4Addr]) -> ClickConfig {
     cfg
 }
 
-/// The middlebox configurations of the Figure 12 sweep.
-pub fn middlebox_config(kind: &str) -> ClickConfig {
+/// The middlebox configurations of the Figure 12 sweep. Returns `None`
+/// for an unknown kind instead of panicking, so callers handling
+/// externally supplied kind strings can fail gracefully.
+pub fn middlebox_config(kind: &str) -> Option<ClickConfig> {
     let text = match kind {
         "nat" => "FromNetfront() -> [0]n :: IPNAT(203.0.113.1); n[0] -> ToNetfront();".to_string(),
         "iprouter" => "FromNetfront() -> CheckIPHeader() -> DecIPTTL() \
@@ -112,9 +114,9 @@ pub fn middlebox_config(kind: &str) -> ClickConfig {
                 .to_string()
         }
         "flowmeter" => "FromNetfront() -> FlowMeter() -> ToNetfront();".to_string(),
-        other => panic!("unknown middlebox kind '{other}'"),
+        _ => return None,
     };
-    ClickConfig::parse(&text).expect("middlebox configs are valid")
+    Some(ClickConfig::parse(&text).expect("middlebox configs are valid"))
 }
 
 /// Wraps the firewall with a `ChangeEnforcer` on the world→module (RX)
@@ -210,8 +212,9 @@ mod tests {
 
     #[test]
     fn middlebox_configs_run() {
+        assert!(middlebox_config("frobnicator").is_none());
         for kind in ["nat", "iprouter", "firewall", "flowmeter"] {
-            let cfg = middlebox_config(kind);
+            let cfg = middlebox_config(kind).unwrap();
             let mut runner = NativeRunner::new(&cfg).unwrap();
             let pkts = vec![PacketBuilder::udp().ttl(64).build()];
             let stats = runner.run(&pkts, 10);

@@ -1,0 +1,127 @@
+//! Regression tests: malformed tenant input must surface as typed
+//! `DeployError`s, never as a controller panic. Requests are built both
+//! from hostile text and programmatically via `ClientRequest::new`, which
+//! bypasses every parse-time check.
+
+use innet::prelude::*;
+
+fn fresh() -> Controller {
+    let mut c = Controller::new(Topology::figure3());
+    c.register_client(
+        "mobile-7",
+        RequesterClass::Client,
+        vec!["172.16.15.133".parse().unwrap()],
+    );
+    c
+}
+
+/// Every deploy below must return; `Err` is fine, unwinding is not.
+fn deploy_must_not_panic(
+    label: &str,
+    request: ClientRequest,
+) -> Result<DeployResponse, DeployError> {
+    let mut c = fresh();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c.deploy("mobile-7", request)
+    }));
+    outcome.unwrap_or_else(|_| panic!("deploy panicked on {label}"))
+}
+
+#[test]
+fn unknown_element_class_is_a_typed_error() {
+    let req = ClientRequest::parse("module m:\nFromNetfront() -> Frobnicator(3) -> ToNetfront();")
+        .unwrap();
+    let err = deploy_must_not_panic("unknown element class", req).unwrap_err();
+    assert!(matches!(err, DeployError::BadConfig(_)), "{err}");
+}
+
+#[test]
+fn dangling_connections_are_a_typed_error() {
+    // A connection between elements that were never declared.
+    let mut cfg = ClickConfig::new();
+    cfg.connect("ghost", 0, "phantom", 0);
+    let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
+    let err = deploy_must_not_panic("dangling connection", req).unwrap_err();
+    assert!(matches!(err, DeployError::BadConfig(_)), "{err}");
+}
+
+#[test]
+fn empty_config_does_not_panic() {
+    // Zero elements, zero connections: nothing to check, nothing to
+    // crash on. Accept or reject, but return.
+    let req = ClientRequest::new("m", ModuleConfig::Click(ClickConfig::new()), vec![]);
+    let _ = deploy_must_not_panic("empty config", req);
+}
+
+#[test]
+fn self_loop_does_not_panic() {
+    // An element wired to itself: the symbolic executor must bound the
+    // loop rather than recurse forever or panic.
+    let mut cfg = ClickConfig::new();
+    cfg.add_element("in", "FromNetfront", &[]);
+    cfg.add_element("c", "Counter", &[]);
+    cfg.connect("in", 0, "c", 0);
+    cfg.connect("c", 0, "c", 0);
+    let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
+    let _ = deploy_must_not_panic("self loop", req);
+}
+
+#[test]
+fn hostile_arguments_do_not_panic() {
+    // Arguments that are not remotely parseable as what the element
+    // expects.
+    for args in [
+        &["-1"][..],
+        &["999999999999999999999999"][..],
+        &["\u{0}\u{ffff}"][..],
+        &["$SELF$SELF$SELF"][..],
+        &[""][..],
+    ] {
+        let mut cfg = ClickConfig::new();
+        cfg.add_element("in", "FromNetfront", &[]);
+        cfg.add_element("f", "IPFilter", args);
+        cfg.add_element("out", "ToNetfront", &[]);
+        cfg.connect("in", 0, "f", 0);
+        cfg.connect("f", 0, "out", 0);
+        let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
+        let _ = deploy_must_not_panic("hostile args", req);
+    }
+}
+
+#[test]
+fn unknown_client_is_a_typed_error() {
+    let mut c = fresh();
+    let req = ClientRequest::parse("stock s: geo-dns").unwrap();
+    let err = c.deploy("nobody", req).unwrap_err();
+    assert!(matches!(err, DeployError::UnknownClient(_)), "{err}");
+    // Unknown-client outcomes are not verdicts about the request and must
+    // not be memoized.
+    assert_eq!(c.cached_verdicts(), 0);
+}
+
+#[test]
+fn kill_of_unknown_module_is_a_typed_error() {
+    let mut c = fresh();
+    assert!(matches!(
+        c.kill(12345),
+        Err(DeployError::NoSuchModule(12345))
+    ));
+}
+
+#[test]
+fn garbage_requirements_are_typed_errors() {
+    // A requirement way-point that exists in no network.
+    let req = ClientRequest::new(
+        "m",
+        ModuleConfig::Stock(StockModule::GeoDns),
+        vec![Requirement::parse("reach from internet -> Narnia").unwrap()],
+    );
+    let err = deploy_must_not_panic("unknown way-point", req).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DeployError::Verify(_) | DeployError::NoFeasiblePlacement { .. }
+        ),
+        "{err}"
+    );
+}

@@ -1,0 +1,152 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the macro/struct surface the bench crate uses
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`) with a simple
+//! warmup-then-measure loop that prints mean wall-clock time per
+//! iteration. It has none of criterion's statistics, but a `cargo bench`
+//! run completes offline and produces comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; the stub treats all variants the
+/// same (setup runs outside the timed section either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Re-export matching `criterion::black_box` (std's hint is what the
+/// real crate uses on recent toolchains).
+pub use std::hint::black_box;
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// Total measured time and iteration count for the report.
+    elapsed: Duration,
+    iters: u64,
+}
+
+const WARMUP_ITERS: u64 = 10;
+const TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `routine` in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < TARGET {
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` with a fresh `setup()` value per call; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        let wall = Instant::now();
+        while measured < TARGET && wall.elapsed() < TARGET * 4 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.elapsed = measured;
+        self.iters = iters.max(1);
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / (b.iters as u32)
+        };
+        println!("{name:<40} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types to
+//! keep the door open for wire formats, but nothing in the tree actually
+//! serializes yet. This stub provides the trait names and re-exports the
+//! no-op derives so the annotations compile without registry access.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name; the no-op derive
+/// produces no impls because nothing in the workspace serializes yet.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}

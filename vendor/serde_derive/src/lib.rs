@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` — nothing
+//! serializes through serde at runtime (there is no serde_json or
+//! bincode in the tree), so the derives expand to nothing. If a future
+//! PR starts serializing, replace these with real implementations.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stub `serde::Serialize` trait has no items.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stub `serde::Deserialize` trait has no items.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
