@@ -16,4 +16,11 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> metrics example smoke-run"
+# The example asserts the zero-silent-drops invariant
+# (packets == delivered + buffered + drops-by-reason) and exercises
+# both snapshot export formats end to end.
+cargo run --release -q -p innet-examples --bin metrics \
+  | grep -q "invariant holds: no silent packet loss"
+
 echo "CI OK"

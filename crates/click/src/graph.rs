@@ -76,11 +76,37 @@ pub struct RouterStats {
     pub delivered: u64,
     /// Packets transmitted to the outside by `ToNetfront` elements.
     pub transmitted: u64,
-    /// Packets that left an unconnected output port (silently dropped, as
-    /// in Click).
+    /// Packets that left an unconnected output port (dropped, as in
+    /// Click — but counted, and reason-labeled when metrics are
+    /// attached).
     pub dropped_unconnected: u64,
     /// Total element hops executed.
     pub hops: u64,
+}
+
+/// Shared-registry instruments a router publishes into when attached
+/// via [`Router::attach_metrics`]. Many routers attached to the same
+/// registry (every ClickOS VM on a host, say) share these handles, so
+/// the registry aggregates across the fleet.
+#[derive(Debug, Clone)]
+struct RouterMetrics {
+    delivered: innet_obs::Counter,
+    transmitted: innet_obs::Counter,
+    hops: innet_obs::Counter,
+    dropped_unconnected: innet_obs::Counter,
+}
+
+impl RouterMetrics {
+    fn register(reg: &innet_obs::Registry) -> RouterMetrics {
+        RouterMetrics {
+            delivered: reg.counter("innet_click_delivered_total"),
+            transmitted: reg.counter("innet_click_transmitted_total"),
+            hops: reg.counter("innet_click_hops_total"),
+            dropped_unconnected: reg
+                .labeled_counter("innet_click_drops_total", "reason")
+                .with("unconnected_port"),
+        }
+    }
 }
 
 /// An instantiated element graph with push-based execution.
@@ -102,6 +128,8 @@ pub struct Router {
     now_ns: u64,
     /// Execution counters.
     pub stats: RouterStats,
+    /// Shared-registry mirrors of `stats`, when attached.
+    metrics: Option<RouterMetrics>,
 }
 
 /// Sink used during a run: buffers port pushes for queueing and routes
@@ -169,7 +197,17 @@ impl Router {
             tx: Vec::new(),
             now_ns: 0,
             stats: RouterStats::default(),
+            metrics: None,
         })
+    }
+
+    /// Publishes this router's counters into `registry` (Prometheus
+    /// namespace `innet_click_*`), in addition to the always-on
+    /// [`RouterStats`] struct. Routers attached to the same registry
+    /// aggregate into the same series; only events after attachment are
+    /// counted there.
+    pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
+        self.metrics = Some(RouterMetrics::register(registry));
     }
 
     /// Number of elements in the graph.
@@ -209,6 +247,9 @@ impl Router {
             return Err(RouterError::NoSuchInterface(iface));
         };
         self.stats.delivered += 1;
+        if let Some(m) = &self.metrics {
+            m.delivered.inc();
+        }
         self.run_from(idx, 0, pkt, now_ns)
     }
 
@@ -254,11 +295,21 @@ impl Router {
             };
             self.elements[i].push(p, pkt, &ctx, &mut sink);
             let RunSink { emitted, .. } = sink;
-            self.stats.transmitted += (self.tx.len() - before_tx) as u64;
+            let transmitted = (self.tx.len() - before_tx) as u64;
+            self.stats.transmitted += transmitted;
+            if let Some(m) = &self.metrics {
+                m.hops.inc();
+                m.transmitted.add(transmitted);
+            }
             for (out_port, out_pkt) in emitted {
                 match self.edges.get(&(i, out_port)) {
                     Some(&(ni, np)) => queue.push_back((ni, np, out_pkt)),
-                    None => self.stats.dropped_unconnected += 1,
+                    None => {
+                        self.stats.dropped_unconnected += 1;
+                        if let Some(m) = &self.metrics {
+                            m.dropped_unconnected.inc();
+                        }
+                    }
                 }
             }
         }
@@ -286,13 +337,21 @@ impl Router {
             }
         }
         self.stats.transmitted += new_tx;
+        if let Some(m) = &self.metrics {
+            m.transmitted.add(new_tx);
+        }
         for (i, out_port, pkt) in released {
             match self.edges.get(&(i, out_port)).copied() {
                 Some((ni, np)) => {
                     // A tick-released packet then flows like any other.
                     let _ = self.run_from(ni, np, pkt, now_ns);
                 }
-                None => self.stats.dropped_unconnected += 1,
+                None => {
+                    self.stats.dropped_unconnected += 1;
+                    if let Some(m) = &self.metrics {
+                        m.dropped_unconnected.inc();
+                    }
+                }
             }
         }
         self.take_tx()
@@ -347,6 +406,28 @@ mod tests {
         r.deliver(0, PacketBuilder::udp().build(), 0).unwrap();
         assert!(r.take_tx().is_empty());
         assert_eq!(r.stats.dropped_unconnected, 1);
+    }
+
+    #[test]
+    fn attached_metrics_mirror_stats_and_aggregate() {
+        let reg = innet_obs::Registry::new();
+        let mut a = build("FromNetfront() -> Counter();");
+        let mut b = build("FromNetfront() -> ToNetfront();");
+        a.attach_metrics(&reg);
+        b.attach_metrics(&reg);
+        a.deliver(0, PacketBuilder::udp().build(), 0).unwrap();
+        b.deliver(0, PacketBuilder::udp().build(), 0).unwrap();
+        assert_eq!(reg.counter("innet_click_delivered_total").get(), 2);
+        assert_eq!(reg.counter("innet_click_transmitted_total").get(), 1);
+        assert_eq!(
+            reg.labeled_counter("innet_click_drops_total", "reason")
+                .get("unconnected_port"),
+            1,
+            "the unconnected drop is reason-labeled, not silent"
+        );
+        // The always-on struct still counts per router.
+        assert_eq!(a.stats.dropped_unconnected, 1);
+        assert_eq!(b.stats.dropped_unconnected, 0);
     }
 
     #[test]

@@ -76,6 +76,43 @@ pub struct ControllerStats {
     pub check_ns_saved: u64,
 }
 
+/// Shared-registry instruments for one controller (see
+/// [`Controller::attach_metrics`]).
+#[derive(Debug, Clone)]
+struct ControllerMetrics {
+    requests: innet_obs::Counter,
+    accepted: innet_obs::Counter,
+    rejected: innet_obs::Counter,
+    cache_hits: innet_obs::Counter,
+    cache_misses: innet_obs::Counter,
+    cache_invalidations: innet_obs::Counter,
+    check_ns_saved: innet_obs::Counter,
+    compile_ns_total: innet_obs::Counter,
+    check_ns_total: innet_obs::Counter,
+    compile_ns: innet_obs::Histogram,
+    check_ns: innet_obs::Histogram,
+    verdicts: innet_obs::LabeledCounter,
+}
+
+impl ControllerMetrics {
+    fn register(reg: &innet_obs::Registry) -> ControllerMetrics {
+        ControllerMetrics {
+            requests: reg.counter("innet_ctl_requests_total"),
+            accepted: reg.counter("innet_ctl_accepted_total"),
+            rejected: reg.counter("innet_ctl_rejected_total"),
+            cache_hits: reg.counter("innet_ctl_cache_hits_total"),
+            cache_misses: reg.counter("innet_ctl_cache_misses_total"),
+            cache_invalidations: reg.counter("innet_ctl_cache_invalidations_total"),
+            check_ns_saved: reg.counter("innet_ctl_check_ns_saved_total"),
+            compile_ns_total: reg.counter("innet_ctl_compile_ns_total"),
+            check_ns_total: reg.counter("innet_ctl_check_ns_total"),
+            compile_ns: reg.histogram("innet_ctl_compile_ns"),
+            check_ns: reg.histogram("innet_ctl_check_ns"),
+            verdicts: reg.labeled_counter("innet_ctl_verdicts_total", "verdict"),
+        }
+    }
+}
+
 /// Why a deployment failed.
 #[derive(Debug, Clone)]
 pub enum DeployError {
@@ -159,7 +196,9 @@ pub struct Controller {
     /// warm the cache for everyone.
     verdicts: Arc<RwLock<VerdictCache>>,
     /// Cumulative statistics.
-    pub stats: ControllerStats,
+    stats: ControllerStats,
+    /// Shared-registry instruments, if attached.
+    metrics: Option<ControllerMetrics>,
 }
 
 impl Controller {
@@ -177,7 +216,23 @@ impl Controller {
             hardening: HardeningPolicy::default(),
             verdicts: Arc::new(RwLock::new(VerdictCache::default())),
             stats: ControllerStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Publishes this controller's counters into `registry` (Prometheus
+    /// namespace `innet_ctl_*`): request/accept/reject totals,
+    /// verdict-cache traffic, cumulative and per-request compile/check
+    /// time, and `innet_ctl_verdicts_total` labeled by the outcome of
+    /// each full (uncached) verification (`accept`, `sandbox`,
+    /// `reject`). Only activity after attachment is counted.
+    pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
+        self.metrics = Some(ControllerMetrics::register(registry));
+    }
+
+    /// A snapshot of the controller's cumulative statistics.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
     }
 
     /// Sets the §7 hardening policy (ingress filtering, UDP-reflection
@@ -195,7 +250,11 @@ impl Controller {
     /// module-removal changes; operators can call it directly after
     /// out-of-band changes (e.g. topology edits).
     pub fn invalidate_verdicts(&mut self) {
-        self.stats.cache_invalidations += self.verdicts.write().bump_epoch();
+        let dropped = self.verdicts.write().bump_epoch();
+        self.stats.cache_invalidations += dropped;
+        if let Some(m) = &self.metrics {
+            m.cache_invalidations.add(dropped);
+        }
     }
 
     /// Number of verdicts currently cached.
@@ -325,7 +384,25 @@ impl Controller {
         client_id: &str,
         request: ClientRequest,
     ) -> Result<DeployResponse, DeployError> {
-        self.stats.requests += 1;
+        self.deploy_counted(client_id, request, true)
+    }
+
+    /// [`Controller::deploy`] with explicit control over the `requests`
+    /// statistic. `deploy_batch`'s conflict path re-verifies a request
+    /// that a shard already counted, so it passes `count_request: false`
+    /// to keep batch and serial statistics identical.
+    pub(crate) fn deploy_counted(
+        &mut self,
+        client_id: &str,
+        request: ClientRequest,
+        count_request: bool,
+    ) -> Result<DeployResponse, DeployError> {
+        if count_request {
+            self.stats.requests += 1;
+            if let Some(m) = &self.metrics {
+                m.requests.inc();
+            }
+        }
         let account = self
             .clients
             .get(client_id)
@@ -349,6 +426,10 @@ impl Controller {
                 } if self.platform_has_room(platform) => {
                     self.stats.cache_hits += 1;
                     self.stats.check_ns_saved += hit.check_ns;
+                    if let Some(m) = &self.metrics {
+                        m.cache_hits.inc();
+                        m.check_ns_saved.add(hit.check_ns);
+                    }
                     let platform = platform.clone();
                     return self
                         .commit_unchecked(client_id, &account, request, &platform, sandboxed);
@@ -363,18 +444,45 @@ impl Controller {
                     self.stats.cache_hits += 1;
                     self.stats.check_ns_saved += hit.check_ns;
                     self.stats.rejected += 1;
+                    if let Some(m) = &self.metrics {
+                        m.cache_hits.inc();
+                        m.check_ns_saved.add(hit.check_ns);
+                        m.rejected.inc();
+                    }
                     return Err(e);
                 }
             }
         }
         self.stats.cache_misses += 1;
+        if let Some(m) = &self.metrics {
+            m.cache_misses.inc();
+        }
 
         let (result, compile_ns, check_ns) = self.deploy_uncached(client_id, &account, request);
         self.stats.compile_ns += compile_ns;
         self.stats.check_ns += check_ns;
+        if let Some(m) = &self.metrics {
+            m.compile_ns_total.add(compile_ns);
+            m.check_ns_total.add(check_ns);
+            m.compile_ns.observe(compile_ns);
+            m.check_ns.observe(check_ns);
+        }
         match &result {
-            Ok(_) => self.stats.accepted += 1,
-            Err(_) => self.stats.rejected += 1,
+            Ok(resp) => {
+                self.stats.accepted += 1;
+                if let Some(m) = &self.metrics {
+                    m.accepted.inc();
+                    let verdict = if resp.sandboxed { "sandbox" } else { "accept" };
+                    m.verdicts.with(verdict).inc();
+                }
+            }
+            Err(_) => {
+                self.stats.rejected += 1;
+                if let Some(m) = &self.metrics {
+                    m.rejected.inc();
+                    m.verdicts.with("reject").inc();
+                }
+            }
         }
 
         let outcome = match &result {
@@ -611,6 +719,9 @@ impl Controller {
             owner: client_id.to_string(),
         });
         self.stats.accepted += 1;
+        if let Some(m) = &self.metrics {
+            m.accepted.inc();
+        }
         Ok(DeployResponse {
             module_id: id,
             module_name: request.module_name,
@@ -633,7 +744,10 @@ impl Controller {
         platform_name: &str,
         sandboxed: bool,
     ) -> Result<DeployResponse, DeployError> {
-        self.stats.requests += 1;
+        // No `requests` bump here: the shard that verified this proposal
+        // already counted the request, and its statistics are folded into
+        // this controller's by `fold_shard_stats` — counting again would
+        // make batch deployments report more requests than they served.
         let account = self
             .clients
             .get(client_id)
@@ -664,6 +778,50 @@ impl Controller {
             hardening: self.hardening,
             verdicts: Arc::clone(&self.verdicts),
             stats: ControllerStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// Folds a verification shard's statistics into this controller's.
+    ///
+    /// The destructuring is deliberately exhaustive (no `..`): adding a
+    /// field to [`ControllerStats`] without deciding its folding policy
+    /// is a compile error here, not a silently lost statistic — exactly
+    /// the bug this replaces, where `deploy_batch` folded three fields
+    /// and dropped the rest.
+    pub(crate) fn fold_shard_stats(&mut self, shard: ControllerStats) {
+        let ControllerStats {
+            requests,
+            // A shard counts a proposal it verified as `accepted`, but
+            // acceptance is only real once the serial commit phase lands
+            // it (or re-verifies it on conflict) — the live controller
+            // counts it there, so the shard's figure is dropped.
+            accepted: _,
+            rejected,
+            compile_ns,
+            check_ns,
+            cache_hits,
+            cache_misses,
+            cache_invalidations,
+            check_ns_saved,
+        } = shard;
+        self.stats.requests += requests;
+        self.stats.rejected += rejected;
+        self.stats.compile_ns += compile_ns;
+        self.stats.check_ns += check_ns;
+        self.stats.cache_hits += cache_hits;
+        self.stats.cache_misses += cache_misses;
+        self.stats.cache_invalidations += cache_invalidations;
+        self.stats.check_ns_saved += check_ns_saved;
+        if let Some(m) = &self.metrics {
+            m.requests.add(requests);
+            m.rejected.add(rejected);
+            m.compile_ns_total.add(compile_ns);
+            m.check_ns_total.add(check_ns);
+            m.cache_hits.add(cache_hits);
+            m.cache_misses.add(cache_misses);
+            m.cache_invalidations.add(cache_invalidations);
+            m.check_ns_saved.add(check_ns_saved);
         }
     }
 
@@ -829,10 +987,10 @@ mod tests {
     fn stats_accumulate() {
         let mut c = controller();
         let _ = c.deploy("mobile-7", ClientRequest::parse(FIG4).unwrap());
-        assert_eq!(c.stats.requests, 1);
-        assert_eq!(c.stats.accepted, 1);
-        assert!(c.stats.compile_ns > 0);
-        assert!(c.stats.check_ns > 0);
+        assert_eq!(c.stats().requests, 1);
+        assert_eq!(c.stats().accepted, 1);
+        assert!(c.stats().compile_ns > 0);
+        assert!(c.stats().check_ns > 0);
     }
 
     #[test]

@@ -73,18 +73,18 @@ impl Controller {
                             let r = snapshot.deploy(&client, request.clone());
                             out.push((idx, client, request, r));
                         }
-                        (out, snapshot.stats)
+                        (out, snapshot.stats())
                     })
                 })
                 .collect();
             for h in handles {
                 let (rows, shard_stats) = h.join().expect("shard panicked");
                 // Shard verification runs against throwaway snapshots, but
-                // their verdict-cache traffic hit the shared cache — fold
-                // it into this controller's statistics.
-                self.stats.cache_hits += shard_stats.cache_hits;
-                self.stats.cache_misses += shard_stats.cache_misses;
-                self.stats.check_ns_saved += shard_stats.check_ns_saved;
+                // the work was done on this controller's behalf — fold the
+                // whole statistics struct (requests, rejections, timing,
+                // cache traffic) into this controller's, so a batch deploy
+                // reports the same statistics as the serial equivalent.
+                self.fold_shard_stats(shard_stats);
                 for (idx, client, request, r) in rows {
                     match r {
                         Ok(resp) => proposals.push(Proposal {
@@ -107,8 +107,9 @@ impl Controller {
             let conflict = !self.platform_has_room(&p.platform);
             let r = if conflict {
                 // The conflicting-action case: full re-verification
-                // against the live network.
-                self.deploy(&p.client, p.request)
+                // against the live network. The shard already counted
+                // this request, so the re-run must not count it again.
+                self.deploy_counted(&p.client, p.request, false)
             } else {
                 // The shard verified this placement against an equivalent
                 // snapshot (addresses within one pool are

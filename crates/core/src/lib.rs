@@ -17,6 +17,7 @@
 //! | [`topology`] | The operator network model |
 //! | [`controller`] | The In-Net controller: placement, verification, sandboxing |
 //! | [`platform`] | The ClickOS platform: VM lifecycle, on-the-fly boot, consolidation, native execution |
+//! | [`obs`] | Dependency-free observability: counters, gauges, latency histograms, reason-labeled drop accounting, Prometheus/JSON export |
 //! | [`sim`] | Wide-area/device substrates: transports, radio energy, workloads |
 //! | [`experiments`] | One reproducible function per table/figure of the paper's evaluation |
 //!
@@ -54,6 +55,7 @@
 
 pub use innet_click as click;
 pub use innet_controller as controller;
+pub use innet_obs as obs;
 pub use innet_packet as packet;
 pub use innet_platform as platform;
 pub use innet_policy as policy;

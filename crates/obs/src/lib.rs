@@ -1,0 +1,64 @@
+//! # innet-obs
+//!
+//! The unified observability layer for the In-Net workspace: a
+//! lightweight, dependency-free metrics core shared by the controller,
+//! the platform, the switch controller, the Click runtime, and the
+//! discrete-event simulator.
+//!
+//! The paper's operator business case rests on accountability — "users
+//! are charged for the resources they use" (§2.1) — which demands that
+//! no packet is ever dropped *silently* and that time spent in each
+//! subsystem is measurable. This crate provides the four instrument
+//! kinds every layer records into:
+//!
+//! * [`Counter`] — monotone event counts (packets, boots, cache hits).
+//! * [`Gauge`] — instantaneous levels (memory in use, live VMs).
+//! * [`Histogram`] — log-linear latency distributions with monotone
+//!   p50/p95/p99/max quantiles and an exact, sum-preserving total.
+//! * [`LabeledCounter`] — counter families keyed by a label value; the
+//!   canonical use is the **drop-reason counter**: every packet-drop
+//!   path names its reason (`unknown_dst`, `mid_flow_no_vm`,
+//!   `suspended`, `suspending`, `no_router`, `unconnected_port`), so
+//!   `packets_in == delivered + buffered + Σ drops_by_reason` is a
+//!   checkable invariant rather than a hope.
+//!
+//! Instruments are cheap `Arc`-backed handles created from (and
+//! registered in) a [`Registry`]; asking for the same name twice
+//! returns the same underlying instrument, so independently constructed
+//! components that share a registry aggregate naturally. A
+//! [`Registry::snapshot`] is exportable in both Prometheus text format
+//! and JSON ([`Snapshot::to_prometheus`], [`Snapshot::to_json`]).
+//!
+//! Wall-clock spans are timed with [`Histogram::span`] (a drop guard);
+//! virtual-time latencies (the platform's calibrated boot/suspend/resume
+//! costs) are recorded directly with [`Histogram::observe`].
+//!
+//! ```
+//! use innet_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let packets = reg.counter("demo_packets_total");
+//! let drops = reg.labeled_counter("demo_drops_total", "reason");
+//! let lat = reg.histogram("demo_latency_ns");
+//!
+//! packets.inc();
+//! drops.with("unknown_dst").inc();
+//! lat.observe(1_500);
+//!
+//! let snap = reg.snapshot();
+//! assert!(snap.to_prometheus().contains("demo_drops_total{reason=\"unknown_dst\"} 1"));
+//! assert!(snap.to_json().contains("\"demo_packets_total\": 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod hist;
+mod metrics;
+mod registry;
+
+pub use export::{Snapshot, SnapshotHistogram};
+pub use hist::{Histogram, HistogramSnapshot, SpanGuard};
+pub use metrics::{Counter, Gauge, LabeledCounter};
+pub use registry::Registry;

@@ -1,0 +1,158 @@
+//! Scalar instruments: counters, gauges, and labeled counter families.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count.
+///
+/// Handles are cheap clones of a shared atomic; all clones observe the
+/// same value. Hot paths should hold a handle rather than looking the
+/// counter up by name each time.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move in both directions.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the level.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts from the level.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A family of counters keyed by one label value — the instrument behind
+/// reason-labeled drop accounting.
+///
+/// [`LabeledCounter::with`] returns the per-label [`Counter`] handle
+/// (creating it on first use), so steady-state increments are a single
+/// atomic add; hold the handle on hot paths.
+#[derive(Clone, Debug, Default)]
+pub struct LabeledCounter {
+    cells: Arc<Mutex<BTreeMap<String, Counter>>>,
+}
+
+impl LabeledCounter {
+    /// A fresh, unregistered family with no cells.
+    pub fn new() -> LabeledCounter {
+        LabeledCounter::default()
+    }
+
+    /// The counter for `label`, created at zero on first use.
+    pub fn with(&self, label: &str) -> Counter {
+        let mut cells = self.cells.lock().expect("labeled counter poisoned");
+        cells.entry(label.to_string()).or_default().clone()
+    }
+
+    /// The current count for `label` (zero if never incremented).
+    pub fn get(&self, label: &str) -> u64 {
+        let cells = self.cells.lock().expect("labeled counter poisoned");
+        cells.get(label).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// The sum across every label.
+    pub fn total(&self) -> u64 {
+        let cells = self.cells.lock().expect("labeled counter poisoned");
+        cells.values().map(|c| c.get()).sum()
+    }
+
+    /// All `(label, count)` pairs, sorted by label.
+    pub fn cells(&self) -> Vec<(String, u64)> {
+        let cells = self.cells.lock().expect("labeled counter poisoned");
+        cells.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Clones share the cell.
+        let d = c.clone();
+        d.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(7);
+        assert_eq!(g.get(), 8);
+    }
+
+    #[test]
+    fn labeled_counter_isolates_labels() {
+        let d = LabeledCounter::new();
+        d.with("suspended").inc();
+        d.with("suspended").inc();
+        d.with("no_router").inc();
+        assert_eq!(d.get("suspended"), 2);
+        assert_eq!(d.get("no_router"), 1);
+        assert_eq!(d.get("never_seen"), 0);
+        assert_eq!(d.total(), 3);
+        assert_eq!(
+            d.cells(),
+            vec![("no_router".to_string(), 1), ("suspended".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn labeled_handles_stay_live() {
+        let d = LabeledCounter::new();
+        let h = d.with("x");
+        h.add(3);
+        assert_eq!(d.get("x"), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! The metric registry: named instruments and snapshot export.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::export::{Snapshot, SnapshotHistogram};
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge, LabeledCounter};
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+    labeled: BTreeMap<String, (String, LabeledCounter)>,
+}
+
+/// A shared registry of named instruments.
+///
+/// Cloning a registry clones a handle to the same underlying store, so
+/// independently constructed components (a [`crate::Registry`] passed to
+/// both a host and its switch controller, say) publish into one
+/// namespace and one snapshot. Requesting an existing name returns the
+/// existing instrument — get-or-create, never replace — which is what
+/// lets per-VM routers aggregate into one set of counters.
+///
+/// Names follow the Prometheus convention (`snake_case`, `_total`
+/// suffix for counters, unit suffix like `_ns` for histograms) and are
+/// namespaced per subsystem; see DESIGN.md §9 for the full taxonomy.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The labeled counter family named `name` whose cells are keyed by
+    /// the label dimension `label` (e.g. `"reason"`), created empty on
+    /// first use. The label dimension of the first registration wins.
+    pub fn labeled_counter(&self, name: &str, label: &str) -> LabeledCounter {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner
+            .labeled
+            .entry(name.to_string())
+            .or_insert_with(|| (label.to_string(), LabeledCounter::new()))
+            .1
+            .clone()
+    }
+
+    /// A consistent point-in-time snapshot of every registered
+    /// instrument, for export via [`Snapshot::to_prometheus`] or
+    /// [`Snapshot::to_json`].
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        SnapshotHistogram {
+                            snapshot: v.snapshot(),
+                        },
+                    )
+                })
+                .collect(),
+            labeled: inner
+                .labeled
+                .iter()
+                .map(|(k, (label, v))| (k.clone(), label.clone(), v.cells()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_instruments() {
+        let reg = Registry::new();
+        reg.counter("a_total").add(2);
+        reg.counter("a_total").inc();
+        assert_eq!(reg.counter("a_total").get(), 3);
+    }
+
+    #[test]
+    fn cloned_registry_shares_namespace() {
+        let reg = Registry::new();
+        let reg2 = reg.clone();
+        reg.counter("x_total").inc();
+        reg2.counter("x_total").inc();
+        assert_eq!(reg.counter("x_total").get(), 2);
+    }
+
+    #[test]
+    fn snapshot_sees_everything() {
+        let reg = Registry::new();
+        reg.counter("c_total").inc();
+        reg.gauge("g").set(-4);
+        reg.histogram("h_ns").observe(100);
+        reg.labeled_counter("d_total", "reason")
+            .with("suspended")
+            .inc();
+        let s = reg.snapshot();
+        assert_eq!(s.counters, vec![("c_total".to_string(), 1)]);
+        assert_eq!(s.gauges, vec![("g".to_string(), -4)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.labeled[0].0, "d_total");
+        assert_eq!(s.labeled[0].1, "reason");
+        assert_eq!(s.labeled[0].2, vec![("suspended".to_string(), 1)]);
+    }
+}

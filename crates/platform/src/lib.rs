@@ -33,4 +33,4 @@ pub use native::{
     NativeStats,
 };
 pub use switch::{ClientEntry, SwitchController, SwitchStats, Usage};
-pub use vm::{Host, HostError, Vm, VmId, VmState};
+pub use vm::{Delivery, DropReason, Host, HostError, Vm, VmId, VmState};

@@ -37,10 +37,20 @@ impl NativeStats {
     }
 }
 
+/// Shared-registry instruments for one native runner (see
+/// [`NativeRunner::attach_metrics`]).
+#[derive(Debug, Clone)]
+struct NativeMetrics {
+    packets: innet_obs::Counter,
+    transmitted: innet_obs::Counter,
+    run_ns: innet_obs::Histogram,
+}
+
 /// A single-threaded native runner around one router instance (one
 /// ClickOS VM pins its Click thread to one vCPU).
 pub struct NativeRunner {
     router: Router,
+    metrics: Option<NativeMetrics>,
 }
 
 impl NativeRunner {
@@ -48,7 +58,22 @@ impl NativeRunner {
     pub fn new(cfg: &ClickConfig) -> Result<NativeRunner, RouterError> {
         Ok(NativeRunner {
             router: Router::from_config(cfg, &Registry::standard())?,
+            metrics: None,
         })
+    }
+
+    /// Publishes this runner's counters into `registry` (Prometheus
+    /// namespace `innet_native_*`): packets in, packets transmitted, and
+    /// a wall-clock run-duration histogram. The inner router's counters
+    /// are published too (`innet_click_*`). Only runs after attachment
+    /// are counted.
+    pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
+        self.router.attach_metrics(registry);
+        self.metrics = Some(NativeMetrics {
+            packets: registry.counter("innet_native_packets_total"),
+            transmitted: registry.counter("innet_native_transmitted_total"),
+            run_ns: registry.histogram("innet_native_run_ns"),
+        });
     }
 
     /// Access to the underlying router (for counter inspection).
@@ -70,11 +95,17 @@ impl NativeRunner {
                 transmitted += self.router.take_tx().len() as u64;
             }
         }
-        NativeStats {
+        let stats = NativeStats {
             packets: (packets.len() * rounds) as u64,
             transmitted,
             elapsed_ns: start.elapsed().as_nanos().max(1) as u64,
+        };
+        if let Some(m) = &self.metrics {
+            m.packets.add(stats.packets);
+            m.transmitted.add(stats.transmitted);
+            m.run_ns.observe(stats.elapsed_ns);
         }
+        stats
     }
 }
 

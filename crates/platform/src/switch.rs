@@ -13,7 +13,7 @@ use std::net::Ipv4Addr;
 use innet_click::ClickConfig;
 use innet_packet::{IpProto, Packet};
 
-use crate::vm::{Host, HostError, VmId, VmState};
+use crate::vm::{Delivery, DropReason, Host, HostError, VmId, VmState};
 
 /// Per-client registration: which configuration to instantiate when the
 /// client's traffic appears.
@@ -29,18 +29,55 @@ pub struct ClientEntry {
 }
 
 /// Counters the switch controller maintains.
+///
+/// The drop accounting is exhaustive:
+/// `packets == delivered + buffered + dropped` always holds, and every
+/// drop also lands in a reason-labeled cell of
+/// `innet_switch_drops_total` when a registry is attached.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SwitchStats {
     /// Packets seen.
     pub packets: u64,
     /// VMs booted on the fly.
     pub boots: u64,
-    /// VMs resumed from suspension.
+    /// VMs resumed from suspension (including resumes scheduled by a
+    /// suspend-window arrival).
     pub resumes: u64,
-    /// Packets buffered while a VM was starting.
+    /// Packets delivered synchronously to a running VM.
+    pub delivered: u64,
+    /// Packets buffered while a VM was starting, resuming, or finishing
+    /// a suspend.
     pub buffered: u64,
-    /// Packets for unknown destinations (dropped).
+    /// Packets dropped, for any reason.
+    pub dropped: u64,
+    /// Packets for unknown destinations or reclaimed mid-flow VMs
+    /// (subset of `dropped`, kept for compatibility).
     pub unknown: u64,
+}
+
+/// Shared-registry instruments for one switch controller (see
+/// [`SwitchController::attach_metrics`]).
+#[derive(Debug, Clone)]
+struct SwitchMetrics {
+    packets: innet_obs::Counter,
+    delivered: innet_obs::Counter,
+    buffered: innet_obs::Counter,
+    boots: innet_obs::Counter,
+    resumes: innet_obs::Counter,
+    drops: innet_obs::LabeledCounter,
+}
+
+impl SwitchMetrics {
+    fn register(reg: &innet_obs::Registry) -> SwitchMetrics {
+        SwitchMetrics {
+            packets: reg.counter("innet_switch_packets_total"),
+            delivered: reg.counter("innet_switch_delivered_total"),
+            buffered: reg.counter("innet_switch_buffered_total"),
+            boots: reg.counter("innet_switch_boots_total"),
+            resumes: reg.counter("innet_switch_resumes_total"),
+            drops: reg.labeled_counter("innet_switch_drops_total", "reason"),
+        }
+    }
 }
 
 /// Per-tenant usage record, the basis of billing (§2.1:
@@ -68,7 +105,9 @@ pub struct SwitchController {
     /// Per-tenant usage accounting.
     usage: HashMap<Ipv4Addr, Usage>,
     /// Statistics.
-    pub stats: SwitchStats,
+    stats: SwitchStats,
+    /// Shared-registry instruments, if attached.
+    metrics: Option<SwitchMetrics>,
 }
 
 impl SwitchController {
@@ -80,12 +119,38 @@ impl SwitchController {
             last_active: HashMap::new(),
             usage: HashMap::new(),
             stats: SwitchStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Publishes this controller's counters into `registry` (Prometheus
+    /// namespace `innet_switch_*`): packets seen/delivered/buffered, VM
+    /// boots and resumes, and `innet_switch_drops_total` labeled by
+    /// [`DropReason`]. Only activity after attachment is counted.
+    pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
+        self.metrics = Some(SwitchMetrics::register(registry));
+    }
+
+    /// A snapshot of the controller's counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
     }
 
     /// Registers a client configuration for on-the-fly instantiation.
     pub fn register(&mut self, entry: ClientEntry) {
         self.clients.insert(entry.addr, entry);
+    }
+
+    /// Records a drop in the stats and (if attached) the reason-labeled
+    /// drop counter.
+    fn record_drop(&mut self, reason: DropReason) {
+        self.stats.dropped += 1;
+        if matches!(reason, DropReason::UnknownDst | DropReason::MidFlowNoVm) {
+            self.stats.unknown += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.drops.with(reason.as_str()).inc();
+        }
     }
 
     /// Whether `pkt` opens a new flow per the paper's definition: a bare
@@ -104,6 +169,10 @@ impl SwitchController {
     /// Handles one incoming packet at virtual time `now_ns`: routes it to
     /// the serving VM, booting or resuming one if needed. Returns packets
     /// the VM transmitted synchronously.
+    ///
+    /// Tenants are billed only for packets that are actually delivered
+    /// or buffered — a dropped packet never charges `usage.packets` or
+    /// `usage.bytes`.
     pub fn on_packet(
         &mut self,
         host: &mut Host,
@@ -111,24 +180,43 @@ impl SwitchController {
         now_ns: u64,
     ) -> Result<Vec<(u16, Packet)>, HostError> {
         self.stats.packets += 1;
+        if let Some(m) = &self.metrics {
+            m.packets.inc();
+        }
         let Ok(ip) = pkt.ipv4() else {
-            self.stats.unknown += 1;
+            self.record_drop(DropReason::UnknownDst);
             return Ok(Vec::new());
         };
         let dst = ip.dst();
         let Some(entry) = self.clients.get(&dst).cloned() else {
-            self.stats.unknown += 1;
+            self.record_drop(DropReason::UnknownDst);
             return Ok(Vec::new());
         };
 
-        let usage = self.usage.entry(dst).or_default();
         let vm = match self.bindings.get(&dst).copied() {
             Some(vm) => {
-                // Resume if it was suspended.
-                if matches!(host.vm(vm)?.state, VmState::Suspended) {
-                    host.resume(vm, now_ns)?;
-                    self.stats.resumes += 1;
-                    usage.resumes += 1;
+                match host.vm(vm)?.state {
+                    // Resume if it was suspended.
+                    VmState::Suspended => {
+                        host.resume(vm, now_ns)?;
+                        self.stats.resumes += 1;
+                        if let Some(m) = &self.metrics {
+                            m.resumes.inc();
+                        }
+                        self.usage.entry(dst).or_default().resumes += 1;
+                    }
+                    // A first arrival in the suspend window schedules an
+                    // auto-resume when the suspend completes (the host
+                    // buffers the packet); bill and count that resume
+                    // once, here, where the tenant is known.
+                    VmState::Suspending { .. } if host.vm(vm)?.pending.is_empty() => {
+                        self.stats.resumes += 1;
+                        if let Some(m) = &self.metrics {
+                            m.resumes.inc();
+                        }
+                        self.usage.entry(dst).or_default().resumes += 1;
+                    }
+                    _ => {}
                 }
                 vm
             }
@@ -136,61 +224,100 @@ impl SwitchController {
                 if !SwitchController::is_flow_start(&pkt) {
                     // Mid-flow packet with no VM: drop (the flow's VM was
                     // reclaimed; stateless flows re-trigger on UDP).
-                    self.stats.unknown += 1;
+                    self.record_drop(DropReason::MidFlowNoVm);
                     return Ok(Vec::new());
                 }
                 let vm = host.boot_clickos(&entry.config, now_ns)?;
                 self.stats.boots += 1;
-                usage.boots += 1;
+                if let Some(m) = &self.metrics {
+                    m.boots.inc();
+                }
+                self.usage.entry(dst).or_default().boots += 1;
                 self.bindings.insert(dst, vm);
                 vm
             }
         };
-        usage.packets += 1;
-        usage.bytes += pkt.len() as u64;
 
         self.last_active.insert(vm, now_ns);
-        let buffered_before = matches!(
-            host.vm(vm)?.state,
-            VmState::Booting { .. } | VmState::Resuming { .. }
-        );
-        if buffered_before {
-            self.stats.buffered += 1;
+        let bytes = pkt.len() as u64;
+        let (outcome, out) = host.deliver_tracked(vm, 0, pkt, now_ns)?;
+        match outcome {
+            Delivery::Delivered => {
+                self.stats.delivered += 1;
+                if let Some(m) = &self.metrics {
+                    m.delivered.inc();
+                }
+            }
+            Delivery::Buffered => {
+                self.stats.buffered += 1;
+                if let Some(m) = &self.metrics {
+                    m.buffered.inc();
+                }
+            }
+            Delivery::Dropped(reason) => {
+                self.record_drop(reason);
+                return Ok(out);
+            }
         }
-        host.deliver(vm, 0, pkt, now_ns)
+        let usage = self.usage.entry(dst).or_default();
+        usage.packets += 1;
+        usage.bytes += bytes;
+        Ok(out)
     }
 
     /// Reclaims VMs idle for longer than `idle_ns`: stateless VMs are
     /// destroyed, stateful ones suspended.
+    ///
+    /// Reclamation also prunes the controller's per-VM bookkeeping
+    /// (`bindings` and `last_active`), so long-running deployments with
+    /// flow churn hold state proportional to the *live* flow set, not to
+    /// every flow ever seen.
     pub fn reclaim_idle(&mut self, host: &mut Host, now_ns: u64, idle_ns: u64) {
         let mut unbind = Vec::new();
         for (&addr, &vm) in &self.bindings {
-            let idle = now_ns.saturating_sub(self.last_active.get(&vm).copied().unwrap_or(0));
-            if idle < idle_ns {
-                continue;
-            }
             let Ok(state) = host.vm(vm).map(|v| v.state) else {
+                // The VM was destroyed out from under us: the binding is
+                // stale either way, so prune it.
+                unbind.push((addr, vm));
                 continue;
             };
-            if !matches!(state, VmState::Running) {
+            let idle = now_ns.saturating_sub(self.last_active.get(&vm).copied().unwrap_or(0));
+            if idle < idle_ns || !matches!(state, VmState::Running) {
                 continue;
             }
             let stateful = self.clients.get(&addr).map(|e| e.stateful).unwrap_or(false);
             if stateful {
+                // Suspended VMs keep their binding (and `last_active`
+                // entry) so returning traffic resumes the same VM.
                 let _ = host.suspend(vm, now_ns);
             } else {
                 let _ = host.destroy(vm);
-                unbind.push(addr);
+                unbind.push((addr, vm));
             }
         }
-        for addr in unbind {
+        for (addr, vm) in unbind {
             self.bindings.remove(&addr);
+            self.last_active.remove(&vm);
         }
     }
 
     /// The VM currently bound to a client address.
     pub fn binding(&self, addr: Ipv4Addr) -> Option<VmId> {
         self.bindings.get(&addr).copied()
+    }
+
+    /// Number of destination→VM bindings currently tracked. Bounded by
+    /// the live flow set: [`SwitchController::reclaim_idle`] prunes
+    /// bindings whose VM was destroyed.
+    pub fn tracked_bindings(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Number of VMs with idle-reclamation bookkeeping (`last_active`).
+    /// Pruned together with the binding when a VM is destroyed, so churn
+    /// does not grow it without bound.
+    pub fn tracked_vms(&self) -> usize {
+        self.last_active.len()
     }
 
     /// The billing record for a tenant address.
@@ -237,8 +364,8 @@ mod tests {
         let (mut host, mut sw) = setup(false);
         let out = sw.on_packet(&mut host, udp_to_client(), 0).unwrap();
         assert!(out.is_empty(), "buffered during boot");
-        assert_eq!(sw.stats.boots, 1);
-        assert_eq!(sw.stats.buffered, 1);
+        assert_eq!(sw.stats().boots, 1);
+        assert_eq!(sw.stats().buffered, 1);
         // Boot completes; the buffered packet emerges.
         let flushed = host.advance(100_000_000);
         assert_eq!(flushed.len(), 1);
@@ -247,7 +374,7 @@ mod tests {
             .on_packet(&mut host, udp_to_client(), 110_000_000)
             .unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(sw.stats.boots, 1, "no second boot");
+        assert_eq!(sw.stats().boots, 1, "no second boot");
     }
 
     #[test]
@@ -258,7 +385,7 @@ mod tests {
             .build();
         let out = sw.on_packet(&mut host, stranger, 0).unwrap();
         assert!(out.is_empty());
-        assert_eq!(sw.stats.unknown, 1);
+        assert_eq!(sw.stats().unknown, 1);
         assert_eq!(host.live_vms(), 0);
     }
 
@@ -290,7 +417,7 @@ mod tests {
         // New traffic boots a fresh VM.
         sw.on_packet(&mut host, udp_to_client(), 11_000_000_000)
             .unwrap();
-        assert_eq!(sw.stats.boots, 2);
+        assert_eq!(sw.stats().boots, 2);
     }
 
     #[test]
@@ -341,7 +468,7 @@ mod tests {
         // Traffic resumes the same VM rather than booting a new one.
         sw.on_packet(&mut host, udp_to_client(), 20_000_000_000)
             .unwrap();
-        assert_eq!(sw.stats.resumes, 1);
-        assert_eq!(sw.stats.boots, 1);
+        assert_eq!(sw.stats().resumes, 1);
+        assert_eq!(sw.stats().boots, 1);
     }
 }

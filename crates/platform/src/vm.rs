@@ -15,6 +15,64 @@ use crate::calib::{
 /// Identifier of a VM within one host.
 pub type VmId = usize;
 
+/// Why the platform dropped a packet.
+///
+/// Every packet-drop path in the platform names one of these reasons and
+/// increments a reason-labeled drop counter (`innet_switch_drops_total` /
+/// `innet_host_drops_total`), so
+/// `packets_in == delivered + buffered + Σ drops_by_reason` is a
+/// checkable invariant — no drop is ever silent. See DESIGN.md §9 for
+/// the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The destination is not a registered client (or not IPv4).
+    UnknownDst,
+    /// A mid-flow packet arrived after its VM was reclaimed; it cannot
+    /// start a new flow, so there is nothing to deliver it to.
+    MidFlowNoVm,
+    /// The packet reached a VM that is suspended (direct host delivery
+    /// only; the switch controller resumes before delivering).
+    Suspended,
+    /// The packet reached a VM in its suspend window. Since the
+    /// suspend-window fix this path buffers instead of dropping; the
+    /// label remains in the taxonomy so a regression is visible as a
+    /// non-zero counter rather than silence.
+    Suspending,
+    /// The packet reached a running VM with no packet processor (a
+    /// plain Linux guest).
+    NoRouter,
+}
+
+impl DropReason {
+    /// The metric label for this reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::UnknownDst => "unknown_dst",
+            DropReason::MidFlowNoVm => "mid_flow_no_vm",
+            DropReason::Suspended => "suspended",
+            DropReason::Suspending => "suspending",
+            DropReason::NoRouter => "no_router",
+        }
+    }
+}
+
+/// What happened to a packet handed to [`Host::deliver_tracked`].
+///
+/// The switch controller uses this to bill tenants only for packets that
+/// were actually delivered or buffered — dropped packets are never
+/// charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Processed immediately by a running VM.
+    Delivered,
+    /// Queued while the VM boots, resumes, or finishes suspending;
+    /// delivered when it becomes runnable.
+    Buffered,
+    /// Dropped, with the reason (also counted in the host's drop
+    /// counter).
+    Dropped(DropReason),
+}
+
 /// VM lifecycle state, with virtual-time transition deadlines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VmState {
@@ -94,23 +152,83 @@ impl From<RouterError> for HostError {
     }
 }
 
+/// The host's instruments in a shared [`innet_obs::Registry`]
+/// (Prometheus namespace `innet_host_*`).
+struct HostMetrics {
+    boots: innet_obs::Counter,
+    suspends: innet_obs::Counter,
+    resumes: innet_obs::Counter,
+    boot_ns: innet_obs::Histogram,
+    suspend_ns: innet_obs::Histogram,
+    resume_ns: innet_obs::Histogram,
+    mem_used_mb: innet_obs::Gauge,
+    live_vms: innet_obs::Gauge,
+    running_vms: innet_obs::Gauge,
+    delivered: innet_obs::Counter,
+    buffered: innet_obs::Counter,
+    drops: innet_obs::LabeledCounter,
+}
+
+impl HostMetrics {
+    fn register(reg: &innet_obs::Registry) -> HostMetrics {
+        HostMetrics {
+            boots: reg.counter("innet_host_boots_total"),
+            suspends: reg.counter("innet_host_suspends_total"),
+            resumes: reg.counter("innet_host_resumes_total"),
+            boot_ns: reg.histogram("innet_host_boot_latency_ns"),
+            suspend_ns: reg.histogram("innet_host_suspend_latency_ns"),
+            resume_ns: reg.histogram("innet_host_resume_latency_ns"),
+            mem_used_mb: reg.gauge("innet_host_mem_used_mb"),
+            live_vms: reg.gauge("innet_host_live_vms"),
+            running_vms: reg.gauge("innet_host_running_vms"),
+            delivered: reg.counter("innet_host_delivered_total"),
+            buffered: reg.counter("innet_host_buffered_total"),
+            drops: reg.labeled_counter("innet_host_drops_total", "reason"),
+        }
+    }
+}
+
 /// A physical platform host: memory pool plus a set of VMs.
 pub struct Host {
     mem_mb: u64,
     mem_used_mb: u64,
     vms: Vec<Vm>,
+    /// Ids of non-destroyed VMs, ascending. Destroyed slots stay in
+    /// `vms` for id stability but are skipped by every scan, so flow
+    /// churn cannot degrade [`Host::advance`] into an ever-growing
+    /// dead-slot walk.
+    active: Vec<VmId>,
     registry: Registry,
+    obs: innet_obs::Registry,
+    metrics: HostMetrics,
 }
 
 impl Host {
-    /// Creates a host with the given physical memory.
+    /// Creates a host with the given physical memory and a private
+    /// metrics registry (see [`Host::with_obs`] to share one).
     pub fn new(mem_mb: u64) -> Host {
+        Host::with_obs(mem_mb, &innet_obs::Registry::new())
+    }
+
+    /// Creates a host publishing its metrics into `obs` (Prometheus
+    /// namespace `innet_host_*`, plus `innet_click_*` for the routers
+    /// inside its ClickOS guests). Sharing one registry between a host
+    /// and its [`crate::SwitchController`] yields one unified snapshot.
+    pub fn with_obs(mem_mb: u64, obs: &innet_obs::Registry) -> Host {
         Host {
             mem_mb,
             mem_used_mb: 0,
             vms: Vec::new(),
+            active: Vec::new(),
             registry: Registry::standard(),
+            obs: obs.clone(),
+            metrics: HostMetrics::register(obs),
         }
+    }
+
+    /// The metrics registry this host publishes into.
+    pub fn obs(&self) -> &innet_obs::Registry {
+        &self.obs
     }
 
     /// Free memory in MB.
@@ -120,18 +238,22 @@ impl Host {
 
     /// Number of VMs in any live state.
     pub fn live_vms(&self) -> usize {
-        self.vms
-            .iter()
-            .filter(|v| !matches!(v.state, VmState::Destroyed))
-            .count()
+        self.active.len()
     }
 
     /// Number of currently runnable VMs.
     pub fn running_vms(&self) -> usize {
-        self.vms
+        self.active
             .iter()
-            .filter(|v| matches!(v.state, VmState::Running))
+            .filter(|&&id| matches!(self.vms[id].state, VmState::Running))
             .count()
+    }
+
+    /// Refreshes the level gauges after a lifecycle change.
+    fn refresh_gauges(&self) {
+        self.metrics.mem_used_mb.set(self.mem_used_mb as i64);
+        self.metrics.live_vms.set(self.live_vms() as i64);
+        self.metrics.running_vms.set(self.running_vms() as i64);
     }
 
     /// Immutable access to a VM.
@@ -176,18 +298,28 @@ impl Host {
             });
         }
         let router = match config {
-            Some(cfg) => Some(Router::from_config(cfg, &self.registry)?),
+            Some(cfg) => {
+                let mut r = Router::from_config(cfg, &self.registry)?;
+                r.attach_metrics(&self.obs);
+                Some(r)
+            }
             None => None,
         };
         self.mem_used_mb += need;
-        let ready_at = now_ns + boot_latency_ns(kind, self.live_vms());
+        let boot_ns = boot_latency_ns(kind, self.live_vms());
+        let ready_at = now_ns + boot_ns;
         self.vms.push(Vm {
             kind,
             state: VmState::Booting { ready_at },
             router,
             pending: Vec::new(),
         });
-        Ok(self.vms.len() - 1)
+        let id = self.vms.len() - 1;
+        self.active.push(id);
+        self.metrics.boots.inc();
+        self.metrics.boot_ns.observe(boot_ns);
+        self.refresh_gauges();
+        Ok(id)
     }
 
     /// Starts suspending a running VM.
@@ -197,8 +329,12 @@ impl Host {
         if !matches!(vm.state, VmState::Running) {
             return Err(HostError::BadState(id, "suspend"));
         }
-        let done_at = now_ns + suspend_latency_ns(existing.saturating_sub(1));
+        let suspend_ns = suspend_latency_ns(existing.saturating_sub(1));
+        let done_at = now_ns + suspend_ns;
         vm.state = VmState::Suspending { done_at };
+        self.metrics.suspends.inc();
+        self.metrics.suspend_ns.observe(suspend_ns);
+        self.refresh_gauges();
         Ok(done_at)
     }
 
@@ -209,8 +345,12 @@ impl Host {
         if !matches!(vm.state, VmState::Suspended) {
             return Err(HostError::BadState(id, "resume"));
         }
-        let ready_at = now_ns + resume_latency_ns(existing.saturating_sub(1));
+        let resume_ns = resume_latency_ns(existing.saturating_sub(1));
+        let ready_at = now_ns + resume_ns;
         vm.state = VmState::Resuming { ready_at };
+        self.metrics.resumes.inc();
+        self.metrics.resume_ns.observe(resume_ns);
+        self.refresh_gauges();
         Ok(ready_at)
     }
 
@@ -223,6 +363,10 @@ impl Host {
         vm.state = VmState::Destroyed;
         vm.router = None;
         vm.pending.clear();
+        // `retain` keeps `active` sorted (ids are never reused), so
+        // `advance` stays deterministic in boot order.
+        self.active.retain(|&a| a != id);
+        self.refresh_gauges();
         Ok(())
     }
 
@@ -230,40 +374,71 @@ impl Host {
     /// deadlines have passed and flushes packets buffered for VMs that
     /// just became runnable. Returns packets transmitted by those VMs as
     /// `(vm, iface, packet)`.
+    ///
+    /// A VM whose suspend completes with packets buffered in its suspend
+    /// window resumes immediately (§5 "Suspend and resume"): the resume
+    /// starts at the suspend's completion instant, and — because
+    /// transitions are re-examined until a fixed point — a single
+    /// `advance` far enough into the future carries it all the way back
+    /// to `Running` and flushes the buffer.
     pub fn advance(&mut self, now_ns: u64) -> Vec<(VmId, u16, Packet)> {
         let mut out = Vec::new();
-        for (id, vm) in self.vms.iter_mut().enumerate() {
-            let became_running = match vm.state {
-                VmState::Booting { ready_at } | VmState::Resuming { ready_at }
-                    if now_ns >= ready_at =>
-                {
-                    vm.state = VmState::Running;
-                    true
-                }
-                VmState::Suspending { done_at } if now_ns >= done_at => {
-                    vm.state = VmState::Suspended;
-                    false
-                }
-                _ => false,
-            };
-            if became_running {
-                if let Some(router) = vm.router.as_mut() {
-                    for (iface, pkt) in vm.pending.drain(..) {
-                        let _ = router.deliver(iface, pkt, now_ns);
+        loop {
+            let mut changed = false;
+            let live = self.active.len();
+            for i in 0..self.active.len() {
+                let id = self.active[i];
+                let vm = &mut self.vms[id];
+                match vm.state {
+                    VmState::Booting { ready_at } | VmState::Resuming { ready_at }
+                        if now_ns >= ready_at =>
+                    {
+                        vm.state = VmState::Running;
+                        changed = true;
+                        if let Some(router) = vm.router.as_mut() {
+                            for (iface, pkt) in vm.pending.drain(..) {
+                                let _ = router.deliver(iface, pkt, now_ns);
+                            }
+                            for (iface, pkt) in router.take_tx() {
+                                out.push((id, iface, pkt));
+                            }
+                        }
                     }
-                    for (iface, pkt) in router.take_tx() {
-                        out.push((id, iface, pkt));
+                    VmState::Suspending { done_at } if now_ns >= done_at => {
+                        changed = true;
+                        if vm.pending.is_empty() {
+                            vm.state = VmState::Suspended;
+                        } else {
+                            // Packets arrived during the suspend window:
+                            // schedule the resume the moment the suspend
+                            // completes, mirroring the boot-buffering
+                            // path, so nothing is dropped.
+                            let resume_ns = resume_latency_ns(live.saturating_sub(1));
+                            vm.state = VmState::Resuming {
+                                ready_at: done_at + resume_ns,
+                            };
+                            self.metrics.resumes.inc();
+                            self.metrics.resume_ns.observe(resume_ns);
+                        }
                     }
+                    _ => {}
                 }
             }
+            if !changed {
+                break;
+            }
         }
+        self.refresh_gauges();
         out
     }
 
     /// Delivers a packet to a VM at virtual time `now_ns`.
     ///
     /// Running VMs process immediately (returning any transmissions);
-    /// booting/resuming VMs buffer; suspended or Linux VMs drop.
+    /// booting, resuming, and *suspending* VMs buffer (a suspend-window
+    /// arrival triggers a resume when the suspend completes); suspended
+    /// and router-less (Linux) VMs drop — and every drop increments the
+    /// host's reason-labeled drop counter.
     pub fn deliver(
         &mut self,
         id: VmId,
@@ -271,20 +446,52 @@ impl Host {
         pkt: Packet,
         now_ns: u64,
     ) -> Result<Vec<(u16, Packet)>, HostError> {
-        let vm = self.vm_mut(id)?;
+        self.deliver_tracked(id, iface, pkt, now_ns)
+            .map(|(_, out)| out)
+    }
+
+    /// Like [`Host::deliver`], but also reports what happened to the
+    /// packet, so callers (the switch controller) can account and bill
+    /// by outcome.
+    pub fn deliver_tracked(
+        &mut self,
+        id: VmId,
+        iface: u16,
+        pkt: Packet,
+        now_ns: u64,
+    ) -> Result<(Delivery, Vec<(u16, Packet)>), HostError> {
+        // Field-level access (rather than `vm_mut`) so `self.metrics`
+        // stays borrowable alongside the VM.
+        let vm = self
+            .vms
+            .get_mut(id)
+            .filter(|v| !matches!(v.state, VmState::Destroyed))
+            .ok_or(HostError::NoSuchVm(id))?;
         match vm.state {
-            VmState::Running => {
-                let Some(router) = vm.router.as_mut() else {
-                    return Ok(Vec::new());
-                };
-                let _ = router.deliver(iface, pkt, now_ns);
-                Ok(router.take_tx())
-            }
-            VmState::Booting { .. } | VmState::Resuming { .. } => {
+            VmState::Running => match vm.router.as_mut() {
+                Some(router) => {
+                    self.metrics.delivered.inc();
+                    let _ = router.deliver(iface, pkt, now_ns);
+                    Ok((Delivery::Delivered, router.take_tx()))
+                }
+                None => {
+                    self.metrics.drops.with(DropReason::NoRouter.as_str()).inc();
+                    Ok((Delivery::Dropped(DropReason::NoRouter), Vec::new()))
+                }
+            },
+            VmState::Booting { .. } | VmState::Resuming { .. } | VmState::Suspending { .. } => {
                 vm.pending.push((iface, pkt));
-                Ok(Vec::new())
+                self.metrics.buffered.inc();
+                Ok((Delivery::Buffered, Vec::new()))
             }
-            _ => Ok(Vec::new()),
+            VmState::Suspended => {
+                self.metrics
+                    .drops
+                    .with(DropReason::Suspended.as_str())
+                    .inc();
+                Ok((Delivery::Dropped(DropReason::Suspended), Vec::new()))
+            }
+            VmState::Destroyed => Err(HostError::NoSuchVm(id)),
         }
     }
 }

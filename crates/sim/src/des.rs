@@ -32,6 +32,15 @@ impl<E: Eq> PartialOrd for Entry<E> {
     }
 }
 
+/// Shared-registry instruments for one event queue (see
+/// [`EventQueue::attach_metrics`]).
+#[derive(Debug, Clone)]
+struct QueueMetrics {
+    scheduled: innet_obs::Counter,
+    popped: innet_obs::Counter,
+    depth: innet_obs::Gauge,
+}
+
 /// A deterministic future-event list.
 ///
 /// Events scheduled for the same instant pop in scheduling order, so runs
@@ -41,6 +50,7 @@ pub struct EventQueue<E: Eq> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: SimTime,
+    metrics: Option<QueueMetrics>,
 }
 
 impl<E: Eq> EventQueue<E> {
@@ -50,7 +60,22 @@ impl<E: Eq> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
+            metrics: None,
         }
+    }
+
+    /// Publishes this queue's counters into `registry` (Prometheus
+    /// namespace `innet_sim_*`): events scheduled, events popped, and a
+    /// pending-depth gauge, so DES drivers are observable like the rest
+    /// of the stack. Only events after attachment are counted.
+    pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
+        let m = QueueMetrics {
+            scheduled: registry.counter("innet_sim_events_scheduled_total"),
+            popped: registry.counter("innet_sim_events_popped_total"),
+            depth: registry.gauge("innet_sim_queue_depth"),
+        };
+        m.depth.set(self.heap.len() as i64);
+        self.metrics = Some(m);
     }
 
     /// Current virtual time (the timestamp of the last popped event).
@@ -70,6 +95,10 @@ impl<E: Eq> EventQueue<E> {
             event,
         }));
         self.seq += 1;
+        if let Some(m) = &self.metrics {
+            m.scheduled.inc();
+            m.depth.set(self.heap.len() as i64);
+        }
     }
 
     /// Schedules `event` after a delay from now.
@@ -81,6 +110,10 @@ impl<E: Eq> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(e) = self.heap.pop()?;
         self.now = e.at;
+        if let Some(m) = &self.metrics {
+            m.popped.inc();
+            m.depth.set(self.heap.len() as i64);
+        }
         Some((e.at, e.event))
     }
 
@@ -136,6 +169,22 @@ mod tests {
         // Scheduling into the past clamps to now.
         q.schedule(50, "y");
         assert_eq!(q.pop(), Some((100, "y")));
+    }
+
+    #[test]
+    fn attached_metrics_track_queue_activity() {
+        let reg = innet_obs::Registry::new();
+        let mut q = EventQueue::new();
+        q.schedule(10, "pre-attach"); // not counted
+        q.attach_metrics(&reg);
+        assert_eq!(reg.gauge("innet_sim_queue_depth").get(), 1);
+        q.schedule(20, "a");
+        q.schedule(30, "b");
+        assert_eq!(reg.counter("innet_sim_events_scheduled_total").get(), 2);
+        assert_eq!(reg.gauge("innet_sim_queue_depth").get(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(reg.counter("innet_sim_events_popped_total").get(), 3);
+        assert_eq!(reg.gauge("innet_sim_queue_depth").get(), 0);
     }
 
     #[test]

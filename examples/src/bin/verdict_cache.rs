@@ -48,7 +48,7 @@ fn main() {
             .expect("deployable");
     }
     let hits = t.elapsed();
-    let s = ctl.stats;
+    let s = ctl.stats();
     println!(
         "hits: deployed 49 more in {:.2} ms total ({:.1} µs each)",
         hits.as_secs_f64() * 1e3,
@@ -70,7 +70,7 @@ fn main() {
     );
     println!(
         "policy change: {} cached verdicts invalidated",
-        ctl.stats.cache_invalidations
+        ctl.stats().cache_invalidations
     );
     match ctl.deploy("mobile-7", ClientRequest::parse(FIG4).unwrap()) {
         Ok(_) => println!("re-verified: still deployable"),

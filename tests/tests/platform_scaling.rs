@@ -41,13 +41,13 @@ fn on_the_fly_lifecycle() {
             .unwrap();
         assert_eq!(out.len(), 1);
     }
-    assert_eq!(sw.stats.boots, 1);
+    assert_eq!(sw.stats().boots, 1);
     // Idle reclamation destroys the stateless VM.
     sw.reclaim_idle(&mut host, 60_000_000_000, 1_000_000_000);
     assert_eq!(host.live_vms(), 0);
     // The next packet re-boots.
     sw.on_packet(&mut host, pkt(99), 61_000_000_000).unwrap();
-    assert_eq!(sw.stats.boots, 2);
+    assert_eq!(sw.stats().boots, 2);
 }
 
 /// Stateful modules keep their state across suspend/resume: a firewall's

@@ -88,9 +88,9 @@ fn cached_verdicts_are_byte_identical_to_uncached() {
 
         let mut c = fresh();
         let first = verdict_sig(&c.deploy(who, req(text)));
-        let before = c.stats;
+        let before = c.stats();
         let second = verdict_sig(&c.deploy(who, req(text)));
-        let after = c.stats;
+        let after = c.stats();
 
         assert_eq!(base, first, "{who}: first deploy diverged from baseline");
         assert_eq!(first, second, "{who}: cached verdict diverged");
@@ -116,8 +116,8 @@ fn policy_change_invalidates_cached_verdicts() {
     let mut c = fresh();
     let first = verdict_sig(&c.deploy("mobile-7", req(FIG4)));
     c.deploy("mobile-7", req(FIG4)).unwrap();
-    assert_eq!(c.stats.cache_hits, 1);
-    assert_eq!(c.stats.cache_misses, 1);
+    assert_eq!(c.stats().cache_hits, 1);
+    assert_eq!(c.stats().cache_misses, 1);
     assert_eq!(c.cached_verdicts(), 1);
 
     c.add_operator_policy(
@@ -125,11 +125,11 @@ fn policy_change_invalidates_cached_verdicts() {
             .unwrap(),
     );
     assert_eq!(c.cached_verdicts(), 0, "policy change must empty the cache");
-    assert_eq!(c.stats.cache_invalidations, 1);
+    assert_eq!(c.stats().cache_invalidations, 1);
 
     let third = verdict_sig(&c.deploy("mobile-7", req(FIG4)));
-    assert_eq!(c.stats.cache_hits, 1, "third deploy must not hit");
-    assert_eq!(c.stats.cache_misses, 2, "third deploy must re-verify");
+    assert_eq!(c.stats().cache_hits, 1, "third deploy must not hit");
+    assert_eq!(c.stats().cache_misses, 2, "third deploy must re-verify");
     // The new rule does not hold on Figure 3, so re-verification now
     // rejects — replaying the stale cached accept would have been wrong.
     assert!(first.starts_with("accept"), "{first}");
@@ -152,14 +152,14 @@ fn hardening_and_kill_invalidate() {
         ban_udp_reflection: false,
     });
     assert_eq!(c.cached_verdicts(), 0);
-    assert_eq!(c.stats.cache_invalidations, 1);
+    assert_eq!(c.stats().cache_invalidations, 1);
 
     // Repopulate, then kill: removal can flip verdicts, so it bumps too.
     c.deploy("mobile-7", req(FIG4)).unwrap();
     assert_eq!(c.cached_verdicts(), 1);
     c.kill(resp.module_id).unwrap();
     assert_eq!(c.cached_verdicts(), 0);
-    assert_eq!(c.stats.cache_invalidations, 2);
+    assert_eq!(c.stats().cache_invalidations, 2);
 }
 
 /// Rejections are memoized too: the replayed error renders identically
@@ -171,9 +171,9 @@ fn rejects_replay_from_the_cache() {
     let second = verdict_sig(&c.deploy("cdn-corp", req(TRANSIT)));
     assert!(first.starts_with("reject"));
     assert_eq!(first, second);
-    assert_eq!(c.stats.cache_hits, 1);
-    assert_eq!(c.stats.rejected, 2);
-    assert_eq!(c.stats.accepted, 0);
+    assert_eq!(c.stats().cache_hits, 1);
+    assert_eq!(c.stats().rejected, 2);
+    assert_eq!(c.stats().accepted, 0);
 }
 
 /// The headline number: on 100 identical requests, a cache hit costs at
@@ -194,11 +194,11 @@ fn hits_are_at_least_5x_cheaper_than_misses() {
         c.deploy("mobile-7", req(FIG4)).unwrap();
         hits.push(t.elapsed());
     }
-    assert_eq!(c.stats.cache_hits, 99);
-    assert_eq!(c.stats.cache_misses, 1);
-    assert_eq!(c.stats.accepted, 100);
+    assert_eq!(c.stats().cache_hits, 99);
+    assert_eq!(c.stats().cache_misses, 1);
+    assert_eq!(c.stats().accepted, 100);
     // Exactly one miss populated check_ns; every hit credits that cost.
-    assert_eq!(c.stats.check_ns_saved, 99 * c.stats.check_ns);
+    assert_eq!(c.stats().check_ns_saved, 99 * c.stats().check_ns);
 
     hits.sort_unstable();
     let median = hits[hits.len() / 2];
@@ -215,7 +215,7 @@ fn hits_are_at_least_5x_cheaper_than_misses() {
 fn batch_shards_share_the_cache() {
     let mut c = fresh();
     c.deploy("mobile-7", req(FIG4)).unwrap();
-    assert_eq!(c.stats.cache_misses, 1);
+    assert_eq!(c.stats().cache_misses, 1);
 
     let batch: Vec<(String, ClientRequest)> = (0..8)
         .map(|_| ("mobile-7".to_string(), req(FIG4)))
@@ -226,9 +226,9 @@ fn batch_shards_share_the_cache() {
         assert!(r.is_ok(), "batch deploy failed: {r:?}");
     }
     assert!(
-        c.stats.cache_hits >= 8,
+        c.stats().cache_hits >= 8,
         "shards did not hit the shared cache: {:?}",
-        c.stats
+        c.stats()
     );
-    assert_eq!(c.stats.cache_misses, 1);
+    assert_eq!(c.stats().cache_misses, 1);
 }
