@@ -16,6 +16,16 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> lint example smoke-run"
+# The example lints a seeded wiring mistake (structured IN-L* rule ids)
+# and prints the abstract field-effect table for the fixed config.
+# (capture first: grep -q would close the pipe mid-print)
+lint_out="$(cargo run --release -q -p innet-examples --bin lint)"
+grep -q "IN-L" <<<"$lint_out"
+
 echo "==> metrics example smoke-run"
 # The example asserts the zero-silent-drops invariant
 # (packets == delivered + buffered + drops-by-reason) and exercises

@@ -1,0 +1,35 @@
+//! Static analysis for Click configurations (the tier *before* SymNet).
+//!
+//! Two stages, both cheap and both conservative:
+//!
+//! 1. **Lint pass** ([`lint`]): structural rules over the element graph —
+//!    arity and wiring mistakes, unreachable elements, dead outputs,
+//!    queueless cycles — each reported as a structured [`Diagnostic`]
+//!    with a stable rule id (`IN-L001`…). Lint *errors* let the
+//!    controller reject a malformed configuration with a precise message
+//!    instead of an opaque symbolic-execution failure.
+//!
+//! 2. **Field-effect abstract interpretation** ([`abstract_verdict`]):
+//!    composes the per-element summaries registered in
+//!    [`innet_click::Registry`] along every graph path with a worklist
+//!    algorithm, tracking for each header field whether it still carries
+//!    its ingress value, a known constant, or a runtime-chosen value.
+//!    When the resulting abstract egress flows decide every security
+//!    rule, the controller takes a **fast path** that skips symbolic
+//!    execution entirely; whenever anything is uncertain the function
+//!    returns `None` and the controller falls back to SymNet.
+//!
+//! The soundness contract of the fast path — it may only fire when it
+//! agrees with what SymNet would conclude — is enforced by construction
+//! (summaries mirror the symbolic models, and every approximation is
+//! forced toward "inconclusive") and checked end-to-end by a
+//! differential property test over generated configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod absint;
+mod lint;
+
+pub use absint::{abstract_verdict, flow_effects, AnalysisReport, FlowEffect};
+pub use lint::{lint, Diagnostic, LintReport, Severity};

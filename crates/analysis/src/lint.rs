@@ -1,0 +1,485 @@
+//! Structural lint rules over a Click configuration.
+//!
+//! Rule catalog (stable ids; see DESIGN.md §10):
+//!
+//! | id      | severity | meaning                                        |
+//! |---------|----------|------------------------------------------------|
+//! | IN-L001 | error    | duplicate element name                         |
+//! | IN-L002 | error    | unknown element class                          |
+//! | IN-L003 | error    | malformed element arguments                    |
+//! | IN-L004 | error    | connection references an out-of-range port     |
+//! | IN-L005 | error    | connection references an undeclared element    |
+//! | IN-L006 | error    | one output port wired to several inputs        |
+//! | IN-L007 | error    | dead output: a port wired to nothing           |
+//! | IN-L008 | error    | element unreachable from any ingress           |
+//! | IN-L009 | error    | combinational cycle containing no queue        |
+//! | IN-L010 | warning  | wire into a source element (push/pull mismatch)|
+//!
+//! Unwired *input* ports are deliberately not linted: elements such as
+//! `IPRewriter` legitimately leave their reverse direction unused.
+
+use std::collections::{HashMap, HashSet};
+
+use innet_click::{ClickConfig, ElementSummary, PortCount, Registry, SummaryKind};
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but deployable.
+    Warning,
+    /// The configuration is rejected.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id, e.g. `"IN-L004"`.
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// The element the finding is anchored to, if any.
+    pub element: Option<String>,
+    /// The port on that element, if the finding is port-specific.
+    pub port: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.rule)?;
+        if let Some(el) = &self.element {
+            write!(f, " {el}")?;
+            if let Some(p) = self.port {
+                write!(f, "[{p}]")?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The result of linting one configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, in rule order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Whether any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// All error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether some finding carries the given rule id.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "no findings");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-element facts resolved once and shared by several rules.
+pub(crate) struct Resolved {
+    /// Field-effect summary, if the class has one and the args parse.
+    pub(crate) summary: Option<ElementSummary>,
+    /// Port signature, if resolvable at all.
+    pub(crate) ports: Option<PortCount>,
+}
+
+/// Runs every lint rule over `cfg`.
+///
+/// Works on arbitrary configurations, including ones
+/// [`ClickConfig::validate`] would reject — lint is the friendlier
+/// diagnostic layer in front of validation, so builder-constructed
+/// configurations get precise findings too.
+pub fn lint(cfg: &ClickConfig, registry: &Registry) -> LintReport {
+    let mut report = LintReport::default();
+    let mut push = |rule: &'static str,
+                    severity: Severity,
+                    element: Option<&str>,
+                    port: Option<usize>,
+                    message: String| {
+        report.diagnostics.push(Diagnostic {
+            rule,
+            severity,
+            element: element.map(str::to_string),
+            port,
+            message,
+        });
+    };
+
+    // IN-L001: duplicate names.
+    let mut seen = HashSet::new();
+    for e in &cfg.elements {
+        if !seen.insert(e.name.as_str()) {
+            push(
+                "IN-L001",
+                Severity::Error,
+                Some(&e.name),
+                None,
+                format!("element name `{}` declared more than once", e.name),
+            );
+        }
+    }
+
+    // IN-L002/IN-L003: class and argument checks; resolve summaries.
+    let mut resolved: Vec<Resolved> = Vec::with_capacity(cfg.elements.len());
+    for e in &cfg.elements {
+        let known = registry.knows(&e.class) || registry.has_summary(&e.class);
+        if !known {
+            push(
+                "IN-L002",
+                Severity::Error,
+                Some(&e.name),
+                None,
+                format!("unknown element class `{}`", e.class),
+            );
+            resolved.push(Resolved {
+                summary: None,
+                ports: None,
+            });
+            continue;
+        }
+        // Prefer the summary (it shares argument validation with the
+        // constructor and also covers the Stock* pseudo-classes).
+        let outcome = if registry.has_summary(&e.class) {
+            registry.summary(&e.class, &e.args).map(|s| {
+                let ports = s.ports;
+                Resolved {
+                    summary: Some(s),
+                    ports: Some(ports),
+                }
+            })
+        } else {
+            registry.instantiate(&e.class, &e.args).map(|el| Resolved {
+                summary: None,
+                ports: Some(el.ports()),
+            })
+        };
+        match outcome {
+            Ok(r) => resolved.push(r),
+            Err(err) => {
+                push(
+                    "IN-L003",
+                    Severity::Error,
+                    Some(&e.name),
+                    None,
+                    format!("bad arguments for `{}`: {err}", e.class),
+                );
+                resolved.push(Resolved {
+                    summary: None,
+                    ports: None,
+                });
+            }
+        }
+    }
+
+    let index: HashMap<&str, usize> = cfg
+        .elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.name.as_str(), i))
+        .collect();
+
+    // IN-L004/IN-L005: port arity and dangling references.
+    for c in &cfg.connections {
+        for (pr, is_input) in [(&c.from, false), (&c.to, true)] {
+            let Some(&idx) = index.get(pr.element.as_str()) else {
+                push(
+                    "IN-L005",
+                    Severity::Error,
+                    Some(&pr.element),
+                    Some(pr.port),
+                    format!("connection references undeclared element `{}`", pr.element),
+                );
+                continue;
+            };
+            let Some(ports) = resolved[idx].ports else {
+                continue; // Already diagnosed via IN-L002/IN-L003.
+            };
+            let (limit, kind) = if is_input {
+                (ports.inputs, "input")
+            } else {
+                (ports.outputs, "output")
+            };
+            if pr.port >= limit {
+                push(
+                    "IN-L004",
+                    Severity::Error,
+                    Some(&pr.element),
+                    Some(pr.port),
+                    format!(
+                        "`{}` has {limit} {kind} port(s) but port {} is wired",
+                        pr.element, pr.port
+                    ),
+                );
+            }
+        }
+    }
+
+    // IN-L006: output fanout.
+    let mut out_uses: HashMap<(&str, usize), usize> = HashMap::new();
+    for c in &cfg.connections {
+        *out_uses
+            .entry((c.from.element.as_str(), c.from.port))
+            .or_default() += 1;
+    }
+    let mut fanouts: Vec<_> = out_uses.iter().filter(|(_, &n)| n > 1).collect();
+    fanouts.sort();
+    for (&(el, port), &n) in fanouts {
+        push(
+            "IN-L006",
+            Severity::Error,
+            Some(el),
+            Some(port),
+            format!("output `{el}`[{port}] is wired to {n} inputs (push fanout needs a Tee)"),
+        );
+    }
+
+    // IN-L007: dead outputs. Sink-kind elements (Idle) are exempt — their
+    // declared output never emits.
+    for (i, e) in cfg.elements.iter().enumerate() {
+        let Some(ports) = resolved[i].ports else {
+            continue;
+        };
+        if matches!(
+            resolved[i].summary.as_ref().map(|s| &s.kind),
+            Some(SummaryKind::Sink)
+        ) {
+            continue;
+        }
+        for p in 0..ports.outputs {
+            if !out_uses.contains_key(&(e.name.as_str(), p)) {
+                push(
+                    "IN-L007",
+                    Severity::Error,
+                    Some(&e.name),
+                    Some(p),
+                    format!(
+                        "output `{}`[{p}] is wired to nothing: packets vanish",
+                        e.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // IN-L008: reachability from the ingress set (mirrors the verifier's
+    // entry selection: every FromNetfront/FromDevice, else the first
+    // element).
+    if !cfg.elements.is_empty() {
+        let mut entries: Vec<usize> = cfg
+            .elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.class == "FromNetfront" || e.class == "FromDevice")
+            .map(|(i, _)| i)
+            .collect();
+        if entries.is_empty() {
+            entries.push(0);
+        }
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for c in &cfg.connections {
+            if let (Some(&f), Some(&t)) = (
+                index.get(c.from.element.as_str()),
+                index.get(c.to.element.as_str()),
+            ) {
+                adj.entry(f).or_default().push(t);
+            }
+        }
+        let mut reached = HashSet::new();
+        let mut stack = entries;
+        while let Some(i) = stack.pop() {
+            if reached.insert(i) {
+                if let Some(next) = adj.get(&i) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        for (i, e) in cfg.elements.iter().enumerate() {
+            if !reached.contains(&i) {
+                push(
+                    "IN-L008",
+                    Severity::Error,
+                    Some(&e.name),
+                    None,
+                    format!("element `{}` is unreachable from any ingress", e.name),
+                );
+            }
+        }
+    }
+
+    // IN-L009: a combinational cycle with no queue-like element anywhere
+    // on it. Equivalently: a cycle in the flow-pair graph restricted to
+    // non-queue elements.
+    let adj = flow_pair_adjacency(cfg, &resolved, &index, true);
+    if let Some((e, _)) = find_cycle(&adj) {
+        push(
+            "IN-L009",
+            Severity::Error,
+            Some(&cfg.elements[e].name),
+            None,
+            format!(
+                "element `{}` sits on a cycle with no queue element: packets loop forever",
+                cfg.elements[e].name
+            ),
+        );
+    }
+
+    // IN-L010: wiring into a source element's input.
+    for c in &cfg.connections {
+        if let Some(&t) = index.get(c.to.element.as_str()) {
+            let class = cfg.elements[t].class.as_str();
+            if class == "FromNetfront" || class == "FromDevice" {
+                push(
+                    "IN-L010",
+                    Severity::Warning,
+                    Some(&c.to.element),
+                    Some(c.to.port),
+                    format!(
+                        "`{}` is a source; wiring `{}` into it mismatches push/pull",
+                        c.to.element, c.from.element
+                    ),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+/// Adjacency of the flow-pair graph: node `(element, in_port)` has an
+/// edge to `(target, target_in_port)` when some flow of the element
+/// forwards from `in_port` to an output wired to the target.
+///
+/// With `skip_queue_like`, queue-like elements are removed entirely (used
+/// by the queueless-cycle rule: a cycle in the remaining graph is a cycle
+/// containing no queue).
+pub(crate) fn flow_pair_adjacency(
+    cfg: &ClickConfig,
+    resolved: &[Resolved],
+    index: &HashMap<&str, usize>,
+    skip_queue_like: bool,
+) -> HashMap<(usize, usize), Vec<(usize, usize)>> {
+    let mut wires: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for c in &cfg.connections {
+        if let (Some(&f), Some(&t)) = (
+            index.get(c.from.element.as_str()),
+            index.get(c.to.element.as_str()),
+        ) {
+            // On fanout (invalid, diagnosed separately) the last wire
+            // wins; cycle detection stays conservative either way.
+            wires.insert((f, c.from.port), (t, c.to.port));
+        }
+    }
+    let mut adj: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for (i, r) in resolved.iter().enumerate() {
+        let pairs: Vec<(usize, usize)> = match &r.summary {
+            Some(s) => {
+                if skip_queue_like && s.queue_like {
+                    continue;
+                }
+                match &s.kind {
+                    SummaryKind::Flows(flows) => {
+                        flows.iter().map(|f| (f.in_port, f.out_port)).collect()
+                    }
+                    SummaryKind::Egress | SummaryKind::Sink => Vec::new(),
+                }
+            }
+            None => match r.ports {
+                // No summary: conservatively assume every input can reach
+                // every output.
+                Some(p) => (0..p.inputs)
+                    .flat_map(|ip| (0..p.outputs).map(move |op| (ip, op)))
+                    .collect(),
+                None => Vec::new(),
+            },
+        };
+        for (ip, op) in pairs {
+            if let Some(&(t, tin)) = wires.get(&(i, op)) {
+                if skip_queue_like {
+                    if let Some(s) = &resolved[t].summary {
+                        if s.queue_like {
+                            continue;
+                        }
+                    }
+                }
+                adj.entry((i, ip)).or_default().push((t, tin));
+            }
+        }
+    }
+    adj
+}
+
+/// Finds any node on a directed cycle, or `None` if the graph is acyclic.
+pub(crate) fn find_cycle(
+    adj: &HashMap<(usize, usize), Vec<(usize, usize)>>,
+) -> Option<(usize, usize)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<(usize, usize), Color> = HashMap::new();
+    let mut roots: Vec<_> = adj.keys().copied().collect();
+    roots.sort();
+    for root in roots {
+        if *color.get(&root).unwrap_or(&Color::White) != Color::White {
+            continue;
+        }
+        // Iterative DFS with an explicit edge-cursor stack.
+        let mut stack: Vec<((usize, usize), usize)> = vec![(root, 0)];
+        color.insert(root, Color::Gray);
+        while let Some(&(node, next)) = stack.last() {
+            let succs = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if next < succs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let s = succs[next];
+                match *color.get(&s).unwrap_or(&Color::White) {
+                    Color::White => {
+                        color.insert(s, Color::Gray);
+                        stack.push((s, 0));
+                    }
+                    Color::Gray => return Some(s),
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+    None
+}

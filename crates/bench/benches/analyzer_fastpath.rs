@@ -1,0 +1,79 @@
+//! Analyzer fast path vs. full symbolic execution.
+//!
+//! Benchmarks the controller's uncached deploy pipeline over the stock
+//! corpus (plus the paper's Figure 4 batcher as a Click config) with the
+//! static-analysis fast path on and off. The fast-path runs decide every
+//! verdict by abstract interpretation — no model compile, no symbolic
+//! execution — and should be measurably faster per request.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use innet::prelude::*;
+use std::hint::black_box;
+
+const BATCHER: &str = r#"
+    module batcher:
+    FromNetfront()
+      -> IPFilter(allow udp dst port 1500)
+      -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+      -> TimedUnqueue(120, 100)
+      -> dst :: ToNetfront();
+"#;
+
+const CORPUS: &[&str] = &[
+    "stock dns: geo-dns",
+    "stock edge: reverse-proxy",
+    "stock vm: x86-vm",
+    "stock fwd: explicit-proxy",
+    BATCHER,
+];
+
+fn controller(analysis: bool) -> Controller {
+    let mut c = Controller::new(Topology::figure3());
+    c.set_analysis_enabled(analysis);
+    c.register_client(
+        "cdn-corp",
+        RequesterClass::ThirdParty,
+        vec!["172.16.15.133".parse().unwrap()],
+    );
+    c
+}
+
+/// One uncached pass over the corpus. A fresh controller per iteration
+/// keeps the verdict cache cold, so the runs compare the verification
+/// pipelines rather than the cache.
+fn deploy_corpus(mut c: Controller) -> Controller {
+    for (i, text) in CORPUS.iter().enumerate() {
+        let mut req = ClientRequest::parse(text).unwrap();
+        req.module_name = format!("m{i}");
+        let _ = black_box(c.deploy("cdn-corp", req));
+    }
+    c
+}
+
+fn bench_fastpath(c: &mut Criterion) {
+    c.bench_function("deploy_corpus/analyzer_fast_path", |b| {
+        b.iter_batched(
+            || controller(true),
+            |ctl| {
+                let ctl = deploy_corpus(ctl);
+                assert!(ctl.stats().fastpath_hits > 0);
+                ctl
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("deploy_corpus/full_symnet", |b| {
+        b.iter_batched(
+            || controller(false),
+            |ctl| {
+                let ctl = deploy_corpus(ctl);
+                assert_eq!(ctl.stats().fastpath_hits, 0);
+                ctl
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_fastpath);
+criterion_main!(benches);

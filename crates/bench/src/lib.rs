@@ -4,6 +4,9 @@
 //! mirrors it to `target/innet-reports/<name>.txt`, so a full
 //! `cargo bench` leaves a directory of reproduced tables behind.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 

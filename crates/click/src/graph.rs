@@ -185,8 +185,25 @@ impl Router {
                     input: true,
                 });
             }
-            edges.insert((from_idx, c.from.port), (to_idx, c.to.port));
+            let prev = edges.insert((from_idx, c.from.port), (to_idx, c.to.port));
+            debug_assert!(
+                prev.is_none(),
+                "duplicate wiring of {}[{}] survived validation",
+                c.from.element,
+                c.from.port
+            );
         }
+
+        // Graph invariants: every wire references a live element and an
+        // in-range port on both sides. `validate()` plus the arity checks
+        // above guarantee this; internal corruption should fail loudly
+        // here rather than misroute packets later.
+        debug_assert!(edges.iter().all(|(&(f, fp), &(t, tp))| {
+            f < elements.len()
+                && t < elements.len()
+                && fp < elements[f].ports().outputs
+                && tp < elements[t].ports().inputs
+        }));
 
         Ok(Router {
             elements,

@@ -59,6 +59,7 @@ pub mod elements;
 mod graph;
 mod netfront;
 mod registry;
+pub mod summary;
 
 pub use args::ConfigArgs;
 pub use canonical::fnv1a_64;
@@ -67,3 +68,7 @@ pub use element::{Context, Element, ElementError, PortCount, Sink, VecSink};
 pub use graph::{Router, RouterError, RouterStats};
 pub use netfront::NetfrontRing;
 pub use registry::Registry;
+pub use summary::{
+    AbsField, Constraint, ElementSummary, FieldWrite, FlowSummary, LayerOp, RtOrigin, SummaryCtor,
+    SummaryKind, ABS_FIELDS,
+};

@@ -12,11 +12,14 @@ use crate::{
     elements::{self as el},
 };
 
+use crate::summary::{ElementSummary, SummaryCtor};
+
 type Ctor = fn(&ConfigArgs) -> Result<Box<dyn Element>, ElementError>;
 
 /// A table of known element classes.
 pub struct Registry {
     ctors: BTreeMap<&'static str, Ctor>,
+    summaries: BTreeMap<&'static str, SummaryCtor>,
 }
 
 macro_rules! ctor {
@@ -38,6 +41,7 @@ impl Registry {
     pub fn empty() -> Registry {
         Registry {
             ctors: BTreeMap::new(),
+            summaries: BTreeMap::new(),
         }
     }
 
@@ -108,12 +112,36 @@ impl Registry {
         // Sandboxing.
         r.register("ChangeEnforcer", ctor!(el::ChangeEnforcer, from_args));
 
+        // Field-effect summaries for the static analyzer (covers every
+        // class above plus the controller's Stock* pseudo-classes).
+        crate::summary::register_standard(&mut r);
+
         r
     }
 
     /// Registers (or replaces) a class constructor.
     pub fn register(&mut self, class: &'static str, ctor: Ctor) {
         self.ctors.insert(class, ctor);
+    }
+
+    /// Registers (or replaces) a class field-effect summary.
+    pub fn register_summary(&mut self, class: &'static str, ctor: SummaryCtor) {
+        self.summaries.insert(class, ctor);
+    }
+
+    /// Whether a class has a field-effect summary (this includes the
+    /// `Stock*` pseudo-classes, which have no Click constructor).
+    pub fn has_summary(&self, class: &str) -> bool {
+        self.summaries.contains_key(class)
+    }
+
+    /// Builds the field-effect summary of a configured element,
+    /// validating its arguments the same way instantiation does.
+    pub fn summary(&self, class: &str, args: &[String]) -> Result<ElementSummary, ElementError> {
+        let Some(ctor) = self.summaries.get(class) else {
+            return Err(ElementError::UnknownClass(class.to_string()));
+        };
+        ctor(args)
     }
 
     /// Whether a class is known.

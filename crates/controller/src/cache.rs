@@ -16,6 +16,10 @@
 //!   hardening level, or the installed topology changes in a way that can
 //!   alter verdicts (`add_operator_policy`, an effective `set_hardening`,
 //!   `kill`, or an explicit `invalidate_verdicts`);
+//! * whether the static-analysis **fast path** is enabled — fast-path and
+//!   symbolic verdicts always agree, but the reports they attach to a
+//!   rejection differ in detail (the analyzer carries no symbolic egress
+//!   flows), so verdicts never replay across a toggle;
 //! * the tenant's **requester class** and sorted **registered addresses**
 //!   (both drive the security rules);
 //! * the **hardening policy** bits;
@@ -131,9 +135,14 @@ pub(crate) fn verdict_key(
     request: &ClientRequest,
     account: &ClientAccount,
     hardening: HardeningPolicy,
+    analysis: bool,
 ) -> String {
     let mut key = String::with_capacity(256);
-    let _ = write!(key, "epoch={epoch};class={:?};", account.class);
+    let _ = write!(
+        key,
+        "epoch={epoch};analysis={analysis};class={:?};",
+        account.class
+    );
     let mut registered = account.registered.clone();
     registered.sort_unstable();
     let _ = write!(key, "registered=");
@@ -177,18 +186,42 @@ mod tests {
 
     #[test]
     fn identical_requests_share_a_key() {
-        let k1 = verdict_key(0, &request(REQ), &account(), HardeningPolicy::default());
-        let k2 = verdict_key(0, &request(REQ), &account(), HardeningPolicy::default());
+        let k1 = verdict_key(
+            0,
+            &request(REQ),
+            &account(),
+            HardeningPolicy::default(),
+            true,
+        );
+        let k2 = verdict_key(
+            0,
+            &request(REQ),
+            &account(),
+            HardeningPolicy::default(),
+            true,
+        );
         assert_eq!(k1, k2);
     }
 
     #[test]
     fn every_component_separates_keys() {
-        let base = verdict_key(0, &request(REQ), &account(), HardeningPolicy::default());
+        let base = verdict_key(
+            0,
+            &request(REQ),
+            &account(),
+            HardeningPolicy::default(),
+            true,
+        );
         // Epoch.
         assert_ne!(
             base,
-            verdict_key(1, &request(REQ), &account(), HardeningPolicy::default())
+            verdict_key(
+                1,
+                &request(REQ),
+                &account(),
+                HardeningPolicy::default(),
+                true
+            )
         );
         // Configuration.
         let other = request(
@@ -197,14 +230,14 @@ mod tests {
         );
         assert_ne!(
             base,
-            verdict_key(0, &other, &account(), HardeningPolicy::default())
+            verdict_key(0, &other, &account(), HardeningPolicy::default(), true)
         );
         // Requirements.
         let mut fewer = request(REQ);
         fewer.requirements.clear();
         assert_ne!(
             base,
-            verdict_key(0, &fewer, &account(), HardeningPolicy::default())
+            verdict_key(0, &fewer, &account(), HardeningPolicy::default(), true)
         );
         // Class.
         let third_party = ClientAccount {
@@ -213,7 +246,13 @@ mod tests {
         };
         assert_ne!(
             base,
-            verdict_key(0, &request(REQ), &third_party, HardeningPolicy::default())
+            verdict_key(
+                0,
+                &request(REQ),
+                &third_party,
+                HardeningPolicy::default(),
+                true
+            )
         );
         // Registered addresses.
         let more_addrs = ClientAccount {
@@ -225,14 +264,34 @@ mod tests {
         };
         assert_ne!(
             base,
-            verdict_key(0, &request(REQ), &more_addrs, HardeningPolicy::default())
+            verdict_key(
+                0,
+                &request(REQ),
+                &more_addrs,
+                HardeningPolicy::default(),
+                true
+            )
         );
         // Hardening.
         let hardened = HardeningPolicy {
             ingress_filtering: true,
             ban_udp_reflection: true,
         };
-        assert_ne!(base, verdict_key(0, &request(REQ), &account(), hardened));
+        assert_ne!(
+            base,
+            verdict_key(0, &request(REQ), &account(), hardened, true)
+        );
+        // Analyzer fast-path toggle.
+        assert_ne!(
+            base,
+            verdict_key(
+                0,
+                &request(REQ),
+                &account(),
+                HardeningPolicy::default(),
+                false
+            )
+        );
     }
 
     #[test]
@@ -246,8 +305,8 @@ mod tests {
             registered: vec!["10.0.0.2".parse().unwrap(), "10.0.0.1".parse().unwrap()],
         };
         assert_eq!(
-            verdict_key(0, &request(REQ), &a, HardeningPolicy::default()),
-            verdict_key(0, &request(REQ), &b, HardeningPolicy::default())
+            verdict_key(0, &request(REQ), &a, HardeningPolicy::default(), true),
+            verdict_key(0, &request(REQ), &b, HardeningPolicy::default(), true)
         );
     }
 

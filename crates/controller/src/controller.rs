@@ -74,6 +74,30 @@ pub struct ControllerStats {
     /// Checking nanoseconds avoided by cache hits: each hit credits the
     /// `check_ns` the original full evaluation of that request spent.
     pub check_ns_saved: u64,
+    /// Platform candidates decided by the static analyzer's fast path
+    /// (symbolic execution skipped entirely).
+    pub fastpath_hits: u64,
+    /// Platform candidates where the analyzer was consulted but came back
+    /// inconclusive, falling back to full symbolic execution.
+    pub fastpath_fallbacks: u64,
+    /// Requests refused by the lint pass before any verification.
+    pub lint_rejects: u64,
+    /// Nanoseconds spent in static analysis (lint + abstract
+    /// interpretation).
+    pub analysis_ns: u64,
+}
+
+impl ControllerStats {
+    /// Fraction of analyzer consultations that produced a fast-path
+    /// verdict (0.0 when the analyzer was never consulted).
+    pub fn fastpath_hit_rate(&self) -> f64 {
+        let consulted = self.fastpath_hits + self.fastpath_fallbacks;
+        if consulted == 0 {
+            0.0
+        } else {
+            self.fastpath_hits as f64 / consulted as f64
+        }
+    }
 }
 
 /// Shared-registry instruments for one controller (see
@@ -92,6 +116,11 @@ struct ControllerMetrics {
     compile_ns: innet_obs::Histogram,
     check_ns: innet_obs::Histogram,
     verdicts: innet_obs::LabeledCounter,
+    fastpath_hits: innet_obs::Counter,
+    fastpath_fallbacks: innet_obs::Counter,
+    lint_rejects: innet_obs::Counter,
+    analysis_ns_total: innet_obs::Counter,
+    analysis_ns: innet_obs::Histogram,
 }
 
 impl ControllerMetrics {
@@ -109,6 +138,11 @@ impl ControllerMetrics {
             compile_ns: reg.histogram("innet_ctl_compile_ns"),
             check_ns: reg.histogram("innet_ctl_check_ns"),
             verdicts: reg.labeled_counter("innet_ctl_verdicts_total", "verdict"),
+            fastpath_hits: reg.counter("innet_ctl_fastpath_hits_total"),
+            fastpath_fallbacks: reg.counter("innet_ctl_fastpath_fallbacks_total"),
+            lint_rejects: reg.counter("innet_ctl_lint_rejects_total"),
+            analysis_ns_total: reg.counter("innet_ctl_analysis_ns_total"),
+            analysis_ns: reg.histogram("innet_ctl_analysis_ns"),
         }
     }
 }
@@ -121,6 +155,10 @@ pub enum DeployError {
     /// The configuration could not be modeled (unknown element class or
     /// malformed arguments) — per §4.1 such requests are refused.
     BadConfig(SymError),
+    /// The lint pass found structural errors (wiring mistakes, dead
+    /// outputs, queueless cycles, …) — refused before any verification,
+    /// with the precise rule ids.
+    Lint(innet_analysis::LintReport),
     /// The module provably violates the security rules.
     SecurityReject(SecurityReport),
     /// No platform satisfies both the operator's policy and the client's
@@ -140,6 +178,7 @@ impl std::fmt::Display for DeployError {
         match self {
             DeployError::UnknownClient(c) => write!(f, "unknown client '{c}'"),
             DeployError::BadConfig(e) => write!(f, "unmodellable configuration: {e}"),
+            DeployError::Lint(report) => write!(f, "configuration failed lint: {report}"),
             DeployError::SecurityReject(r) => {
                 write!(f, "security violation: {:?}", r.violations)
             }
@@ -180,6 +219,19 @@ pub struct DeployResponse {
     pub check_ns: u64,
 }
 
+/// What one full (uncached) deployment evaluation produced: the outcome
+/// plus per-phase timings and static-analysis counters, so the caller
+/// can do all statistics accounting in one place.
+struct UncachedOutcome {
+    result: Result<DeployResponse, DeployError>,
+    compile_ns: u64,
+    check_ns: u64,
+    analysis_ns: u64,
+    fastpath_hits: u64,
+    fastpath_fallbacks: u64,
+    lint_rejected: bool,
+}
+
 /// The In-Net controller.
 pub struct Controller {
     topology: Topology,
@@ -191,6 +243,10 @@ pub struct Controller {
     next_id: ModuleId,
     addr_cursor: HashMap<NodeId, u32>,
     hardening: HardeningPolicy,
+    /// Whether the abstract-interpretation fast path may decide verdicts
+    /// (the lint pass always runs). On by default; the analyzer bench
+    /// turns it off for its baseline.
+    analysis_enabled: bool,
     /// The verification verdict cache, shared (behind `parking_lot`) with
     /// the verification snapshots `deploy_batch` spawns, so shard misses
     /// warm the cache for everyone.
@@ -214,10 +270,24 @@ impl Controller {
             next_id: 1,
             addr_cursor: HashMap::new(),
             hardening: HardeningPolicy::default(),
+            analysis_enabled: true,
             verdicts: Arc::new(RwLock::new(VerdictCache::default())),
             stats: ControllerStats::default(),
             metrics: None,
         }
+    }
+
+    /// Enables or disables the abstract-interpretation fast path (the
+    /// lint pass always runs). The flag participates in the verdict-cache
+    /// key, so toggling it never replays a verdict computed the other
+    /// way.
+    pub fn set_analysis_enabled(&mut self, enabled: bool) {
+        self.analysis_enabled = enabled;
+    }
+
+    /// Whether the fast path is enabled.
+    pub fn analysis_enabled(&self) -> bool {
+        self.analysis_enabled
     }
 
     /// Publishes this controller's counters into `registry` (Prometheus
@@ -377,8 +447,8 @@ impl Controller {
     /// The verdict cache is consulted before any model is compiled: a hit
     /// replays the memoized decision (re-checking only platform capacity
     /// for accepts), a miss runs the full pipeline and memoizes its
-    /// outcome. See the [`crate::cache`] module docs for the key
-    /// derivation and the invalidation contract.
+    /// outcome. See the `cache` module docs for the key derivation and
+    /// the invalidation contract.
     pub fn deploy(
         &mut self,
         client_id: &str,
@@ -414,7 +484,13 @@ impl Controller {
             let epoch = cache.epoch();
             (
                 epoch,
-                verdict_key(epoch, &request, &account, self.hardening),
+                verdict_key(
+                    epoch,
+                    &request,
+                    &account,
+                    self.hardening,
+                    self.analysis_enabled,
+                ),
             )
         };
         let hit = self.verdicts.read().get(&key);
@@ -458,14 +534,33 @@ impl Controller {
             m.cache_misses.inc();
         }
 
-        let (result, compile_ns, check_ns) = self.deploy_uncached(client_id, &account, request);
+        let UncachedOutcome {
+            result,
+            compile_ns,
+            check_ns,
+            analysis_ns,
+            fastpath_hits,
+            fastpath_fallbacks,
+            lint_rejected,
+        } = self.deploy_uncached(client_id, &account, request);
         self.stats.compile_ns += compile_ns;
         self.stats.check_ns += check_ns;
+        self.stats.analysis_ns += analysis_ns;
+        self.stats.fastpath_hits += fastpath_hits;
+        self.stats.fastpath_fallbacks += fastpath_fallbacks;
+        self.stats.lint_rejects += u64::from(lint_rejected);
         if let Some(m) = &self.metrics {
             m.compile_ns_total.add(compile_ns);
             m.check_ns_total.add(check_ns);
             m.compile_ns.observe(compile_ns);
             m.check_ns.observe(check_ns);
+            m.analysis_ns_total.add(analysis_ns);
+            m.analysis_ns.observe(analysis_ns);
+            m.fastpath_hits.add(fastpath_hits);
+            m.fastpath_fallbacks.add(fastpath_fallbacks);
+            if lint_rejected {
+                m.lint_rejects.inc();
+            }
         }
         match &result {
             Ok(resp) => {
@@ -503,17 +598,48 @@ impl Controller {
     }
 
     /// The full (uncached) deployment pipeline. Returns the outcome plus
-    /// the nanoseconds spent compiling models and checking; the caller
-    /// owns all statistics accounting.
+    /// per-phase timings and static-analysis counters; the caller owns
+    /// all statistics accounting.
     fn deploy_uncached(
         &mut self,
         client_id: &str,
         account: &ClientAccount,
         request: ClientRequest,
-    ) -> (Result<DeployResponse, DeployError>, u64, u64) {
+    ) -> UncachedOutcome {
         let mut compile_ns = 0u64;
         let mut check_ns = 0u64;
+        let mut analysis_ns = 0u64;
+        let mut fastpath_hits = 0u64;
+        let mut fastpath_fallbacks = 0u64;
         let mut reasons: Vec<(String, String)> = Vec::new();
+
+        // Stage 1: lint. Structural rules are address-independent, so one
+        // pass covers every candidate platform; `$SELF` is bound to a
+        // documentation address purely so argument parsing succeeds.
+        let t_lint = Instant::now();
+        let lint_cfg = Controller::materialize_config(&request.config, Ipv4Addr::new(192, 0, 2, 1));
+        let lint_report = innet_analysis::lint(&lint_cfg, &self.registry);
+        analysis_ns += t_lint.elapsed().as_nanos() as u64;
+        if lint_report.has_errors() {
+            return UncachedOutcome {
+                result: Err(DeployError::Lint(lint_report)),
+                compile_ns,
+                check_ns,
+                analysis_ns,
+                fastpath_hits,
+                fastpath_fallbacks,
+                lint_rejected: true,
+            };
+        }
+
+        // Stage 2 is only sound when nothing the analyzer cannot see
+        // influences the outcome: requirements and operator policy need a
+        // compiled network model, and the UDP-reflection ban inspects
+        // symbolic egress flows.
+        let fastpath_eligible = self.analysis_enabled
+            && request.requirements.is_empty()
+            && self.operator_policy.is_empty()
+            && !self.hardening.ban_udp_reflection;
 
         let result = 'search: {
             let platforms = self.topology.platforms();
@@ -545,30 +671,59 @@ impl Controller {
                 // the not-yet-known module address as `$SELF`).
                 let raw_cfg = Controller::materialize_config(&request.config, addr);
 
-                // Security check (per requester class).
-                let t0 = Instant::now();
-                let report = match check_module(
-                    &raw_cfg,
-                    &SecurityContext {
-                        assigned_addr: addr,
-                        registered: account.registered.clone(),
-                        class: account.class,
-                    },
-                    &self.registry,
-                ) {
-                    Ok(r) => r,
-                    Err(e) => break 'search Err(DeployError::BadConfig(e)),
+                let ctx = SecurityContext {
+                    assigned_addr: addr,
+                    registered: account.registered.clone(),
+                    class: account.class,
                 };
-                check_ns += t0.elapsed().as_nanos() as u64;
 
-                // §7 hardening: the UDP-reflection (amplification) ban.
-                let mut report = report;
-                if self.hardening.ban_udp_reflection {
-                    let (hardened, offenders) =
-                        apply_udp_reflection_ban(account.class, &report.egress_flows, &report);
-                    report.verdict = hardened;
-                    report.violations.extend(offenders);
+                // Stage 2: field-effect abstract interpretation. A
+                // conclusive answer provably agrees with what symbolic
+                // execution would decide (see innet-analysis), so both
+                // the security check and the model compile are skipped.
+                let mut fast = None;
+                if fastpath_eligible {
+                    let t = Instant::now();
+                    fast = innet_analysis::abstract_verdict(&raw_cfg, &ctx, &self.registry);
+                    analysis_ns += t.elapsed().as_nanos() as u64;
+                    if fast.is_some() {
+                        fastpath_hits += 1;
+                    } else {
+                        fastpath_fallbacks += 1;
+                    }
                 }
+                let fast_path = fast.is_some();
+                let report = match fast {
+                    Some(a) => SecurityReport {
+                        verdict: a.verdict,
+                        flows_checked: a.flows_checked,
+                        violations: a.violations,
+                        unknowns: a.unknowns,
+                        egress_flows: Vec::new(),
+                    },
+                    None => {
+                        // Security check (per requester class).
+                        let t0 = Instant::now();
+                        let mut report = match check_module(&raw_cfg, &ctx, &self.registry) {
+                            Ok(r) => r,
+                            Err(e) => break 'search Err(DeployError::BadConfig(e)),
+                        };
+                        check_ns += t0.elapsed().as_nanos() as u64;
+
+                        // §7 hardening: the UDP-reflection (amplification)
+                        // ban (fast-path-ineligible, so only seen here).
+                        if self.hardening.ban_udp_reflection {
+                            let (hardened, offenders) = apply_udp_reflection_ban(
+                                account.class,
+                                &report.egress_flows,
+                                &report,
+                            );
+                            report.verdict = hardened;
+                            report.violations.extend(offenders);
+                        }
+                        report
+                    }
+                };
 
                 let (run_cfg, sandboxed) = match report.verdict {
                     Verdict::Reject => {
@@ -591,43 +746,32 @@ impl Controller {
                     sandboxed,
                     owner: client_id.to_string(),
                 };
-                let mut world = self.modules.clone();
-                world.push(candidate.clone());
+                // A fast-path verdict only fires when the requirement and
+                // policy sets are empty, so the network model would have
+                // nothing to check — skip compiling it.
+                if !fast_path {
+                    let mut world = self.modules.clone();
+                    world.push(candidate.clone());
 
-                let t1 = Instant::now();
-                let mut model = match compile(&self.topology, &world, &self.registry) {
-                    Ok(m) => m,
-                    Err(e) => break 'search Err(DeployError::BadConfig(e)),
-                };
-                model.ingress_filtering = self.hardening.ingress_filtering;
-                compile_ns += t1.elapsed().as_nanos() as u64;
+                    let t1 = Instant::now();
+                    let mut model = match compile(&self.topology, &world, &self.registry) {
+                        Ok(m) => m,
+                        Err(e) => break 'search Err(DeployError::BadConfig(e)),
+                    };
+                    model.ingress_filtering = self.hardening.ingress_filtering;
+                    compile_ns += t1.elapsed().as_nanos() as u64;
 
-                // Operator policy and client requirements must all hold.
-                let t2 = Instant::now();
-                let mut ok = true;
-                let mut why = String::new();
-                let mut failure: Option<VerifyError> = None;
-                for rule in &self.operator_policy {
-                    match check_requirement(&model, rule) {
-                        Ok(true) => {}
-                        Ok(false) => {
-                            ok = false;
-                            why = format!("operator policy violated: {rule}");
-                            break;
-                        }
-                        Err(e) => {
-                            failure = Some(e);
-                            break;
-                        }
-                    }
-                }
-                if ok && failure.is_none() {
-                    for rule in &request.requirements {
+                    // Operator policy and client requirements must all hold.
+                    let t2 = Instant::now();
+                    let mut ok = true;
+                    let mut why = String::new();
+                    let mut failure: Option<VerifyError> = None;
+                    for rule in &self.operator_policy {
                         match check_requirement(&model, rule) {
                             Ok(true) => {}
                             Ok(false) => {
                                 ok = false;
-                                why = format!("client requirement unsatisfied: {rule}");
+                                why = format!("operator policy violated: {rule}");
                                 break;
                             }
                             Err(e) => {
@@ -636,15 +780,31 @@ impl Controller {
                             }
                         }
                     }
-                }
-                check_ns += t2.elapsed().as_nanos() as u64;
-                if let Some(e) = failure {
-                    break 'search Err(DeployError::Verify(e));
-                }
+                    if ok && failure.is_none() {
+                        for rule in &request.requirements {
+                            match check_requirement(&model, rule) {
+                                Ok(true) => {}
+                                Ok(false) => {
+                                    ok = false;
+                                    why = format!("client requirement unsatisfied: {rule}");
+                                    break;
+                                }
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    check_ns += t2.elapsed().as_nanos() as u64;
+                    if let Some(e) = failure {
+                        break 'search Err(DeployError::Verify(e));
+                    }
 
-                if !ok {
-                    reasons.push((platform_name, why));
-                    continue;
+                    if !ok {
+                        reasons.push((platform_name, why));
+                        continue;
+                    }
                 }
 
                 // Commit.
@@ -669,7 +829,15 @@ impl Controller {
 
             Err(DeployError::NoFeasiblePlacement { reasons })
         };
-        (result, compile_ns, check_ns)
+        UncachedOutcome {
+            result,
+            compile_ns,
+            check_ns,
+            analysis_ns,
+            fastpath_hits,
+            fastpath_fallbacks,
+            lint_rejected: false,
+        }
     }
 
     /// Installs a request whose verdict was already established — either
@@ -776,6 +944,7 @@ impl Controller {
                 .unwrap_or(self.next_id),
             addr_cursor: HashMap::new(),
             hardening: self.hardening,
+            analysis_enabled: self.analysis_enabled,
             verdicts: Arc::clone(&self.verdicts),
             stats: ControllerStats::default(),
             metrics: None,
@@ -804,6 +973,10 @@ impl Controller {
             cache_misses,
             cache_invalidations,
             check_ns_saved,
+            fastpath_hits,
+            fastpath_fallbacks,
+            lint_rejects,
+            analysis_ns,
         } = shard;
         self.stats.requests += requests;
         self.stats.rejected += rejected;
@@ -813,6 +986,10 @@ impl Controller {
         self.stats.cache_misses += cache_misses;
         self.stats.cache_invalidations += cache_invalidations;
         self.stats.check_ns_saved += check_ns_saved;
+        self.stats.fastpath_hits += fastpath_hits;
+        self.stats.fastpath_fallbacks += fastpath_fallbacks;
+        self.stats.lint_rejects += lint_rejects;
+        self.stats.analysis_ns += analysis_ns;
         if let Some(m) = &self.metrics {
             m.requests.add(requests);
             m.rejected.add(rejected);
@@ -822,6 +999,10 @@ impl Controller {
             m.cache_misses.add(cache_misses);
             m.cache_invalidations.add(cache_invalidations);
             m.check_ns_saved.add(check_ns_saved);
+            m.fastpath_hits.add(fastpath_hits);
+            m.fastpath_fallbacks.add(fastpath_fallbacks);
+            m.lint_rejects.add(lint_rejects);
+            m.analysis_ns_total.add(analysis_ns);
         }
     }
 

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use innet_analysis as analysis;
 pub use innet_click as click;
 pub use innet_controller as controller;
 pub use innet_obs as obs;

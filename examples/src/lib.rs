@@ -1,1 +1,4 @@
 //! Example binaries live under `src/bin`; this library is intentionally empty.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,1 +1,4 @@
 //! Integration-test crate; all content lives in `tests/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -32,7 +32,12 @@ fn unknown_element_class_is_a_typed_error() {
     let req = ClientRequest::parse("module m:\nFromNetfront() -> Frobnicator(3) -> ToNetfront();")
         .unwrap();
     let err = deploy_must_not_panic("unknown element class", req).unwrap_err();
-    assert!(matches!(err, DeployError::BadConfig(_)), "{err}");
+    // The lint pass (IN-L002) catches this before symbolic modeling; both
+    // are typed refusals.
+    assert!(
+        matches!(err, DeployError::BadConfig(_) | DeployError::Lint(_)),
+        "{err}"
+    );
 }
 
 #[test]
@@ -42,7 +47,12 @@ fn dangling_connections_are_a_typed_error() {
     cfg.connect("ghost", 0, "phantom", 0);
     let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
     let err = deploy_must_not_panic("dangling connection", req).unwrap_err();
-    assert!(matches!(err, DeployError::BadConfig(_)), "{err}");
+    // The lint pass (IN-L005) catches this before symbolic modeling; both
+    // are typed refusals.
+    assert!(
+        matches!(err, DeployError::BadConfig(_) | DeployError::Lint(_)),
+        "{err}"
+    );
 }
 
 #[test]

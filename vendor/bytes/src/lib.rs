@@ -7,6 +7,7 @@
 //! the zero-copy internals do not (buffers are plain `Vec<u8>`).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;

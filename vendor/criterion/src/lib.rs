@@ -8,6 +8,7 @@
 //! run completes offline and produces comparable numbers.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
 

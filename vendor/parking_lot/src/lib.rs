@@ -6,6 +6,7 @@
 //! propagated, matching parking_lot's behavior of never poisoning.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 

@@ -17,6 +17,7 @@
 //!   arbitrary printable ASCII.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

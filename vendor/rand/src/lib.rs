@@ -9,6 +9,7 @@
 //! stream, so seeds do not reproduce upstream rand sequences.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Low-level source of random 64-bit words.
 pub trait RngCore {

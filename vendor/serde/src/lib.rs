@@ -6,6 +6,7 @@
 //! no-op derives so the annotations compile without registry access.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -5,6 +5,9 @@
 //! bincode in the tree), so the derives expand to nothing. If a future
 //! PR starts serializing, replace these with real implementations.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; the stub `serde::Serialize` trait has no items.
