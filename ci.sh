@@ -33,4 +33,16 @@ echo "==> metrics example smoke-run"
 cargo run --release -q -p innet-examples --bin metrics \
   | grep -q "invariant holds: no silent packet loss"
 
+echo "==> bench compile gate"
+# Benches are not run in CI (too slow, too noisy), but they must keep
+# compiling — parallel_scaling in particular tracks the runner API.
+cargo bench --no-run --quiet
+
+echo "==> parallel example smoke-run"
+# Differential + stateful-degrade checks always run; the >=1.5x
+# 4-worker speedup gate self-arms only on hosts with >=4 CPUs (on
+# fewer cores the workers time-slice and no speedup is possible).
+cargo run --release -q -p innet-examples --bin parallel \
+  | grep -q "== verdict:"
+
 echo "CI OK"

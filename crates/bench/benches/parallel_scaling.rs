@@ -1,0 +1,92 @@
+//! Flow-sharded scaling: `ParallelRunner` throughput across worker and
+//! batch sweeps, against the single-threaded `NativeRunner` baseline.
+//!
+//! Two corpora: the stock consolidated firewall (the paper's §5/Figure 8
+//! multi-tenant configuration — stateless, so it shards) and the
+//! Figure 12 middlebox corpus (where `nat` is stateful and demonstrates
+//! the degrade-to-one-worker rule: its `w4` numbers should match `w1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use innet::platform::{consolidated_config, middlebox_config, RunnerConfig};
+use innet::prelude::*;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+const TRACE_LEN: usize = 2048;
+const FLOWS: usize = 64;
+
+fn clients(n: usize) -> Vec<Ipv4Addr> {
+    (0..n)
+        .map(|i| Ipv4Addr::new(203, 0, (113 + i / 250) as u8, (1 + i % 250) as u8))
+        .collect()
+}
+
+fn trace(dsts: &[Ipv4Addr]) -> Vec<Packet> {
+    (0..TRACE_LEN)
+        .map(|i| {
+            let f = i % FLOWS;
+            PacketBuilder::udp()
+                .src(Ipv4Addr::new(8, 8, 0, (f % 250) as u8 + 1), 4000 + f as u16)
+                .dst(dsts[f % dsts.len()], 80)
+                .pad_to(64)
+                .build()
+        })
+        .collect()
+}
+
+/// Workers ∈ {1, 2, 4, 8} × batch ∈ {1, 32, 256} on the stock
+/// consolidated firewall.
+fn bench_consolidated_sweep(c: &mut Criterion) {
+    let addrs = clients(16);
+    let cfg = consolidated_config(&addrs);
+    let pkts = trace(&addrs);
+    for workers in [1usize, 2, 4, 8] {
+        for batch in [1usize, 32, 256] {
+            let name = format!("parallel_consolidated16_w{workers}_b{batch}");
+            c.bench_function(&name, |b| {
+                let mut runner = RunnerConfig::new()
+                    .workers(workers)
+                    .batch(batch)
+                    .parallel(&cfg)
+                    .unwrap();
+                b.iter(|| black_box(runner.run(&pkts, 1)));
+            });
+        }
+    }
+    // The single-threaded engine at the same batch sizes, for the
+    // sharding-overhead comparison (w1 vs native isolates dispatcher +
+    // ring cost).
+    for batch in [1usize, 32, 256] {
+        let name = format!("native_consolidated16_b{batch}");
+        c.bench_function(&name, |b| {
+            let mut runner = RunnerConfig::new().batch(batch).native(&cfg).unwrap();
+            b.iter(|| black_box(runner.run(&pkts, 1)));
+        });
+    }
+}
+
+/// The Figure 12 middlebox corpus at 1 and 4 workers. `nat` is stateful:
+/// the registry degrades it to one worker, so its `w4` row is the
+/// single-worker cost plus dispatch overhead — the visible price of the
+/// safety rule.
+fn bench_middlebox_corpus(c: &mut Criterion) {
+    let dsts = [Ipv4Addr::new(10, 0, 0, 1)];
+    let pkts = trace(&dsts);
+    for kind in ["firewall", "iprouter", "flowmeter", "nat"] {
+        let cfg = middlebox_config(kind).expect("known middlebox kind");
+        for workers in [1usize, 4] {
+            let name = format!("parallel_{kind}_w{workers}_b32");
+            c.bench_function(&name, |b| {
+                let mut runner = RunnerConfig::new()
+                    .workers(workers)
+                    .batch(32)
+                    .parallel(&cfg)
+                    .unwrap();
+                b.iter(|| black_box(runner.run(&pkts, 1)));
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_consolidated_sweep, bench_middlebox_corpus);
+criterion_main!(benches);

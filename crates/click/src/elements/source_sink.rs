@@ -47,6 +47,13 @@ impl FromNetfront {
     pub fn rx_packets(&self) -> u64 {
         self.ring.packets
     }
+
+    /// Mutable access to the underlying ring, for batched drains
+    /// (`Router::push_batch` moves a whole same-ingress batch through
+    /// the ring in one transfer).
+    pub fn ring_mut(&mut self) -> &mut NetfrontRing {
+        &mut self.ring
+    }
 }
 
 impl Element for FromNetfront {

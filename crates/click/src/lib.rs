@@ -65,7 +65,7 @@ pub use args::ConfigArgs;
 pub use canonical::fnv1a_64;
 pub use config::{ClickConfig, ConfigError, Connection, ElementDecl, PortRef};
 pub use element::{Context, Element, ElementError, PortCount, Sink, VecSink};
-pub use graph::{Router, RouterError, RouterStats};
+pub use graph::{BatchResult, Router, RouterError, RouterStats};
 pub use netfront::NetfrontRing;
 pub use registry::Registry;
 pub use summary::{

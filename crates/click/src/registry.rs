@@ -149,6 +149,24 @@ impl Registry {
         self.ctors.contains_key(class)
     }
 
+    /// Whether a configuration can be replicated across flow-sharded
+    /// workers without changing its forwarding behavior.
+    ///
+    /// True only if *every* element has a field-effect summary and none
+    /// of the summaries is [`ElementSummary::stateful`]. Elements whose
+    /// summary cannot be built (unknown class, bad arguments) count as
+    /// stateful: an element we cannot model is an element we must not
+    /// replicate. Parallel runners use this verdict to degrade stateful
+    /// configurations to a single worker rather than silently
+    /// misbehave.
+    pub fn config_shardable(&self, cfg: &crate::config::ClickConfig) -> bool {
+        cfg.elements.iter().all(|decl| {
+            self.summary(&decl.class, &decl.args)
+                .map(|s| !s.stateful)
+                .unwrap_or(false)
+        })
+    }
+
     /// All registered class names, sorted.
     pub fn classes(&self) -> impl Iterator<Item = &'static str> + '_ {
         self.ctors.keys().copied()
@@ -238,6 +256,25 @@ mod tests {
     fn no_arg_classes_reject_args() {
         let r = Registry::standard();
         assert!(r.instantiate("Discard", &["x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn config_shardable_verdicts() {
+        use crate::config::ClickConfig;
+        let r = Registry::standard();
+        let stateless = ClickConfig::parse(
+            "FromNetfront() -> IPFilter(allow udp) -> Counter() -> ToNetfront();",
+        )
+        .unwrap();
+        assert!(r.config_shardable(&stateless));
+
+        let stateful =
+            ClickConfig::parse("FromNetfront() -> IPNAT(5.5.5.5) -> ToNetfront();").unwrap();
+        assert!(!r.config_shardable(&stateful));
+
+        // A queue decouples timing from arrival: not shardable either.
+        let queued = ClickConfig::parse("FromNetfront() -> Queue(16) -> ToNetfront();").unwrap();
+        assert!(!r.config_shardable(&queued));
     }
 
     #[test]

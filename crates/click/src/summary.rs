@@ -219,6 +219,21 @@ pub struct ElementSummary {
     /// Whether this element breaks combinational cycles (queues,
     /// shapers — anything that decouples input from output in time).
     pub queue_like: bool,
+    /// Whether the element's *forwarding behavior* depends on state
+    /// accumulated across packets (per-flow tables, token buckets,
+    /// schedulers, buffers).
+    ///
+    /// This is the replication-safety bit for flow-sharded execution: a
+    /// configuration whose elements are all non-stateful can be
+    /// replicated once per worker — every replica makes identical
+    /// per-packet decisions, so only flow-to-worker pinning is needed to
+    /// keep outputs order-identical to a single instance. One stateful
+    /// element poisons the whole config (replicas would diverge through
+    /// that element's private state), and the runner degrades to one
+    /// worker. Counters and meters whose state never *influences*
+    /// forwarding (`Counter`, `FlowMeter`, `DPI`) are not stateful in
+    /// this sense.
+    pub stateful: bool,
 }
 
 impl ElementSummary {
@@ -228,6 +243,7 @@ impl ElementSummary {
             ports: PortCount::ONE_ONE,
             kind: SummaryKind::Flows(vec![FlowSummary::identity(0, 0)]),
             queue_like: false,
+            stateful: false,
         }
     }
 
@@ -237,12 +253,20 @@ impl ElementSummary {
             ports,
             kind: SummaryKind::Flows(flows),
             queue_like: false,
+            stateful: false,
         }
     }
 
     /// Marks the element as cycle-breaking.
     pub fn queue_like(mut self) -> ElementSummary {
         self.queue_like = true;
+        self
+    }
+
+    /// Marks the element's forwarding as dependent on cross-packet
+    /// state (see [`ElementSummary::stateful`]).
+    pub fn stateful(mut self) -> ElementSummary {
+        self.stateful = true;
         self
     }
 
@@ -287,6 +311,7 @@ fn to_netfront(args: &[String]) -> Result<ElementSummary, ElementError> {
         ports: Element::ports(&t),
         kind: SummaryKind::Egress,
         queue_like: false,
+        stateful: false,
     })
 }
 
@@ -296,6 +321,7 @@ fn discard_sink(args: &[String]) -> Result<ElementSummary, ElementError> {
         ports: PortCount::new(1, 0),
         kind: SummaryKind::Sink,
         queue_like: false,
+        stateful: false,
     })
 }
 
@@ -306,6 +332,7 @@ fn idle_sink(args: &[String]) -> Result<ElementSummary, ElementError> {
         ports: PortCount::ONE_ONE,
         kind: SummaryKind::Sink,
         queue_like: false,
+        stateful: false,
     })
 }
 
@@ -322,10 +349,13 @@ macro_rules! identity_summary {
             Ok(ElementSummary::identity())
         }
     };
+    // Queue-like elements decouple input from output in time, which also
+    // makes them stateful for sharding: their emission schedule depends on
+    // every packet they have absorbed so far.
     ($class:literal, $ty:ty, queue) => {
         |args: &[String]| -> Result<ElementSummary, ElementError> {
             <$ty>::from_args(&ConfigArgs::new($class, args))?;
-            Ok(ElementSummary::identity().queue_like())
+            Ok(ElementSummary::identity().queue_like().stateful())
         }
     };
 }
@@ -335,6 +365,14 @@ macro_rules! any_output_summary {
         |args: &[String]| -> Result<ElementSummary, ElementError> {
             let e = <$ty>::from_args(&ConfigArgs::new($class, args))?;
             Ok(any_output(Element::ports(&e).outputs))
+        }
+    };
+    // Output choice depends on arrival history (schedulers, token
+    // buckets, seeded rngs) — safe to verify, unsafe to replicate.
+    ($class:literal, $ty:ty, stateful) => {
+        |args: &[String]| -> Result<ElementSummary, ElementError> {
+            let e = <$ty>::from_args(&ConfigArgs::new($class, args))?;
+            Ok(any_output(Element::ports(&e).outputs).stateful())
         }
     };
 }
@@ -445,7 +483,7 @@ fn firewall(args: &[String]) -> Result<ElementSummary, ElementError> {
         writes: Vec::new(),
         layer: LayerOp::None,
     });
-    Ok(ElementSummary::flows(PortCount::new(2, 2), flows))
+    Ok(ElementSummary::flows(PortCount::new(2, 2), flows).stateful())
 }
 
 fn nat(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -475,7 +513,8 @@ fn nat(args: &[String]) -> Result<ElementSummary, ElementError> {
                 layer: LayerOp::None,
             },
         ],
-    ))
+    )
+    .stateful())
 }
 
 fn rewriter(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -518,7 +557,8 @@ fn rewriter(args: &[String]) -> Result<ElementSummary, ElementError> {
                 layer: LayerOp::None,
             },
         ],
-    ))
+    )
+    .stateful())
 }
 
 fn transparent_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -573,7 +613,8 @@ fn transparent_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
                 layer: LayerOp::None,
             },
         ],
-    ))
+    )
+    .stateful())
 }
 
 fn encap_flows(
@@ -716,7 +757,8 @@ fn change_enforcer(args: &[String]) -> Result<ElementSummary, ElementError> {
                 layer: LayerOp::None,
             },
         ],
-    ))
+    )
+    .stateful())
 }
 
 fn stock_addr(class: &str, args: &[String]) -> Result<u64, ElementError> {
@@ -743,7 +785,9 @@ fn stock_x86_vm(_args: &[String]) -> Result<ElementSummary, ElementError> {
             writes,
             layer: LayerOp::None,
         }],
-    ))
+    )
+    // Arbitrary x86: assume the worst about internal state.
+    .stateful())
 }
 
 fn stock_explicit_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -763,7 +807,8 @@ fn stock_explicit_proxy(args: &[String]) -> Result<ElementSummary, ElementError>
             ],
             layer: LayerOp::None,
         }],
-    ))
+    )
+    .stateful())
 }
 
 fn turnaround(
@@ -805,27 +850,17 @@ fn turnaround(
 }
 
 fn server_s(_args: &[String]) -> Result<ElementSummary, ElementError> {
-    Ok(turnaround(Some(proto(IpProto::Udp)), None, None, false))
+    Ok(turnaround(Some(proto(IpProto::Udp)), None, None, false).stateful())
 }
 
 fn stock_dns(args: &[String]) -> Result<ElementSummary, ElementError> {
     let own = stock_addr("StockDNSServer", args)?;
-    Ok(turnaround(
-        Some(proto(IpProto::Udp)),
-        Some(53),
-        Some(own),
-        true,
-    ))
+    Ok(turnaround(Some(proto(IpProto::Udp)), Some(53), Some(own), true).stateful())
 }
 
 fn stock_reverse_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
     let own = stock_addr("StockReverseProxy", args)?;
-    Ok(turnaround(
-        Some(proto(IpProto::Tcp)),
-        Some(80),
-        Some(own),
-        true,
-    ))
+    Ok(turnaround(Some(proto(IpProto::Tcp)), Some(80), Some(own), true).stateful())
 }
 
 /// Registers the field-effect summaries of the standard element library
@@ -897,13 +932,13 @@ pub(crate) fn register_standard(r: &mut Registry) {
     // Scheduling and annotations.
     r.register_summary(
         "RoundRobinSwitch",
-        any_output_summary!("RoundRobinSwitch", el::RoundRobinSwitch),
+        any_output_summary!("RoundRobinSwitch", el::RoundRobinSwitch, stateful),
     );
     r.register_summary(
         "RandomSwitch",
-        any_output_summary!("RandomSwitch", el::RandomSwitch),
+        any_output_summary!("RandomSwitch", el::RandomSwitch, stateful),
     );
-    r.register_summary("Meter", any_output_summary!("Meter", el::Meter));
+    r.register_summary("Meter", any_output_summary!("Meter", el::Meter, stateful));
     r.register_summary("Paint", identity_summary!("Paint", el::Paint));
     r.register_summary(
         "CheckPaint",
@@ -982,6 +1017,50 @@ mod tests {
             assert!(r.summary(class, &args).unwrap().queue_like, "{class}");
         }
         assert!(!r.summary("Counter", &[]).unwrap().queue_like);
+    }
+
+    #[test]
+    fn stateful_classification() {
+        let r = Registry::standard();
+        // Forwarding depends on cross-packet state: per-flow tables,
+        // token buckets, schedulers, buffers, black boxes.
+        for (class, args) in [
+            ("StatefulFirewall", vec!["allow udp".to_string()]),
+            ("IPNAT", vec!["5.5.5.5".to_string()]),
+            ("IPRewriter", vec!["pattern - - 1.2.3.4 - 0 0".to_string()]),
+            (
+                "TransparentProxy",
+                vec!["9.9.9.9".to_string(), "3128".to_string(), "80".to_string()],
+            ),
+            (
+                "ChangeEnforcer",
+                vec!["1.1.1.1".to_string(), "2.2.2.2".to_string()],
+            ),
+            ("Queue", vec!["16".to_string()]),
+            ("TimedUnqueue", vec!["120".to_string(), "100".to_string()]),
+            ("RateLimiter", vec!["1000".to_string()]),
+            ("RoundRobinSwitch", vec!["2".to_string()]),
+            ("Meter", vec!["1000".to_string()]),
+            ("StockX86VM", vec![]),
+        ] {
+            assert!(r.summary(class, &args).unwrap().stateful, "{class}");
+        }
+        // Pure functions of the packet (plus counters that never touch
+        // forwarding) replicate safely.
+        for (class, args) in [
+            ("Counter", vec![]),
+            ("FlowMeter", vec![]),
+            ("CheckIPHeader", vec![]),
+            ("DecIPTTL", vec![]),
+            ("IPFilter", vec!["allow udp".to_string()]),
+            ("SetIPSrc", vec!["10.0.0.1".to_string()]),
+            ("Tee", vec!["2".to_string()]),
+            ("FromNetfront", vec![]),
+            ("ToNetfront", vec![]),
+            ("Discard", vec![]),
+        ] {
+            assert!(!r.summary(class, &args).unwrap().stateful, "{class}");
+        }
     }
 
     #[test]

@@ -71,6 +71,10 @@ impl std::error::Error for RequestParseError {}
 
 impl ClientRequest {
     /// Builds a request programmatically.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ClientRequest::click or ClientRequest::stock with .require()/.requires_str()"
+    )]
     pub fn new(
         module_name: impl Into<String>,
         config: ModuleConfig,
@@ -81,6 +85,54 @@ impl ClientRequest {
             config,
             requirements,
         }
+    }
+
+    /// A request for a Click configuration, with no requirements yet.
+    /// Chain [`ClientRequest::require`] or [`ClientRequest::requires_str`]
+    /// to add them:
+    ///
+    /// ```
+    /// use innet_controller::ClientRequest;
+    /// use innet_click::ClickConfig;
+    ///
+    /// let cfg = ClickConfig::parse("FromNetfront() -> Discard();").unwrap();
+    /// let req = ClientRequest::click("drop", cfg)
+    ///     .requires_str("reach from internet udp -> client")
+    ///     .unwrap();
+    /// assert_eq!(req.module_name, "drop");
+    /// assert_eq!(req.requirements.len(), 1);
+    /// ```
+    pub fn click(module_name: impl Into<String>, config: ClickConfig) -> ClientRequest {
+        ClientRequest {
+            module_name: module_name.into(),
+            config: ModuleConfig::Click(config),
+            requirements: Vec::new(),
+        }
+    }
+
+    /// A request for a stock module, with no requirements yet.
+    pub fn stock(module_name: impl Into<String>, module: StockModule) -> ClientRequest {
+        ClientRequest {
+            module_name: module_name.into(),
+            config: ModuleConfig::Stock(module),
+            requirements: Vec::new(),
+        }
+    }
+
+    /// Adds one already-built requirement (chainable).
+    pub fn require(mut self, requirement: Requirement) -> ClientRequest {
+        self.requirements.push(requirement);
+        self
+    }
+
+    /// Parses and adds one `reach …` requirement line (chainable; fails
+    /// with the same errors [`ClientRequest::parse`] would report).
+    pub fn requires_str(mut self, reach: &str) -> Result<ClientRequest, RequestParseError> {
+        let req = Requirement::parse(reach).map_err(|e| RequestParseError {
+            message: e.to_string(),
+        })?;
+        self.requirements.push(req);
+        Ok(self)
     }
 
     /// Parses the textual request format modeled on the paper's Figure 4:
@@ -230,6 +282,35 @@ mod tests {
             ClientRequest::parse("stock x: x86-vm\nFromNetfront() -> Discard();").is_err(),
             "stock + config is contradictory"
         );
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        // The chained builder and the textual parser produce the same
+        // request value.
+        let parsed = ClientRequest::parse(
+            "module m:\nFromNetfront() -> Discard();\n\
+             reach from internet udp -> client",
+        )
+        .unwrap();
+        let cfg = ClickConfig::parse("FromNetfront() -> Discard();").unwrap();
+        let built = ClientRequest::click("m", cfg)
+            .requires_str("reach from internet udp -> client")
+            .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn builder_stock_and_require() {
+        let req = Requirement::parse("reach from internet tcp -> client").unwrap();
+        let r = ClientRequest::stock("cache", StockModule::ReverseHttpProxy).require(req);
+        assert_eq!(r.module_name, "cache");
+        assert_eq!(r.config, ModuleConfig::Stock(StockModule::ReverseHttpProxy));
+        assert_eq!(r.requirements.len(), 1);
+        // A malformed reach line surfaces the parse error.
+        assert!(ClientRequest::stock("c", StockModule::GeoDns)
+            .requires_str("reach nonsense here")
+            .is_err());
     }
 
     #[test]

@@ -66,14 +66,24 @@ pub use innet_topology as topology;
 
 pub mod experiments;
 
-/// The most commonly used types, re-exported flat.
+/// The most commonly used types, re-exported flat: the one-stop client
+/// surface. A tenant builds a [`prelude::ClientRequest`], an operator
+/// deploys it through a [`prelude::Controller`], and the resulting
+/// configuration executes on a [`prelude::NativeRunner`] or — flow-
+/// sharded across cores via a [`prelude::RunnerConfig`] — on a
+/// [`prelude::ParallelRunner`], all observable through a
+/// [`prelude::MetricsRegistry`].
 pub mod prelude {
     pub use innet_click::{ClickConfig, Registry, Router};
     pub use innet_controller::{
         ClientRequest, Controller, DeployError, DeployResponse, ModuleConfig, StockModule,
     };
+    pub use innet_obs::Registry as MetricsRegistry;
     pub use innet_packet::{Cidr, FlowKey, IpProto, Packet, PacketBuilder};
-    pub use innet_platform::{Host, NativeRunner, SwitchController};
+    pub use innet_platform::{
+        Host, NativeRunner, NativeStats, ParallelRunner, ParallelStats, RunnerConfig,
+        SwitchController,
+    };
     pub use innet_policy::Requirement;
     pub use innet_symnet::{RequesterClass, SymPacket, Verdict};
     pub use innet_topology::Topology;

@@ -56,6 +56,52 @@ impl FlowKey {
         })
     }
 
+    /// An RSS-style hash of the 5-tuple (FNV-1a over the canonical byte
+    /// encoding).
+    ///
+    /// This is the dispatch key for flow-sharded execution: every packet
+    /// of one directed flow hashes to the same value, so a dispatcher
+    /// that routes on `shard_hash() % workers` pins each flow to exactly
+    /// one worker and per-flow packet order is preserved end to end.
+    /// The hash is deterministic across runs and platforms (no
+    /// per-process seed), so shard assignments are reproducible.
+    pub fn shard_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&self.src.octets());
+        eat(&self.dst.octets());
+        eat(&[self.proto.number()]);
+        eat(&self.src_port.to_be_bytes());
+        eat(&self.dst_port.to_be_bytes());
+        h
+    }
+
+    /// The worker shard this flow is pinned to among `workers` workers.
+    pub fn shard(&self, workers: usize) -> usize {
+        if workers <= 1 {
+            return 0;
+        }
+        (self.shard_hash() % workers as u64) as usize
+    }
+
+    /// The shard for an arbitrary packet: its flow-key shard when the
+    /// packet carries a parseable 5-tuple, shard 0 otherwise (non-IP
+    /// traffic is rare enough that pinning it to one worker preserves
+    /// its relative order without hurting balance).
+    pub fn shard_of(pkt: &Packet, workers: usize) -> usize {
+        match FlowKey::of(pkt) {
+            Ok(key) => key.shard(workers),
+            Err(_) => 0,
+        }
+    }
+
     /// The key of traffic flowing in the opposite direction.
     pub fn reversed(&self) -> FlowKey {
         FlowKey {
@@ -144,6 +190,38 @@ mod tests {
             .build();
         let k = FlowKey::of(&pkt).unwrap();
         assert_eq!(k.canonical(), k.reversed().canonical());
+    }
+
+    #[test]
+    fn shard_hash_is_deterministic_and_direction_sensitive() {
+        let pkt = PacketBuilder::udp()
+            .src(Ipv4Addr::new(1, 1, 1, 1), 100)
+            .dst(Ipv4Addr::new(2, 2, 2, 2), 200)
+            .build();
+        let k = FlowKey::of(&pkt).unwrap();
+        assert_eq!(k.shard_hash(), k.shard_hash());
+        // The reverse direction is a different directed flow and is free
+        // to land on a different shard.
+        assert_ne!(k.shard_hash(), k.reversed().shard_hash());
+        // Shards are always in range, and one worker means shard 0.
+        for workers in 1..=16 {
+            assert!(k.shard(workers) < workers);
+        }
+        assert_eq!(k.shard(1), 0);
+        assert_eq!(k.shard(0), 0);
+    }
+
+    #[test]
+    fn shard_of_handles_unparseable_packets() {
+        let pkt = PacketBuilder::udp()
+            .src(Ipv4Addr::new(9, 9, 9, 9), 1)
+            .dst(Ipv4Addr::new(8, 8, 8, 8), 2)
+            .build();
+        let key = FlowKey::of(&pkt).unwrap();
+        assert_eq!(FlowKey::shard_of(&pkt, 8), key.shard(8));
+        // A packet with no parseable 5-tuple pins to shard 0.
+        let garbage = Packet::from_bytes([0u8; 10]);
+        assert_eq!(FlowKey::shard_of(&garbage, 8), 0);
     }
 
     #[test]

@@ -18,12 +18,31 @@
 //! truth and cites each constant. Data-plane processing is *executed*: a
 //! VM's interior is a real `innet_click::Router`, and the [`NativeRunner`]
 //! measures real throughput for the evaluation figures.
+//!
+//! Runners are configured through one builder, [`RunnerConfig`], which
+//! finishes as either engine:
+//!
+//! ```
+//! use innet_platform::{plain_firewall, RunnerConfig};
+//!
+//! let cfg = plain_firewall();
+//! let single = RunnerConfig::new().batch(64).native(&cfg).unwrap();
+//! let sharded = RunnerConfig::new().workers(4).parallel(&cfg).unwrap();
+//! # let _ = (single, sharded);
+//! ```
+//!
+//! The [`ParallelRunner`] scales a stateless configuration across flow-
+//! sharded router replicas; stateful configurations degrade to one
+//! worker (see [`ParallelRunner::shardable`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calib;
 mod native;
+mod parallel;
+mod runner;
+mod spsc;
 mod switch;
 mod vm;
 
@@ -32,5 +51,7 @@ pub use native::{
     consolidated_config, middlebox_config, plain_firewall, sandboxed_firewall, NativeRunner,
     NativeStats,
 };
+pub use parallel::{ParallelRunner, ParallelStats};
+pub use runner::{RunnerConfig, DEFAULT_BATCH, DEFAULT_RING_CAPACITY};
 pub use switch::{ClientEntry, SwitchController, SwitchStats, Usage};
 pub use vm::{Delivery, DropReason, Host, HostError, Vm, VmId, VmState};

@@ -26,8 +26,12 @@ pub struct NativeStats {
 }
 
 impl NativeStats {
-    /// Input rate in packets/second.
+    /// Input rate in packets/second; 0.0 when no time elapsed (a rate
+    /// from a zero-length interval would otherwise be `inf`/`NaN`).
     pub fn pps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
         self.packets as f64 / (self.elapsed_ns as f64 / 1e9)
     }
 
@@ -38,7 +42,7 @@ impl NativeStats {
 }
 
 /// Shared-registry instruments for one native runner (see
-/// [`NativeRunner::attach_metrics`]).
+/// [`RunnerConfig::metrics`](crate::RunnerConfig::metrics)).
 #[derive(Debug, Clone)]
 struct NativeMetrics {
     packets: innet_obs::Counter,
@@ -47,18 +51,42 @@ struct NativeMetrics {
 }
 
 /// A single-threaded native runner around one router instance (one
-/// ClickOS VM pins its Click thread to one vCPU).
+/// ClickOS VM pins its Click thread to one vCPU). Build one with
+/// [`NativeRunner::new`] for the default profile, or
+/// [`RunnerConfig::native`](crate::RunnerConfig::native) to set batch
+/// size and metrics up front.
 pub struct NativeRunner {
     router: Router,
     metrics: Option<NativeMetrics>,
+    batch: usize,
 }
 
 impl NativeRunner {
-    /// Instantiates the configuration.
+    /// Instantiates the configuration with the default execution
+    /// profile (equivalent to `RunnerConfig::new().native(cfg)`).
     pub fn new(cfg: &ClickConfig) -> Result<NativeRunner, RouterError> {
+        NativeRunner::with_config(cfg, crate::RunnerConfig::new())
+    }
+
+    /// Instantiates the configuration with an explicit profile; used by
+    /// [`RunnerConfig::native`](crate::RunnerConfig::native).
+    pub(crate) fn with_config(
+        cfg: &ClickConfig,
+        config: crate::RunnerConfig,
+    ) -> Result<NativeRunner, RouterError> {
+        let mut router = Router::from_config(cfg, &Registry::standard())?;
+        let metrics = config.metrics.as_ref().map(|registry| {
+            router.attach_metrics(registry);
+            NativeMetrics {
+                packets: registry.counter("innet_native_packets_total"),
+                transmitted: registry.counter("innet_native_transmitted_total"),
+                run_ns: registry.histogram("innet_native_run_ns"),
+            }
+        });
         Ok(NativeRunner {
-            router: Router::from_config(cfg, &Registry::standard())?,
-            metrics: None,
+            router,
+            metrics,
+            batch: config.batch,
         })
     }
 
@@ -67,6 +95,10 @@ impl NativeRunner {
     /// a wall-clock run-duration histogram. The inner router's counters
     /// are published too (`innet_click_*`). Only runs after attachment
     /// are counted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure metrics up front: RunnerConfig::new().metrics(&registry).native(&cfg)"
+    )]
     pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
         self.router.attach_metrics(registry);
         self.metrics = Some(NativeMetrics {
@@ -83,16 +115,45 @@ impl NativeRunner {
 
     /// Pushes the packet set through the graph `rounds` times, measuring
     /// wall-clock time. Virtual time advances by `1 µs` per packet so
-    /// token buckets refill realistically.
+    /// token buckets refill realistically. Packets move in
+    /// [`RunnerConfig::batch`](crate::RunnerConfig::batch)-sized batches
+    /// through the router's batched delivery path.
     pub fn run(&mut self, packets: &[Packet], rounds: usize) -> NativeStats {
+        self.run_inner(packets, rounds, false).0
+    }
+
+    /// Like [`NativeRunner::run`], but also returns every transmitted
+    /// `(egress, packet)` pair in transmission order — the reference
+    /// output the parallel runner's differential tests compare against.
+    pub fn run_collect(
+        &mut self,
+        packets: &[Packet],
+        rounds: usize,
+    ) -> (NativeStats, Vec<(u16, Packet)>) {
+        self.run_inner(packets, rounds, true)
+    }
+
+    fn run_inner(
+        &mut self,
+        packets: &[Packet],
+        rounds: usize,
+        collect: bool,
+    ) -> (NativeStats, Vec<(u16, Packet)>) {
+        let batch = self.batch.max(1);
         let mut now_ns = 0u64;
         let mut transmitted = 0u64;
+        let mut out: Vec<(u16, Packet)> = Vec::new();
         let start = Instant::now();
         for _ in 0..rounds {
-            for pkt in packets {
-                now_ns += 1_000;
-                let _ = self.router.deliver(pkt.meta.ingress, pkt.clone(), now_ns);
-                transmitted += self.router.take_tx().len() as u64;
+            for chunk in packets.chunks(batch) {
+                self.router.push_batch(chunk.to_vec(), now_ns, 1_000);
+                now_ns += 1_000 * chunk.len() as u64;
+                let before = out.len();
+                self.router.take_tx_into(&mut out);
+                transmitted += (out.len() - before) as u64;
+                if !collect {
+                    out.clear();
+                }
             }
         }
         let stats = NativeStats {
@@ -105,7 +166,7 @@ impl NativeRunner {
             m.transmitted.add(stats.transmitted);
             m.run_ns.observe(stats.elapsed_ns);
         }
-        stats
+        (stats, out)
     }
 }
 
@@ -239,6 +300,67 @@ mod tests {
         // The cost *comparison* is measured by the Figure 11 bench in
         // release mode; asserting relative wall-clock times in a debug
         // test would be flaky.
+    }
+
+    #[test]
+    fn zero_elapsed_stats_do_not_divide_by_zero() {
+        // Regression: a zero-length interval used to yield pps() = inf
+        // and gbps() = inf (or NaN for an empty run), which poisoned
+        // downstream averages.
+        let stats = NativeStats {
+            packets: 100,
+            transmitted: 100,
+            elapsed_ns: 0,
+        };
+        assert_eq!(stats.pps(), 0.0);
+        assert_eq!(stats.gbps(64), 0.0);
+        let empty = NativeStats {
+            packets: 0,
+            transmitted: 0,
+            elapsed_ns: 0,
+        };
+        assert!(empty.pps() == 0.0 && empty.gbps(64) == 0.0);
+    }
+
+    #[test]
+    fn run_collect_returns_transmissions_in_order() {
+        let cfg = plain_firewall();
+        let mut runner = NativeRunner::new(&cfg).unwrap();
+        let pkts: Vec<Packet> = (0..5)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .dst(Ipv4Addr::new(10, 0, 0, 1), 1000 + i)
+                    .pad_to(64 + i as usize)
+                    .build()
+            })
+            .collect();
+        let (stats, out) = runner.run_collect(&pkts, 1);
+        assert_eq!(stats.transmitted, 5);
+        assert_eq!(out.len(), 5);
+        for (i, (egress, pkt)) in out.iter().enumerate() {
+            assert_eq!(*egress, 0);
+            assert_eq!(pkt.len(), 64 + i);
+        }
+    }
+
+    #[test]
+    fn batched_run_matches_unbatched_counts() {
+        let clients = client_addrs(4);
+        let cfg = consolidated_config(&clients);
+        let pkts: Vec<Packet> = (0..97)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .dst(clients[i % clients.len()], 80)
+                    .pad_to(64)
+                    .build()
+            })
+            .collect();
+        let mut unbatched = crate::RunnerConfig::new().batch(1).native(&cfg).unwrap();
+        let mut batched = crate::RunnerConfig::new().batch(32).native(&cfg).unwrap();
+        let a = unbatched.run(&pkts, 3);
+        let b = batched.run(&pkts, 3);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.transmitted, b.transmitted);
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Flow-sharded parallel execution: one verified configuration, N router
+//! replicas, an RSS-style dispatcher.
+//!
+//! The paper's platform runs each tenant module as one ClickOS VM on one
+//! vCPU; scaling a hot module means giving it more cores. This module
+//! reproduces the standard software-RSS recipe for doing that without
+//! giving up per-flow semantics:
+//!
+//! * every worker owns an *independent replica* of the same verified
+//!   [`ClickConfig`] — no shared element state, no locks on the data path;
+//! * a flow-hash dispatcher pins each 5-tuple to one worker
+//!   ([`FlowKey::shard_of`]), so all packets of a flow traverse the same
+//!   replica in arrival order and per-flow output order is preserved;
+//! * hand-off happens in batches over bounded FIFO rings, which
+//!   back-pressure the dispatcher by default or count drops in lossy
+//!   mode.
+//!
+//! Replication is only sound for configurations whose forwarding is a pure
+//! function of each packet. The element registry's field-effect summaries
+//! carry a per-class statefulness bit, and
+//! [`Registry::config_shardable`] aggregates it; a stateful configuration
+//! (NAT, stateful firewall, queues…) silently degrades to **one worker**
+//! rather than silently misbehaving across replicas.
+
+use std::time::Instant;
+
+use innet_click::{ClickConfig, Registry, Router, RouterError};
+use innet_packet::{FlowKey, Packet};
+
+use crate::runner::RunnerConfig;
+use crate::spsc::{self, TrySendError};
+
+/// Virtual-time step per packet, matching
+/// [`NativeRunner::run`](crate::NativeRunner::run): 1 µs, so token
+/// buckets refill realistically.
+const STEP_NS: u64 = 1_000;
+
+/// Result of a timed parallel run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelStats {
+    /// Packets offered to the dispatcher.
+    pub packets: u64,
+    /// Packets transmitted out of all replicas.
+    pub transmitted: u64,
+    /// Packets dropped on full worker rings (lossy mode only).
+    pub dropped: u64,
+    /// Wall-clock nanoseconds elapsed.
+    pub elapsed_ns: u64,
+    /// Workers that actually ran (1 for stateful configurations).
+    pub workers: usize,
+}
+
+impl ParallelStats {
+    /// Input rate in packets/second; 0.0 when no time elapsed.
+    pub fn pps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.packets as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Throughput in Gbit/s assuming `frame_len`-byte frames.
+    pub fn gbps(&self, frame_len: usize) -> f64 {
+        self.pps() * frame_len as f64 * 8.0 / 1e9
+    }
+}
+
+/// Shared-registry instruments for one parallel runner
+/// (`innet_parallel_*`).
+#[derive(Clone)]
+struct ParallelMetrics {
+    /// Per-worker packets processed (`worker` label).
+    packets: Vec<innet_obs::Counter>,
+    /// Per-worker packets transmitted (`worker` label).
+    transmitted: Vec<innet_obs::Counter>,
+    /// Per-worker ring depth, sampled at each dispatch.
+    queue_depth: Vec<innet_obs::Gauge>,
+    /// Size of each dispatched batch.
+    batch_size: innet_obs::Histogram,
+    /// Wall-clock duration of each `run` call.
+    run_ns: innet_obs::Histogram,
+    /// Packets dropped on full rings.
+    drops_ring_full: innet_obs::Counter,
+}
+
+impl ParallelMetrics {
+    fn new(registry: &innet_obs::Registry, workers: usize) -> ParallelMetrics {
+        let packets = registry.labeled_counter("innet_parallel_packets_total", "worker");
+        let transmitted = registry.labeled_counter("innet_parallel_transmitted_total", "worker");
+        ParallelMetrics {
+            packets: (0..workers).map(|w| packets.with(&w.to_string())).collect(),
+            transmitted: (0..workers)
+                .map(|w| transmitted.with(&w.to_string()))
+                .collect(),
+            queue_depth: (0..workers)
+                .map(|w| registry.gauge(&format!("innet_parallel_queue_depth_w{w}")))
+                .collect(),
+            batch_size: registry.histogram("innet_parallel_batch_size"),
+            run_ns: registry.histogram("innet_parallel_run_ns"),
+            drops_ring_full: registry
+                .labeled_counter("innet_parallel_drops_total", "reason")
+                .with("ring_full"),
+        }
+    }
+}
+
+/// A multi-threaded runner: N replicas of one router behind a flow-hash
+/// dispatcher. Build one with
+/// [`RunnerConfig::parallel`](crate::RunnerConfig::parallel).
+pub struct ParallelRunner {
+    routers: Vec<Router>,
+    requested_workers: usize,
+    shardable: bool,
+    batch: usize,
+    lossy: bool,
+    ring_capacity: usize,
+    metrics: Option<ParallelMetrics>,
+}
+
+impl ParallelRunner {
+    /// Instantiates `config.workers` replicas of `cfg` (or one, if the
+    /// configuration is stateful and therefore not shardable).
+    pub(crate) fn with_config(
+        cfg: &ClickConfig,
+        config: RunnerConfig,
+    ) -> Result<ParallelRunner, RouterError> {
+        let registry = Registry::standard();
+        let shardable = registry.config_shardable(cfg);
+        let effective = if shardable { config.workers } else { 1 };
+        let mut routers = Vec::with_capacity(effective);
+        for _ in 0..effective {
+            let mut router = Router::from_config(cfg, &registry)?;
+            if let Some(reg) = &config.metrics {
+                // Replicas share the same click counters: the registry
+                // hands out one shared cell per name, so `innet_click_*`
+                // aggregates across workers.
+                router.attach_metrics(reg);
+            }
+            routers.push(router);
+        }
+        Ok(ParallelRunner {
+            routers,
+            requested_workers: config.workers,
+            shardable,
+            batch: config.batch,
+            lossy: config.lossy_rings,
+            ring_capacity: config.ring_capacity,
+            metrics: config
+                .metrics
+                .as_ref()
+                .map(|r| ParallelMetrics::new(r, effective)),
+        })
+    }
+
+    /// Workers actually running (1 when the configuration is stateful).
+    pub fn effective_workers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Workers asked for via [`RunnerConfig::workers`].
+    pub fn requested_workers(&self) -> usize {
+        self.requested_workers
+    }
+
+    /// Whether the configuration passed the registry's replication-safety
+    /// check ([`Registry::config_shardable`]).
+    pub fn shardable(&self) -> bool {
+        self.shardable
+    }
+
+    /// Access to a worker's router replica (for counter inspection).
+    pub fn router(&self, worker: usize) -> Option<&Router> {
+        self.routers.get(worker)
+    }
+
+    /// Pushes the packet set through the sharded replicas `rounds`
+    /// times, measuring wall-clock time.
+    pub fn run(&mut self, packets: &[Packet], rounds: usize) -> ParallelStats {
+        self.run_inner(packets, rounds, false).0
+    }
+
+    /// Like [`ParallelRunner::run`], but also returns every transmitted
+    /// `(egress, packet)` pair, concatenated worker by worker. Within
+    /// one worker's slice — and therefore within any one flow — packets
+    /// appear in transmission order.
+    pub fn run_collect(
+        &mut self,
+        packets: &[Packet],
+        rounds: usize,
+    ) -> (ParallelStats, Vec<(u16, Packet)>) {
+        self.run_inner(packets, rounds, true)
+    }
+
+    fn run_inner(
+        &mut self,
+        packets: &[Packet],
+        rounds: usize,
+        collect: bool,
+    ) -> (ParallelStats, Vec<(u16, Packet)>) {
+        let workers = self.routers.len();
+        let batch = self.batch;
+        let lossy = self.lossy;
+        let ring_capacity = self.ring_capacity;
+        let metrics = self.metrics.clone();
+        let start = Instant::now();
+        let mut dropped = 0u64;
+        let mut transmitted = 0u64;
+        let mut collected: Vec<(u16, Packet)> = Vec::new();
+
+        std::thread::scope(|s| {
+            let mut senders = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for (w, router) in self.routers.iter_mut().enumerate() {
+                let (tx, rx) = spsc::ring::<Vec<Packet>>(ring_capacity);
+                senders.push(tx);
+                let worker_metrics = metrics
+                    .as_ref()
+                    .map(|m| (m.packets[w].clone(), m.transmitted[w].clone()));
+                handles.push(s.spawn(move || {
+                    let mut clock = 0u64;
+                    let mut tx_count = 0u64;
+                    let mut out: Vec<(u16, Packet)> = Vec::new();
+                    while let Some(b) = rx.recv() {
+                        let n = b.len() as u64;
+                        router.push_batch(b, clock, STEP_NS);
+                        clock += STEP_NS * n;
+                        let before = out.len();
+                        router.take_tx_into(&mut out);
+                        let emitted = (out.len() - before) as u64;
+                        tx_count += emitted;
+                        if let Some((pkts, txs)) = &worker_metrics {
+                            pkts.add(n);
+                            txs.add(emitted);
+                        }
+                        if !collect {
+                            out.clear();
+                        }
+                    }
+                    (tx_count, out)
+                }));
+            }
+
+            // The dispatcher: flow-hash every packet to its worker,
+            // flushing per-worker batches as they fill. Because one flow
+            // always hashes to one worker and the rings are FIFO,
+            // per-flow order is preserved end to end.
+            let mut pending: Vec<Vec<Packet>> =
+                (0..workers).map(|_| Vec::with_capacity(batch)).collect();
+            for _ in 0..rounds {
+                for pkt in packets {
+                    let shard = FlowKey::shard_of(pkt, workers);
+                    pending[shard].push(pkt.clone());
+                    if pending[shard].len() >= batch {
+                        let full =
+                            std::mem::replace(&mut pending[shard], Vec::with_capacity(batch));
+                        dropped += dispatch(&senders[shard], full, lossy, shard, &metrics);
+                    }
+                }
+            }
+            for (shard, rest) in pending.into_iter().enumerate() {
+                if !rest.is_empty() {
+                    dropped += dispatch(&senders[shard], rest, lossy, shard, &metrics);
+                }
+            }
+            // Hang up: each worker drains its ring, then returns.
+            drop(senders);
+            for h in handles {
+                let (tx_count, out) = h.join().expect("worker panicked");
+                transmitted += tx_count;
+                if collect {
+                    collected.extend(out);
+                }
+            }
+        });
+
+        let stats = ParallelStats {
+            packets: (packets.len() * rounds) as u64,
+            transmitted,
+            dropped,
+            elapsed_ns: start.elapsed().as_nanos().max(1) as u64,
+            workers,
+        };
+        if let Some(m) = &self.metrics {
+            m.run_ns.observe(stats.elapsed_ns);
+        }
+        (stats, collected)
+    }
+}
+
+/// Sends one batch to one worker ring, honoring the loss mode. Returns
+/// the number of packets dropped (lossy mode with a full ring).
+fn dispatch(
+    sender: &spsc::RingSender<Vec<Packet>>,
+    batch: Vec<Packet>,
+    lossy: bool,
+    shard: usize,
+    metrics: &Option<ParallelMetrics>,
+) -> u64 {
+    let size = batch.len() as u64;
+    let dropped = if lossy {
+        match sender.try_send(batch) {
+            Ok(()) => 0,
+            Err(TrySendError::Full(b)) | Err(TrySendError::Disconnected(b)) => b.len() as u64,
+        }
+    } else {
+        match sender.send(batch) {
+            Ok(()) => 0,
+            Err(b) => b.len() as u64,
+        }
+    };
+    if let Some(m) = metrics {
+        m.batch_size.observe(size);
+        m.queue_depth[shard].set(sender.len() as i64);
+        if dropped > 0 {
+            m.drops_ring_full.add(dropped);
+        }
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{consolidated_config, middlebox_config, plain_firewall};
+    use innet_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn trace(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .src(
+                        Ipv4Addr::new(8, 8, (i % 13) as u8, (i % 251) as u8 + 1),
+                        1000,
+                    )
+                    .dst(Ipv4Addr::new(10, 0, 0, 1), 1500 + (i % 7) as u16)
+                    .pad_to(64)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stateless_config_shards_to_requested_workers() {
+        let runner = RunnerConfig::new()
+            .workers(4)
+            .parallel(&plain_firewall())
+            .unwrap();
+        assert!(runner.shardable());
+        assert_eq!(runner.effective_workers(), 4);
+        assert_eq!(runner.requested_workers(), 4);
+    }
+
+    #[test]
+    fn stateful_config_degrades_to_one_worker() {
+        let cfg = middlebox_config("nat").unwrap();
+        let runner = RunnerConfig::new().workers(8).parallel(&cfg).unwrap();
+        assert!(!runner.shardable());
+        assert_eq!(runner.effective_workers(), 1);
+        assert_eq!(runner.requested_workers(), 8);
+    }
+
+    #[test]
+    fn all_packets_accounted_for() {
+        let mut runner = RunnerConfig::new()
+            .workers(4)
+            .batch(8)
+            .parallel(&plain_firewall())
+            .unwrap();
+        let pkts = trace(1000);
+        let stats = runner.run(&pkts, 3);
+        assert_eq!(stats.packets, 3000);
+        assert_eq!(stats.transmitted, 3000);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn consolidated_config_runs_sharded() {
+        let clients: Vec<Ipv4Addr> = (0..8).map(|i| Ipv4Addr::new(203, 0, 113, 1 + i)).collect();
+        let cfg = consolidated_config(&clients);
+        let mut runner = RunnerConfig::new().workers(4).parallel(&cfg).unwrap();
+        assert!(runner.shardable());
+        let pkts: Vec<Packet> = (0..256)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .src(Ipv4Addr::new(8, 8, 8, (i % 251) as u8 + 1), 4000 + i as u16)
+                    .dst(clients[i % clients.len()], 80)
+                    .pad_to(64)
+                    .build()
+            })
+            .collect();
+        let stats = runner.run(&pkts, 2);
+        assert_eq!(stats.transmitted, stats.packets);
+    }
+
+    #[test]
+    fn metrics_published_per_worker() {
+        let registry = innet_obs::Registry::new();
+        let mut runner = RunnerConfig::new()
+            .workers(2)
+            .batch(4)
+            .metrics(&registry)
+            .parallel(&plain_firewall())
+            .unwrap();
+        let pkts = trace(100);
+        runner.run(&pkts, 1);
+        let per_worker = registry.labeled_counter("innet_parallel_packets_total", "worker");
+        assert_eq!(per_worker.get("0") + per_worker.get("1"), 100);
+        let tx = registry.labeled_counter("innet_parallel_transmitted_total", "worker");
+        assert_eq!(tx.get("0") + tx.get("1"), 100);
+    }
+
+    #[test]
+    fn lossy_rings_count_drops_by_reason() {
+        let registry = innet_obs::Registry::new();
+        // Capacity 1 ring and a slow consumer can't be guaranteed to
+        // drop deterministically, so drive the sender directly: fill the
+        // ring by never consuming.
+        let (tx, _rx) = spsc::ring::<Vec<Packet>>(1);
+        let m = ParallelMetrics::new(&registry, 1);
+        let metrics = Some(m);
+        let d0 = dispatch(&tx, trace(4), true, 0, &metrics);
+        let d1 = dispatch(&tx, trace(4), true, 0, &metrics);
+        assert_eq!(d0, 0);
+        assert_eq!(d1, 4);
+        let drops = registry.labeled_counter("innet_parallel_drops_total", "reason");
+        assert_eq!(drops.get("ring_full"), 4);
+    }
+
+    #[test]
+    fn zero_elapsed_stats_do_not_divide_by_zero() {
+        let stats = ParallelStats {
+            packets: 10,
+            transmitted: 10,
+            dropped: 0,
+            elapsed_ns: 0,
+            workers: 1,
+        };
+        assert_eq!(stats.pps(), 0.0);
+        assert_eq!(stats.gbps(64), 0.0);
+    }
+}

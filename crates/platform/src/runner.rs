@@ -1,0 +1,140 @@
+//! The unified runner configuration builder.
+//!
+//! One builder configures both execution engines — the single-threaded
+//! [`NativeRunner`](crate::NativeRunner) and the flow-sharded
+//! [`ParallelRunner`](crate::ParallelRunner) — so callers pick the engine
+//! last, after describing *how* to run:
+//!
+//! ```
+//! use innet_platform::{plain_firewall, RunnerConfig};
+//!
+//! let cfg = plain_firewall();
+//! let registry = innet_obs::Registry::new();
+//! let mut runner = RunnerConfig::new()
+//!     .workers(4)
+//!     .batch(32)
+//!     .metrics(&registry)
+//!     .parallel(&cfg)
+//!     .unwrap();
+//! assert_eq!(runner.effective_workers(), 4);
+//! # let _ = &mut runner;
+//! ```
+
+use innet_click::{ClickConfig, RouterError};
+
+use crate::native::NativeRunner;
+use crate::parallel::ParallelRunner;
+
+/// Default dispatch batch size: large enough to amortize ring hand-off,
+/// small enough not to distort latency in the simulated workloads.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// Default per-worker ring capacity, counted in *batches*.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// Builder describing how a runner should execute a configuration:
+/// worker count, dispatch batch size, metrics registry, and ring
+/// behavior under overload. Finish with [`RunnerConfig::native`] or
+/// [`RunnerConfig::parallel`].
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    pub(crate) workers: usize,
+    pub(crate) batch: usize,
+    pub(crate) metrics: Option<innet_obs::Registry>,
+    pub(crate) lossy_rings: bool,
+    pub(crate) ring_capacity: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig::new()
+    }
+}
+
+impl RunnerConfig {
+    /// The default execution profile: one worker, batch of
+    /// [`DEFAULT_BATCH`], no metrics, lossless rings.
+    pub fn new() -> RunnerConfig {
+        RunnerConfig {
+            workers: 1,
+            batch: DEFAULT_BATCH,
+            metrics: None,
+            lossy_rings: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Requests `n` flow-sharded workers (clamped to at least 1). The
+    /// parallel runner may still degrade to 1 if the configuration is
+    /// stateful; `NativeRunner` ignores this knob.
+    pub fn workers(mut self, n: usize) -> RunnerConfig {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the dispatch batch size (clamped to at least 1): how many
+    /// packets move through the netfront ring — and across worker rings
+    /// — per hand-off.
+    pub fn batch(mut self, n: usize) -> RunnerConfig {
+        self.batch = n.max(1);
+        self
+    }
+
+    /// Publishes the runner's instruments into `registry`
+    /// (`innet_native_*` / `innet_parallel_*`, plus the inner routers'
+    /// `innet_click_*`).
+    pub fn metrics(mut self, registry: &innet_obs::Registry) -> RunnerConfig {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Switches worker rings from lossless backpressure (the default:
+    /// the dispatcher blocks when a worker falls behind) to lossy
+    /// drop-on-full, counted under
+    /// `innet_parallel_drops_total{reason="ring_full"}`.
+    pub fn lossy_rings(mut self, lossy: bool) -> RunnerConfig {
+        self.lossy_rings = lossy;
+        self
+    }
+
+    /// Sets each worker ring's capacity in batches (clamped to at
+    /// least 1).
+    pub fn ring_capacity(mut self, batches: usize) -> RunnerConfig {
+        self.ring_capacity = batches.max(1);
+        self
+    }
+
+    /// Builds a single-threaded [`NativeRunner`] for `cfg` with this
+    /// profile.
+    pub fn native(self, cfg: &ClickConfig) -> Result<NativeRunner, RouterError> {
+        NativeRunner::with_config(cfg, self)
+    }
+
+    /// Builds a flow-sharded [`ParallelRunner`] for `cfg` with this
+    /// profile.
+    pub fn parallel(self, cfg: &ClickConfig) -> Result<ParallelRunner, RouterError> {
+        ParallelRunner::with_config(cfg, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_degenerate_values() {
+        let c = RunnerConfig::new().workers(0).batch(0).ring_capacity(0);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.batch, 1);
+        assert_eq!(c.ring_capacity, 1);
+    }
+
+    #[test]
+    fn defaults_are_single_threaded_and_lossless() {
+        let c = RunnerConfig::new();
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.batch, DEFAULT_BATCH);
+        assert!(!c.lossy_rings);
+        assert!(c.metrics.is_none());
+    }
+}

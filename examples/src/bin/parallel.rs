@@ -1,0 +1,117 @@
+//! Flow-sharded parallel execution: scale the stock consolidated
+//! firewall across worker threads with the unified `RunnerConfig`
+//! builder, observe the `innet_parallel_*` instruments, and verify the
+//! stateful-degrade rule on a NAT.
+//!
+//! Exits non-zero if 4 workers fail to reach 1.5x the single-worker
+//! rate on the stateless corpus — the smoke threshold CI enforces (the
+//! full ≥3x target is measured by the `parallel_scaling` bench). The
+//! speedup gate only applies on hosts with at least 4 CPUs: on fewer
+//! cores the workers time-slice one another and no speedup is
+//! physically possible, so the run still checks every correctness
+//! invariant but reports the scaling numbers as informational.
+//!
+//! Run with: `cargo run --release -p innet-examples --bin parallel`
+
+use std::net::Ipv4Addr;
+
+use innet::obs;
+use innet::platform::{consolidated_config, middlebox_config};
+use innet::prelude::*;
+
+const TRACE_LEN: usize = 4096;
+const FLOWS: usize = 64;
+const ROUNDS: usize = 40;
+
+fn trace(dsts: &[Ipv4Addr]) -> Vec<Packet> {
+    (0..TRACE_LEN)
+        .map(|i| {
+            let f = i % FLOWS;
+            PacketBuilder::udp()
+                .src(Ipv4Addr::new(8, 8, 0, (f % 250) as u8 + 1), 4000 + f as u16)
+                .dst(dsts[f % dsts.len()], 80)
+                .pad_to(64)
+                .build()
+        })
+        .collect()
+}
+
+fn main() {
+    // The paper's §5 consolidated firewall: one demux, 16 tenant
+    // firewalls. Stateless end to end, so the registry clears it for
+    // flow-sharded replication.
+    let clients: Vec<Ipv4Addr> = (0..16).map(|i| Ipv4Addr::new(203, 0, 113, 1 + i)).collect();
+    let cfg = consolidated_config(&clients);
+    let pkts = trace(&clients);
+
+    println!("== consolidated firewall (16 tenants), {TRACE_LEN}-packet trace x{ROUNDS} ==");
+    let mut baseline = 0.0;
+    let mut at4 = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let reg = obs::Registry::new();
+        let mut runner = RunnerConfig::new()
+            .workers(workers)
+            .batch(32)
+            .metrics(&reg)
+            .parallel(&cfg)
+            .expect("valid config");
+        let stats = runner.run(&pkts, ROUNDS);
+        assert_eq!(stats.transmitted, stats.packets, "nothing lost");
+        let speedup = if baseline > 0.0 {
+            stats.pps() / baseline
+        } else {
+            1.0
+        };
+        if workers == 1 {
+            baseline = stats.pps();
+        }
+        if workers == 4 {
+            at4 = stats.pps();
+        }
+        // Every worker reports its own share through the shared registry.
+        let per_worker = reg.labeled_counter("innet_parallel_packets_total", "worker");
+        let shares: Vec<String> = (0..workers)
+            .map(|w| format!("w{w}={}", per_worker.get(&w.to_string())))
+            .collect();
+        println!(
+            "  {workers} worker(s): {:>8.0} kpps  ({speedup:.2}x)   [{}]",
+            stats.pps() / 1e3,
+            shares.join(" ")
+        );
+    }
+
+    // The stateful-degrade rule, visibly: a NAT requests 4 workers and
+    // runs on 1, because replicating its translation table would give
+    // flows different mappings depending on the replica they hash to.
+    let nat = middlebox_config("nat").expect("stock kind");
+    let runner = RunnerConfig::new()
+        .workers(4)
+        .parallel(&nat)
+        .expect("valid config");
+    println!("== stateful degrade ==");
+    println!(
+        "  IPNAT: requested {} workers, running {} (shardable: {})",
+        runner.requested_workers(),
+        runner.effective_workers(),
+        runner.shardable()
+    );
+    assert!(!runner.shardable());
+    assert_eq!(runner.effective_workers(), 1);
+
+    let speedup4 = at4 / baseline;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        println!("== verdict: 4-worker speedup {speedup4:.2}x on {cores} cores (smoke threshold 1.5x) ==");
+        assert!(
+            speedup4 >= 1.5,
+            "expected >=1.5x at 4 workers on a {cores}-core host, measured {speedup4:.2}x"
+        );
+    } else {
+        println!(
+            "== verdict: 4-worker speedup {speedup4:.2}x on {cores} core(s) — \
+             speedup gate skipped (needs >=4 CPUs to be meaningful) =="
+        );
+    }
+}

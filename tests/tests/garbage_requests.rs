@@ -1,7 +1,7 @@
 //! Regression tests: malformed tenant input must surface as typed
 //! `DeployError`s, never as a controller panic. Requests are built both
-//! from hostile text and programmatically via `ClientRequest::new`, which
-//! bypasses every parse-time check.
+//! from hostile text and programmatically via `ClientRequest::click` /
+//! `ClientRequest::stock`, which bypass every parse-time check.
 
 use innet::prelude::*;
 
@@ -45,7 +45,7 @@ fn dangling_connections_are_a_typed_error() {
     // A connection between elements that were never declared.
     let mut cfg = ClickConfig::new();
     cfg.connect("ghost", 0, "phantom", 0);
-    let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
+    let req = ClientRequest::click("m", cfg);
     let err = deploy_must_not_panic("dangling connection", req).unwrap_err();
     // The lint pass (IN-L005) catches this before symbolic modeling; both
     // are typed refusals.
@@ -59,7 +59,7 @@ fn dangling_connections_are_a_typed_error() {
 fn empty_config_does_not_panic() {
     // Zero elements, zero connections: nothing to check, nothing to
     // crash on. Accept or reject, but return.
-    let req = ClientRequest::new("m", ModuleConfig::Click(ClickConfig::new()), vec![]);
+    let req = ClientRequest::click("m", ClickConfig::new());
     let _ = deploy_must_not_panic("empty config", req);
 }
 
@@ -72,7 +72,7 @@ fn self_loop_does_not_panic() {
     cfg.add_element("c", "Counter", &[]);
     cfg.connect("in", 0, "c", 0);
     cfg.connect("c", 0, "c", 0);
-    let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
+    let req = ClientRequest::click("m", cfg);
     let _ = deploy_must_not_panic("self loop", req);
 }
 
@@ -93,7 +93,7 @@ fn hostile_arguments_do_not_panic() {
         cfg.add_element("out", "ToNetfront", &[]);
         cfg.connect("in", 0, "f", 0);
         cfg.connect("f", 0, "out", 0);
-        let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
+        let req = ClientRequest::click("m", cfg);
         let _ = deploy_must_not_panic("hostile args", req);
     }
 }
@@ -121,11 +121,8 @@ fn kill_of_unknown_module_is_a_typed_error() {
 #[test]
 fn garbage_requirements_are_typed_errors() {
     // A requirement way-point that exists in no network.
-    let req = ClientRequest::new(
-        "m",
-        ModuleConfig::Stock(StockModule::GeoDns),
-        vec![Requirement::parse("reach from internet -> Narnia").unwrap()],
-    );
+    let req = ClientRequest::stock("m", StockModule::GeoDns)
+        .require(Requirement::parse("reach from internet -> Narnia").unwrap());
     let err = deploy_must_not_panic("unknown way-point", req).unwrap_err();
     assert!(
         matches!(

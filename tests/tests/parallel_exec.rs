@@ -1,0 +1,178 @@
+//! Differential tests for flow-sharded parallel execution: for every
+//! worker count, the `ParallelRunner` must produce, per flow, exactly the
+//! byte sequence the single-threaded `NativeRunner` produces — sharding
+//! is an implementation detail, not a semantic change.
+//!
+//! Also property-checks the dispatch invariant the ordering guarantee
+//! rests on: the flow-hash dispatcher never splits one 5-tuple across
+//! workers.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use innet::platform::consolidated_config;
+use innet::prelude::*;
+use proptest::prelude::*;
+
+/// A reproducible multi-flow trace: `flows` distinct UDP 5-tuples,
+/// `n` packets round-robined across them, payload lengths varied so
+/// byte-level comparison is meaningful.
+fn multi_flow_trace(n: usize, flows: usize, clients: &[Ipv4Addr]) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let f = i % flows;
+            PacketBuilder::udp()
+                .src(
+                    Ipv4Addr::new(8, 8, (f / 200) as u8, (f % 200) as u8 + 1),
+                    (4000 + f % 1000) as u16,
+                )
+                .dst(clients[f % clients.len()], 80)
+                .pad_to(64 + (i % 7) * 16)
+                .build()
+        })
+        .collect()
+}
+
+/// Groups transmitted packets per flow, preserving relative order. The
+/// configurations used here never rewrite the 5-tuple, so the output
+/// flow key is the input flow key.
+fn by_flow(out: &[(u16, Packet)]) -> BTreeMap<String, Vec<(u16, Vec<u8>)>> {
+    let mut groups: BTreeMap<String, Vec<(u16, Vec<u8>)>> = BTreeMap::new();
+    for (egress, pkt) in out {
+        let key = FlowKey::of(pkt)
+            .expect("udp traffic has a flow key")
+            .to_string();
+        groups
+            .entry(key)
+            .or_default()
+            .push((*egress, pkt.bytes().to_vec()));
+    }
+    groups
+}
+
+#[test]
+fn parallel_output_matches_native_per_flow() {
+    let clients: Vec<Ipv4Addr> = (0..16).map(|i| Ipv4Addr::new(203, 0, 113, 1 + i)).collect();
+    let cfg = consolidated_config(&clients);
+    let trace = multi_flow_trace(10_000, 64, &clients);
+
+    // The single-threaded reference output.
+    let mut native = RunnerConfig::new().native(&cfg).unwrap();
+    let (native_stats, native_out) = native.run_collect(&trace, 1);
+    assert_eq!(native_stats.transmitted, trace.len() as u64);
+    let reference = by_flow(&native_out);
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut parallel = RunnerConfig::new()
+            .workers(workers)
+            .batch(32)
+            .parallel(&cfg)
+            .unwrap();
+        assert_eq!(parallel.effective_workers(), workers);
+        let (stats, out) = parallel.run_collect(&trace, 1);
+        assert_eq!(
+            stats.transmitted, native_stats.transmitted,
+            "{workers} workers"
+        );
+        assert_eq!(stats.dropped, 0, "{workers} workers");
+        let sharded = by_flow(&out);
+        // Per flow: byte-identical packets, in identical order, out the
+        // identical egress ports.
+        assert_eq!(sharded, reference, "{workers} workers");
+    }
+}
+
+#[test]
+fn stateful_config_runs_single_worker() {
+    // A NAT keeps per-flow translation state: replicating it would give
+    // different flows different public-port mappings depending on which
+    // replica they hit. The registry flags it, and the runner degrades.
+    let cfg =
+        ClickConfig::parse("FromNetfront() -> [0]n :: IPNAT(203.0.113.1); n[0] -> ToNetfront();")
+            .unwrap();
+    let mut runner = RunnerConfig::new().workers(8).parallel(&cfg).unwrap();
+    assert!(!runner.shardable());
+    assert_eq!(runner.effective_workers(), 1);
+    assert_eq!(runner.requested_workers(), 8);
+
+    // And it still forwards correctly on that single worker.
+    let pkts: Vec<Packet> = (0..100)
+        .map(|i| {
+            PacketBuilder::udp()
+                .src(Ipv4Addr::new(10, 0, 0, (i % 9) as u8 + 1), 5000 + i as u16)
+                .dst(Ipv4Addr::new(198, 51, 100, 7), 53)
+                .build()
+        })
+        .collect();
+    let stats = runner.run(&pkts, 1);
+    assert_eq!(stats.workers, 1);
+    assert_eq!(stats.transmitted, 100);
+}
+
+#[test]
+fn batch_size_does_not_change_results() {
+    let clients: Vec<Ipv4Addr> = (0..4).map(|i| Ipv4Addr::new(203, 0, 113, 1 + i)).collect();
+    let cfg = consolidated_config(&clients);
+    let trace = multi_flow_trace(1_000, 17, &clients);
+    let mut reference = RunnerConfig::new().native(&cfg).unwrap();
+    let (_, native_out) = reference.run_collect(&trace, 1);
+    let want = by_flow(&native_out);
+    for batch in [1usize, 32, 256] {
+        let mut runner = RunnerConfig::new()
+            .workers(4)
+            .batch(batch)
+            .parallel(&cfg)
+            .unwrap();
+        let (_, out) = runner.run_collect(&trace, 1);
+        assert_eq!(by_flow(&out), want, "batch {batch}");
+    }
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+    )
+        .prop_map(|(src, dst, sport, dport, is_tcp)| {
+            let b = if is_tcp {
+                PacketBuilder::tcp()
+            } else {
+                PacketBuilder::udp()
+            };
+            b.src(Ipv4Addr::from(src), sport)
+                .dst(Ipv4Addr::from(dst), dport)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The dispatch invariant behind the ordering guarantee: for any
+    /// packet and worker count, every packet of one directed 5-tuple
+    /// lands on exactly one worker.
+    #[test]
+    fn dispatcher_never_splits_a_flow(
+        pkt in arb_packet(),
+        workers in 1usize..=16,
+    ) {
+        let key = FlowKey::of(&pkt).unwrap();
+        let shard = FlowKey::shard_of(&pkt, workers);
+        prop_assert!(shard < workers);
+        // Same 5-tuple, different packet contents: same shard.
+        let sibling = PacketBuilder::udp()
+            .src(key.src, key.src_port)
+            .dst(key.dst, key.dst_port)
+            .pad_to(900)
+            .build();
+        if key.proto == IpProto::Udp {
+            prop_assert_eq!(FlowKey::shard_of(&sibling, workers), shard);
+        }
+        // The shard is a pure function of the key.
+        prop_assert_eq!(key.shard(workers), shard);
+        prop_assert_eq!(key.shard(workers), key.shard(workers));
+    }
+}

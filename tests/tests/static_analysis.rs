@@ -269,7 +269,7 @@ fn controller_rejects_lint_errors_with_the_diagnostic() {
     cfg.add_element("out", "ToNetfront", &[]);
     cfg.connect("in", 0, "t", 0);
     cfg.connect("t", 0, "out", 0);
-    let req = ClientRequest::new("m", ModuleConfig::Click(cfg), vec![]);
+    let req = ClientRequest::click("m", cfg);
     let err = c.deploy("mobile-7", req).unwrap_err();
     match err {
         DeployError::Lint(report) => {
