@@ -39,10 +39,14 @@ echo "==> bench compile gate"
 cargo bench --no-run --quiet
 
 echo "==> parallel example smoke-run"
-# Differential + stateful-degrade checks always run; the >=1.5x
-# 4-worker speedup gate self-arms only on hosts with >=4 CPUs (on
-# fewer cores the workers time-slice and no speedup is possible).
-cargo run --release -q -p innet-examples --bin parallel \
-  | grep -q "== verdict:"
+# Differential, sharded-NAT, and global-degrade checks always run; the
+# >=1.5x 4-worker speedup gate self-arms only on hosts with >=4 CPUs
+# (on fewer cores the workers time-slice and no speedup is possible).
+# (capture first: grep -q would close the pipe mid-print)
+parallel_out="$(cargo run --release -q -p innet-examples --bin parallel)"
+grep -q "verdict: FlowPartitionable" <<<"$parallel_out"
+grep -q "all translated" <<<"$parallel_out"
+grep -q "verdict: Global" <<<"$parallel_out"
+grep -q "== verdict:" <<<"$parallel_out"
 
 echo "CI OK"

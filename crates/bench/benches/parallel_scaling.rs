@@ -1,13 +1,20 @@
 //! Flow-sharded scaling: `ParallelRunner` throughput across worker and
 //! batch sweeps, against the single-threaded `NativeRunner` baseline.
 //!
-//! Two corpora: the stock consolidated firewall (the paper's §5/Figure 8
-//! multi-tenant configuration — stateless, so it shards) and the
-//! Figure 12 middlebox corpus (where `nat` is stateful and demonstrates
-//! the degrade-to-one-worker rule: its `w4` numbers should match `w1`).
+//! Three corpora: the stock consolidated firewall (the paper's
+//! §5/Figure 8 multi-tenant configuration — stateless, so it shards
+//! under the directed hash), the Figure 12 middlebox corpus (now
+//! including `nat` as a flow-partitionable configuration that shards
+//! under the symmetric hash), and a bidirectional stateful corpus (NAT
+//! gateway + stateful firewall driven with interleaved forward and
+//! reverse traffic — the scaling the symmetric dispatch hash buys).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use innet::platform::{consolidated_config, middlebox_config, RunnerConfig};
+use innet::click::elements::IpNat;
+use innet::platform::{
+    consolidated_config, middlebox_config, nat_gateway_config, stateful_firewall_config,
+    RunnerConfig,
+};
 use innet::prelude::*;
 use std::hint::black_box;
 use std::net::Ipv4Addr;
@@ -65,10 +72,10 @@ fn bench_consolidated_sweep(c: &mut Criterion) {
     }
 }
 
-/// The Figure 12 middlebox corpus at 1 and 4 workers. `nat` is stateful:
-/// the registry degrades it to one worker, so its `w4` row is the
-/// single-worker cost plus dispatch overhead — the visible price of the
-/// safety rule.
+/// The Figure 12 middlebox corpus at 1 and 4 workers. `nat` and
+/// `flowmeter` keep per-connection state only (flow-partitionable):
+/// they now shard under the symmetric hash, so their `w4` rows scale
+/// like the stateless kinds instead of pinning to one worker.
 fn bench_middlebox_corpus(c: &mut Criterion) {
     let dsts = [Ipv4Addr::new(10, 0, 0, 1)];
     let pkts = trace(&dsts);
@@ -88,5 +95,92 @@ fn bench_middlebox_corpus(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_consolidated_sweep, bench_middlebox_corpus);
+/// An interleaved bidirectional trace for the stateful corpus: even
+/// rounds send outbound openers (ingress 0), odd rounds send replies
+/// arriving on the outside interface (ingress 1). For the NAT gateway,
+/// replies target the deterministic mapped port on the public address;
+/// for the firewall they target the inside host directly. Connections
+/// are filtered to collision-free NAT preferred ports so every reply
+/// finds its mapping.
+fn bidirectional_trace(public: Ipv4Addr, nat: bool) -> Vec<Packet> {
+    let mut conns: Vec<(FlowKey, u16)> = Vec::new();
+    let mut used = std::collections::BTreeSet::new();
+    let mut c = 0usize;
+    while conns.len() < FLOWS {
+        let key = FlowKey {
+            src: Ipv4Addr::new(10, 0, 0, (c % 250) as u8 + 1),
+            dst: Ipv4Addr::new(198, 51, 100, (c % 250) as u8 + 1),
+            proto: IpProto::Udp,
+            src_port: 5000 + c as u16,
+            dst_port: 53,
+        };
+        c += 1;
+        let mapped = IpNat::preferred_port(&key);
+        if used.insert(mapped) {
+            conns.push((key, mapped));
+        }
+    }
+    let rounds = TRACE_LEN / FLOWS;
+    let mut pkts = Vec::with_capacity(rounds * FLOWS);
+    for r in 0..rounds {
+        for (key, mapped) in &conns {
+            if r % 2 == 0 {
+                pkts.push(
+                    PacketBuilder::udp()
+                        .src(key.src, key.src_port)
+                        .dst(key.dst, key.dst_port)
+                        .pad_to(64)
+                        .build(),
+                );
+            } else {
+                let (dst, dport) = if nat {
+                    (public, *mapped)
+                } else {
+                    (key.src, key.src_port)
+                };
+                let mut reply = PacketBuilder::udp()
+                    .src(key.dst, key.dst_port)
+                    .dst(dst, dport)
+                    .pad_to(64)
+                    .build();
+                reply.meta.ingress = 1;
+                pkts.push(reply);
+            }
+        }
+    }
+    pkts
+}
+
+/// The stateful corpus: bidirectional NAT gateway and stateful firewall
+/// at 1/2/4/8 workers under the symmetric dispatch hash — the
+/// configurations that used to degrade to one worker.
+fn bench_stateful_corpus(c: &mut Criterion) {
+    let public = Ipv4Addr::new(203, 0, 113, 1);
+    let corpus = [
+        ("natgw", nat_gateway_config(public), true),
+        ("statefulfw", stateful_firewall_config(), false),
+    ];
+    for (kind, cfg, is_nat) in corpus {
+        let pkts = bidirectional_trace(public, is_nat);
+        for workers in [1usize, 2, 4, 8] {
+            let name = format!("parallel_{kind}_bidir_w{workers}_b32");
+            c.bench_function(&name, |b| {
+                let mut runner = RunnerConfig::new()
+                    .workers(workers)
+                    .batch(32)
+                    .parallel(&cfg)
+                    .unwrap();
+                assert_eq!(runner.effective_workers(), workers);
+                b.iter(|| black_box(runner.run(&pkts, 1)));
+            });
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_consolidated_sweep,
+    bench_middlebox_corpus,
+    bench_stateful_corpus
+);
 criterion_main!(benches);

@@ -8,19 +8,50 @@ use innet_packet::{FlowKey, IpProto, Packet};
 
 use crate::{
     args::ConfigArgs,
+    canonical::fnv1a_64,
     element::{Context, Element, ElementError, PortCount, Sink},
 };
 
 /// First external port handed out by the allocator.
 const PORT_BASE: u16 = 1024;
 
-/// `IPNAT(PUBLIC_ADDR)` — source NAT with per-flow port allocation.
+/// Size of the allocatable external-port space (`PORT_BASE..=u16::MAX`).
+const PORT_RANGE: u32 = u16::MAX as u32 - PORT_BASE as u32 + 1;
+
+/// How many consecutive candidate ports the allocator probes past a
+/// flow's preferred port before reclaiming the preferred port itself.
+const PROBE_LIMIT: u16 = 64;
+
+/// Default idle timeout for translation entries (5 minutes, matching
+/// [`StatefulFirewall`](crate::elements::StatefulFirewall)).
+pub const DEFAULT_NAT_TIMEOUT_S: f64 = 300.0;
+
+/// One live translation: the allocated external port plus the virtual
+/// time the mapping last carried a packet (either direction).
+#[derive(Debug, Clone, Copy)]
+struct Mapping {
+    port: u16,
+    last_ns: u64,
+}
+
+/// `IPNAT(PUBLIC_ADDR [, timeout SECS])` — source NAT with deterministic
+/// per-flow port allocation and idle expiry.
 ///
 /// * Input 0 / output 0: inside → outside. The source address is rewritten
 ///   to `PUBLIC_ADDR` and the source port to an allocated external port.
 /// * Input 1 / output 1: outside → inside. Packets addressed to
-///   `PUBLIC_ADDR` on an allocated port are rewritten back to the internal
-///   endpoint; everything else is dropped.
+///   `PUBLIC_ADDR` on an allocated port *from the mapped remote endpoint*
+///   are rewritten back to the internal endpoint; everything else is
+///   dropped.
+///
+/// The external port is a pure function of the flow key (a hash-preferred
+/// port with a bounded linear probe past live mappings), so allocation
+/// does not depend on arrival interleaving across *other* connections.
+/// That determinism is what lets flow-sharded execution replicate a NAT:
+/// each worker owns a disjoint slice of connections, and every worker
+/// would assign any given connection the same external port. Mappings
+/// idle longer than the timeout are reaped — both directions atomically —
+/// on `tick`, freeing their ports for reuse.
 ///
 /// One of Table 1's middleboxes: safe only when the *operator* runs it
 /// (it rewrites source addresses, which the anti-spoofing rule forbids for
@@ -28,34 +59,58 @@ const PORT_BASE: u16 = 1024;
 #[derive(Debug)]
 pub struct IpNat {
     public: Ipv4Addr,
-    /// internal flow (directed, inside->out) -> external source port.
-    forward: HashMap<FlowKey, u16>,
-    /// (external port, remote addr, remote port, proto) -> internal flow.
-    reverse: HashMap<(u16, Ipv4Addr, u16, u8), FlowKey>,
-    next_port: u16,
+    /// internal flow (directed, inside->out) -> its live mapping.
+    forward: HashMap<FlowKey, Mapping>,
+    /// external port -> internal flow. Entry lifetime mirrors `forward`
+    /// exactly: every insert/remove updates both tables.
+    reverse: HashMap<u16, FlowKey>,
+    timeout_ns: u64,
     translated_out: u64,
     translated_in: u64,
     dropped: u64,
+    evicted: u64,
 }
 
 impl IpNat {
-    /// Creates a NAT advertising `public`.
-    pub fn new(public: Ipv4Addr) -> IpNat {
+    /// Creates a NAT advertising `public` with the given idle timeout.
+    pub fn new(public: Ipv4Addr, timeout_ns: u64) -> IpNat {
         IpNat {
             public,
             forward: HashMap::new(),
             reverse: HashMap::new(),
-            next_port: PORT_BASE,
+            timeout_ns: timeout_ns.max(1),
             translated_out: 0,
             translated_in: 0,
             dropped: 0,
+            evicted: 0,
         }
     }
 
-    /// Parses `IPNAT(PUBLIC_ADDR)`.
+    /// Parses `IPNAT(PUBLIC_ADDR [, timeout SECS])`.
     pub fn from_args(args: &ConfigArgs) -> Result<IpNat, ElementError> {
-        args.expect_len(1)?;
-        Ok(IpNat::new(args.addr_at(0)?))
+        let bad = |message: String| ElementError::BadArgs {
+            class: "IPNAT",
+            message,
+        };
+        let mut timeout_s = DEFAULT_NAT_TIMEOUT_S;
+        for (i, arg) in args.all().enumerate() {
+            if i == 0 {
+                continue; // the public address, parsed below
+            }
+            if let Some(rest) = arg.strip_prefix("timeout") {
+                timeout_s = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad timeout '{arg}'")))?;
+            } else {
+                return Err(bad(format!("unexpected argument '{arg}'")));
+            }
+        }
+        // The explicit NaN check matters: `x <= 0` waves NaN through.
+        if timeout_s.is_nan() || timeout_s <= 0.0 {
+            return Err(bad("timeout must be positive".to_string()));
+        }
+        Ok(IpNat::new(args.addr_at(0)?, (timeout_s * 1e9) as u64))
     }
 
     /// Number of active translations.
@@ -68,21 +123,62 @@ impl IpNat {
         (self.translated_out, self.translated_in, self.dropped)
     }
 
+    /// How many live mappings were evicted to reclaim their port.
+    pub fn evictions(&self) -> u64 {
+        self.evicted
+    }
+
     /// The advertised public address.
     pub fn public_addr(&self) -> Ipv4Addr {
         self.public
     }
 
-    fn alloc_port(&mut self) -> u16 {
-        // Linear scan from the cursor; 64k flows exhaust the space, after
-        // which ports are reused (matching real NAPT behavior under churn).
-        let p = self.next_port;
-        self.next_port = if self.next_port == u16::MAX {
+    /// The external port this flow's mapping starts probing from: a hash
+    /// of the flow key, so the choice is a pure function of the flow and
+    /// identical no matter which packets preceded it.
+    pub fn preferred_port(key: &FlowKey) -> u16 {
+        let mut bytes = [0u8; 13];
+        bytes[..4].copy_from_slice(&key.src.octets());
+        bytes[4..8].copy_from_slice(&key.dst.octets());
+        bytes[8] = key.proto.number();
+        bytes[9..11].copy_from_slice(&key.src_port.to_be_bytes());
+        bytes[11..13].copy_from_slice(&key.dst_port.to_be_bytes());
+        PORT_BASE + (fnv1a_64(&bytes) % PORT_RANGE as u64) as u16
+    }
+
+    /// The next candidate after `p`, wrapping from `u16::MAX` back to
+    /// `PORT_BASE`.
+    fn next_candidate(p: u16) -> u16 {
+        if p == u16::MAX {
             PORT_BASE
         } else {
-            self.next_port + 1
-        };
-        p
+            p + 1
+        }
+    }
+
+    /// Allocates an external port for `key`: the preferred port when
+    /// free, else the first free port within [`PROBE_LIMIT`] candidates
+    /// (wrapping). If the whole probe window is occupied, the *preferred*
+    /// port's current owner is evicted — both its directions removed —
+    /// and the port reassigned; under that much pressure someone must
+    /// lose, and choosing the preferred-port victim keeps the choice a
+    /// deterministic function of the table contents.
+    fn alloc_port(&mut self, key: &FlowKey) -> u16 {
+        let preferred = IpNat::preferred_port(key);
+        let mut p = preferred;
+        for _ in 0..PROBE_LIMIT {
+            if !self.reverse.contains_key(&p) {
+                return p;
+            }
+            p = IpNat::next_candidate(p);
+        }
+        // Probe window exhausted: reclaim the preferred port, evicting
+        // its owner from both tables so no stale forward entry leaks.
+        if let Some(victim) = self.reverse.remove(&preferred) {
+            self.forward.remove(&victim);
+            self.evicted += 1;
+        }
+        preferred
     }
 
     fn set_l4_ports(pkt: &mut Packet, src: Option<u16>, dst: Option<u16>) {
@@ -121,20 +217,28 @@ impl Element for IpNat {
         PortCount::new(2, 2)
     }
 
-    fn push(&mut self, port: usize, mut pkt: Packet, _ctx: &Context, out: &mut dyn Sink) {
+    fn push(&mut self, port: usize, mut pkt: Packet, ctx: &Context, out: &mut dyn Sink) {
         let Ok(key) = FlowKey::of(&pkt) else {
             self.dropped += 1;
             return;
         };
         match port {
             0 => {
-                let ext_port = match self.forward.get(&key) {
-                    Some(&p) => p,
+                let ext_port = match self.forward.get_mut(&key) {
+                    Some(m) => {
+                        m.last_ns = ctx.now_ns;
+                        m.port
+                    }
                     None => {
-                        let p = self.alloc_port();
-                        self.forward.insert(key, p);
-                        self.reverse
-                            .insert((p, key.dst, key.dst_port, key.proto.number()), key);
+                        let p = self.alloc_port(&key);
+                        self.forward.insert(
+                            key,
+                            Mapping {
+                                port: p,
+                                last_ns: ctx.now_ns,
+                            },
+                        );
+                        self.reverse.insert(p, key);
                         p
                     }
                 };
@@ -155,9 +259,17 @@ impl Element for IpNat {
                     self.dropped += 1;
                     return;
                 }
-                let lookup = (key.dst_port, key.src, key.src_port, key.proto.number());
-                match self.reverse.get(&lookup).copied() {
+                // The mapping only matches traffic from the remote
+                // endpoint the inside host contacted (symmetric-NAT
+                // filtering, same policy as the old remote-keyed table).
+                let internal = self.reverse.get(&key.dst_port).copied().filter(|flow| {
+                    flow.dst == key.src && flow.dst_port == key.src_port && flow.proto == key.proto
+                });
+                match internal {
                     Some(internal) => {
+                        if let Some(m) = self.forward.get_mut(&internal) {
+                            m.last_ns = ctx.now_ns;
+                        }
                         if let Ok(mut ip) = pkt.ipv4_mut() {
                             ip.set_dst(internal.src);
                             ip.update_checksum();
@@ -170,6 +282,23 @@ impl Element for IpNat {
                 }
             }
         }
+    }
+
+    fn tick(&mut self, ctx: &Context, _out: &mut dyn Sink) {
+        let timeout = self.timeout_ns;
+        let now = ctx.now_ns;
+        let reverse = &mut self.reverse;
+        // Both directions of an expired mapping go together, so a reaped
+        // port is immediately reusable and no table entry outlives the
+        // other.
+        self.forward.retain(|_, m| {
+            if now.saturating_sub(m.last_ns) <= timeout {
+                true
+            } else {
+                reverse.remove(&m.port);
+                false
+            }
+        });
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -195,6 +324,16 @@ mod tests {
         IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1")).unwrap()
     }
 
+    fn out_key(sport: u16) -> FlowKey {
+        FlowKey {
+            src: INSIDE,
+            dst: SERVER,
+            proto: IpProto::Udp,
+            src_port: sport,
+            dst_port: 53,
+        }
+    }
+
     #[test]
     fn outbound_rewrites_source() {
         let mut n = nat();
@@ -208,7 +347,10 @@ mod tests {
         let ip = out.ipv4().unwrap();
         assert_eq!(ip.src(), PUB);
         assert!(ip.verify_checksum());
-        assert_eq!(out.udp().unwrap().src_port(), PORT_BASE);
+        assert_eq!(
+            out.udp().unwrap().src_port(),
+            IpNat::preferred_port(&out_key(5555))
+        );
         assert_eq!(out.udp().unwrap().dst_port(), 53);
     }
 
@@ -306,5 +448,341 @@ mod tests {
             .build();
         n.push(1, pkt, &Context::default(), &mut s);
         assert!(s.pushed.is_empty());
+    }
+
+    #[test]
+    fn inbound_from_wrong_remote_dropped() {
+        // Symmetric-NAT filtering: the mapping only admits the remote
+        // endpoint the inside host actually contacted.
+        let mut n = nat();
+        let mut s = VecSink::new();
+        n.push(
+            0,
+            PacketBuilder::udp()
+                .src(INSIDE, 5555)
+                .dst(SERVER, 53)
+                .build(),
+            &Context::default(),
+            &mut s,
+        );
+        let ext_port = s.pushed[0].1.udp().unwrap().src_port();
+        let stranger = PacketBuilder::udp()
+            .src(Ipv4Addr::new(6, 6, 6, 6), 53)
+            .dst(PUB, ext_port)
+            .build();
+        n.push(1, stranger, &Context::default(), &mut s);
+        assert_eq!(s.pushed.len(), 1, "stranger must not reach the inside");
+        assert_eq!(n.counters().2, 1);
+    }
+
+    #[test]
+    fn port_allocation_is_flow_deterministic() {
+        // The same flow gets the same external port no matter what other
+        // traffic preceded it — the property sharded replicas rely on.
+        let mut quiet = nat();
+        let mut busy = nat();
+        let mut s = VecSink::new();
+        for sport in 1000..1050u16 {
+            busy.push(
+                0,
+                PacketBuilder::udp()
+                    .src(Ipv4Addr::new(10, 0, 7, 7), sport)
+                    .dst(SERVER, 53)
+                    .build(),
+                &Context::default(),
+                &mut s,
+            );
+        }
+        s.pushed.clear();
+        let probe = || {
+            PacketBuilder::udp()
+                .src(INSIDE, 4242)
+                .dst(SERVER, 443)
+                .build()
+        };
+        quiet.push(0, probe(), &Context::default(), &mut s);
+        busy.push(0, probe(), &Context::default(), &mut s);
+        let p_quiet = s.pushed[0].1.udp().unwrap().src_port();
+        let p_busy = s.pushed[1].1.udp().unwrap().src_port();
+        assert_eq!(p_quiet, p_busy);
+    }
+
+    /// Finds `n` distinct source ports whose flows all prefer external
+    /// ports inside the `PROBE_LIMIT`-wide window starting at the
+    /// preferred port of `out_key(seed_sport)`.
+    fn colliding_sports(seed_sport: u16, n: usize) -> Vec<u16> {
+        let base = IpNat::preferred_port(&out_key(seed_sport));
+        let in_window = |p: u16| {
+            let off = (p as u32 + PORT_RANGE - base as u32) % PORT_RANGE;
+            off < PROBE_LIMIT as u32
+        };
+        let mut found = vec![seed_sport];
+        for sport in 1..=u16::MAX {
+            if found.len() >= n {
+                break;
+            }
+            if sport != seed_sport && in_window(IpNat::preferred_port(&out_key(sport))) {
+                found.push(sport);
+            }
+        }
+        assert!(
+            found.len() >= n,
+            "need {n} colliding flows, search space too small"
+        );
+        found
+    }
+
+    #[test]
+    fn colliding_preferred_ports_do_not_clobber() {
+        // Regression for the wrapping cursor allocator: when a second
+        // flow wants an external port that is still owned by a live
+        // mapping, the old allocator overwrote the reverse entry
+        // (misdelivering the first flow's replies to the second flow's
+        // host) and leaked the first flow's forward entry forever. The
+        // probing allocator must keep both mappings live and intact.
+        let sports = colliding_sports(5555, 2);
+        let mut n = nat();
+        let mut s = VecSink::new();
+        for &sport in &sports {
+            n.push(
+                0,
+                PacketBuilder::udp()
+                    .src(INSIDE, sport)
+                    .dst(SERVER, 53)
+                    .build(),
+                &Context::default(),
+                &mut s,
+            );
+        }
+        let eports: Vec<u16> = s
+            .pushed
+            .iter()
+            .map(|(_, p)| p.udp().unwrap().src_port())
+            .collect();
+        assert_ne!(eports[0], eports[1], "live mapping's port re-issued");
+        // No leak: both tables track exactly the two live mappings.
+        assert_eq!(n.forward.len(), 2);
+        assert_eq!(n.reverse.len(), 2);
+        // Both flows' replies still reach the right internal port.
+        for (i, &sport) in sports.iter().enumerate() {
+            let reply = PacketBuilder::udp()
+                .src(SERVER, 53)
+                .dst(PUB, eports[i])
+                .build();
+            n.push(1, reply, &Context::default(), &mut s);
+            let back = s.pushed.last().unwrap();
+            assert_eq!(back.0, 1);
+            assert_eq!(back.1.udp().unwrap().dst_port(), sport, "flow {i}");
+        }
+        assert_eq!(n.counters().2, 0, "nothing dropped");
+    }
+
+    #[test]
+    fn probe_wraps_from_port_max_to_base() {
+        // Occupy a flow's preferred port when that port is near u16::MAX,
+        // plus PORT_BASE: the probe must walk off the end of the port
+        // space and continue from PORT_BASE (the old allocator's wrap
+        // re-issued the live PORT_BASE mapping here).
+        let sport = (1..=u16::MAX)
+            .find(|&sp| IpNat::preferred_port(&out_key(sp)) >= u16::MAX - (PROBE_LIMIT - 3))
+            .expect("some flow prefers a port near u16::MAX");
+        let key = out_key(sport);
+        let preferred = IpNat::preferred_port(&key);
+        let mut n = nat();
+        // Pin synthetic occupants onto every port from `preferred` up to
+        // and including u16::MAX, plus PORT_BASE, leaving PORT_BASE + 1
+        // as the first free candidate (all within the probe window).
+        let mut occupant = |p: u16, i: u16| {
+            let k = out_key(60_000u16.wrapping_add(i));
+            n.forward.insert(
+                k,
+                Mapping {
+                    port: p,
+                    last_ns: 0,
+                },
+            );
+            n.reverse.insert(p, k);
+        };
+        let mut i = 0;
+        let mut p = preferred;
+        loop {
+            occupant(p, i);
+            i += 1;
+            if p == u16::MAX {
+                break;
+            }
+            p += 1;
+        }
+        occupant(PORT_BASE, i);
+        let got = n.alloc_port(&key);
+        assert_eq!(got, PORT_BASE + 1, "probe must wrap past u16::MAX");
+        assert_eq!(n.evictions(), 0);
+    }
+
+    #[test]
+    fn exhausted_probe_window_evicts_preferred_atomically() {
+        let mut n = nat();
+        let key = out_key(9999);
+        let preferred = IpNat::preferred_port(&key);
+        // Fill the entire probe window with live occupants.
+        let mut p = preferred;
+        for i in 0..PROBE_LIMIT {
+            let k = out_key(40_000 + i);
+            n.forward.insert(
+                k,
+                Mapping {
+                    port: p,
+                    last_ns: 0,
+                },
+            );
+            n.reverse.insert(p, k);
+            p = IpNat::next_candidate(p);
+        }
+        let victim = n.reverse[&preferred];
+        let got = n.alloc_port(&key);
+        assert_eq!(got, preferred, "eviction reclaims the preferred port");
+        assert_eq!(n.evictions(), 1);
+        // The victim vanished from *both* tables — no forward leak.
+        assert!(!n.forward.contains_key(&victim));
+        assert_eq!(n.forward.len(), PROBE_LIMIT as usize - 1);
+        assert_eq!(n.reverse.len(), PROBE_LIMIT as usize - 1);
+    }
+
+    #[test]
+    fn eviction_under_pressure_keeps_tables_in_lockstep() {
+        // Fill a flow's whole probe window with live occupants, then push
+        // the flow through the real datapath: the preferred-port victim
+        // must vanish from *both* tables (the old allocator diverged:
+        // reverse overwritten, forward retained forever) and replies on
+        // the contested port must reach the *new* owner.
+        let key = out_key(9_123);
+        let preferred = IpNat::preferred_port(&key);
+        let mut n = nat();
+        let mut p = preferred;
+        for i in 0..PROBE_LIMIT {
+            let k = out_key(50_000 + i);
+            n.forward.insert(
+                k,
+                Mapping {
+                    port: p,
+                    last_ns: 0,
+                },
+            );
+            n.reverse.insert(p, k);
+            p = IpNat::next_candidate(p);
+        }
+        let victim = n.reverse[&preferred];
+        let mut s = VecSink::new();
+        n.push(
+            0,
+            PacketBuilder::udp()
+                .src(INSIDE, key.src_port)
+                .dst(SERVER, 53)
+                .build(),
+            &Context::default(),
+            &mut s,
+        );
+        assert_eq!(s.pushed[0].1.udp().unwrap().src_port(), preferred);
+        assert_eq!(n.evictions(), 1);
+        assert_eq!(n.forward.len(), n.reverse.len(), "tables diverged");
+        assert!(!n.forward.contains_key(&victim), "victim's forward leaked");
+        // A reply to the contested port now belongs to the new owner.
+        let reply = PacketBuilder::udp()
+            .src(SERVER, 53)
+            .dst(PUB, preferred)
+            .build();
+        n.push(1, reply, &Context::default(), &mut s);
+        let back = s.pushed.last().unwrap();
+        assert_eq!(back.1.udp().unwrap().dst_port(), key.src_port);
+        // Every reverse entry points at a live forward entry with the
+        // same port.
+        for (&port, flow) in &n.reverse {
+            assert_eq!(n.forward[flow].port, port);
+        }
+    }
+
+    #[test]
+    fn idle_mappings_expire_and_free_ports() {
+        let mut n =
+            IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1, timeout 60")).unwrap();
+        let mut s = VecSink::new();
+        n.push(
+            0,
+            PacketBuilder::udp()
+                .src(INSIDE, 5555)
+                .dst(SERVER, 53)
+                .build(),
+            &Context::at(0),
+            &mut s,
+        );
+        let ext_port = s.pushed[0].1.udp().unwrap().src_port();
+        assert_eq!(n.mappings(), 1);
+
+        // 61 virtual seconds idle: the reaper removes both directions.
+        n.tick(&Context::at(61_000_000_000), &mut s);
+        assert_eq!(n.mappings(), 0);
+        assert!(n.reverse.is_empty(), "port must be freed with the mapping");
+
+        // The stale reply no longer routes inside.
+        let reply = PacketBuilder::udp()
+            .src(SERVER, 53)
+            .dst(PUB, ext_port)
+            .build();
+        n.push(1, reply, &Context::at(61_000_000_001), &mut s);
+        assert_eq!(s.pushed.len(), 1);
+
+        // And a fresh flow can claim the freed port again.
+        n.push(
+            0,
+            PacketBuilder::udp()
+                .src(INSIDE, 5555)
+                .dst(SERVER, 53)
+                .build(),
+            &Context::at(62_000_000_000),
+            &mut s,
+        );
+        assert_eq!(
+            s.pushed.last().unwrap().1.udp().unwrap().src_port(),
+            ext_port
+        );
+    }
+
+    #[test]
+    fn traffic_refreshes_idle_timer_in_both_directions() {
+        let mut n =
+            IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1, timeout 60")).unwrap();
+        let mut s = VecSink::new();
+        n.push(
+            0,
+            PacketBuilder::udp()
+                .src(INSIDE, 5555)
+                .dst(SERVER, 53)
+                .build(),
+            &Context::at(0),
+            &mut s,
+        );
+        let ext_port = s.pushed[0].1.udp().unwrap().src_port();
+        // A reply at t=50s refreshes the mapping…
+        let reply = PacketBuilder::udp()
+            .src(SERVER, 53)
+            .dst(PUB, ext_port)
+            .build();
+        n.push(1, reply, &Context::at(50_000_000_000), &mut s);
+        // …so a reap at t=100s (50s idle) keeps it.
+        n.tick(&Context::at(100_000_000_000), &mut s);
+        assert_eq!(n.mappings(), 1);
+        // Another 61 idle seconds and it goes.
+        n.tick(&Context::at(161_000_000_000), &mut s);
+        assert_eq!(n.mappings(), 0);
+    }
+
+    #[test]
+    fn bad_args_rejected() {
+        assert!(IpNat::from_args(&ConfigArgs::parse("IPNAT", "")).is_err());
+        assert!(IpNat::from_args(&ConfigArgs::parse("IPNAT", "not-an-ip")).is_err());
+        assert!(IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1, timeout 0")).is_err());
+        assert!(IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1, timeout -5")).is_err());
+        assert!(IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1, timeout nan")).is_err());
+        assert!(IpNat::from_args(&ConfigArgs::parse("IPNAT", "203.0.113.1, bogus")).is_err());
     }
 }

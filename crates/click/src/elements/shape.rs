@@ -86,10 +86,19 @@ impl RateLimiter {
         args.expect_len_range(1, 2)?;
         let pps: f64 = args.parse_at(0)?;
         let burst: f64 = args.parse_or(1, pps.max(1.0))?;
-        if pps <= 0.0 {
+        // The explicit NaN check matters: `x <= 0` waves NaN through.
+        if pps.is_nan() || pps <= 0.0 {
             return Err(ElementError::BadArgs {
                 class: "RateLimiter",
                 message: "rate must be positive".to_string(),
+            });
+        }
+        if burst.is_nan() || burst <= 0.0 {
+            // A non-positive burst caps the bucket at zero tokens: every
+            // packet would be dropped forever, silently.
+            return Err(ElementError::BadArgs {
+                class: "RateLimiter",
+                message: "burst must be positive".to_string(),
             });
         }
         Ok(RateLimiter {
@@ -154,7 +163,9 @@ impl BandwidthShaper {
     pub fn from_args(args: &ConfigArgs) -> Result<BandwidthShaper, ElementError> {
         args.expect_len_range(1, 2)?;
         let bps: f64 = args.parse_at(0)?;
-        if bps <= 0.0 {
+        // The explicit NaN check matters: `x <= 0` would wave NaN through
+        // into a bucket that never passes a byte.
+        if bps.is_nan() || bps <= 0.0 {
             return Err(ElementError::BadArgs {
                 class: "BandwidthShaper",
                 message: "rate must be positive".to_string(),
@@ -312,5 +323,22 @@ mod tests {
     fn zero_rate_rejected() {
         assert!(RateLimiter::from_args(&ConfigArgs::parse("RateLimiter", "0")).is_err());
         assert!(BandwidthShaper::from_args(&ConfigArgs::parse("BandwidthShaper", "-5")).is_err());
+        assert!(RateLimiter::from_args(&ConfigArgs::parse("RateLimiter", "NaN")).is_err());
+        assert!(BandwidthShaper::from_args(&ConfigArgs::parse("BandwidthShaper", "NaN")).is_err());
+    }
+
+    #[test]
+    fn non_positive_burst_rejected() {
+        // A dead bucket (burst ≤ 0 caps tokens at zero) must be a config
+        // error, not a silent 100%-drop limiter.
+        for burst in ["0", "-1", "NaN"] {
+            assert!(
+                RateLimiter::from_args(&ConfigArgs::parse("RateLimiter", &format!("100, {burst}")))
+                    .is_err(),
+                "burst {burst}"
+            );
+        }
+        // A valid explicit burst still parses.
+        assert!(RateLimiter::from_args(&ConfigArgs::parse("RateLimiter", "100, 5")).is_ok());
     }
 }

@@ -69,6 +69,6 @@ pub use graph::{BatchResult, Router, RouterError, RouterStats};
 pub use netfront::NetfrontRing;
 pub use registry::Registry;
 pub use summary::{
-    AbsField, Constraint, ElementSummary, FieldWrite, FlowSummary, LayerOp, RtOrigin, SummaryCtor,
-    SummaryKind, ABS_FIELDS,
+    AbsField, Constraint, ElementSummary, FieldWrite, FlowSummary, LayerOp, RtOrigin, Shardability,
+    SummaryCtor, SummaryKind, ABS_FIELDS,
 };

@@ -12,7 +12,7 @@ use crate::{
     elements::{self as el},
 };
 
-use crate::summary::{ElementSummary, SummaryCtor};
+use crate::summary::{ElementSummary, Shardability, SummaryCtor};
 
 type Ctor = fn(&ConfigArgs) -> Result<Box<dyn Element>, ElementError>;
 
@@ -149,22 +149,34 @@ impl Registry {
         self.ctors.contains_key(class)
     }
 
-    /// Whether a configuration can be replicated across flow-sharded
-    /// workers without changing its forwarding behavior.
+    /// The configuration-level [`Shardability`] verdict: the lattice
+    /// join (`max`) of every element's verdict.
     ///
-    /// True only if *every* element has a field-effect summary and none
-    /// of the summaries is [`ElementSummary::stateful`]. Elements whose
-    /// summary cannot be built (unknown class, bad arguments) count as
-    /// stateful: an element we cannot model is an element we must not
-    /// replicate. Parallel runners use this verdict to degrade stateful
-    /// configurations to a single worker rather than silently
+    /// Elements whose summary cannot be built (unknown class, bad
+    /// arguments) count as [`Shardability::Global`]: an element we
+    /// cannot model is an element we must not replicate. Parallel
+    /// runners use this verdict three ways — `Stateless` configs shard
+    /// under the directed flow hash, `FlowPartitionable` configs shard
+    /// under the symmetric (connection-pinning) hash, and `Global`
+    /// configs degrade to a single worker rather than silently
     /// misbehave.
+    pub fn config_shardability(&self, cfg: &crate::config::ClickConfig) -> Shardability {
+        cfg.elements
+            .iter()
+            .map(|decl| {
+                self.summary(&decl.class, &decl.args)
+                    .map(|s| s.shardability)
+                    .unwrap_or(Shardability::Global)
+            })
+            .max()
+            .unwrap_or(Shardability::Stateless)
+    }
+
+    /// Whether a configuration can be replicated across flow-sharded
+    /// workers without changing its forwarding behavior (its
+    /// [`Registry::config_shardability`] verdict is not `Global`).
     pub fn config_shardable(&self, cfg: &crate::config::ClickConfig) -> bool {
-        cfg.elements.iter().all(|decl| {
-            self.summary(&decl.class, &decl.args)
-                .map(|s| !s.stateful)
-                .unwrap_or(false)
-        })
+        self.config_shardability(cfg) != Shardability::Global
     }
 
     /// All registered class names, sorted.
@@ -266,15 +278,27 @@ mod tests {
             "FromNetfront() -> IPFilter(allow udp) -> Counter() -> ToNetfront();",
         )
         .unwrap();
+        assert_eq!(r.config_shardability(&stateless), Shardability::Stateless);
         assert!(r.config_shardable(&stateless));
 
-        let stateful =
-            ClickConfig::parse("FromNetfront() -> IPNAT(5.5.5.5) -> ToNetfront();").unwrap();
-        assert!(!r.config_shardable(&stateful));
+        // Per-connection state shards under symmetric dispatch; the
+        // verdict is the join, so one NAT upgrades a stateless pipeline.
+        let nat = ClickConfig::parse("FromNetfront() -> IPNAT(5.5.5.5) -> ToNetfront();").unwrap();
+        assert_eq!(r.config_shardability(&nat), Shardability::FlowPartitionable);
+        assert!(r.config_shardable(&nat));
 
-        // A queue decouples timing from arrival: not shardable either.
+        // A queue decouples timing from arrival across all flows: not
+        // shardable at all.
         let queued = ClickConfig::parse("FromNetfront() -> Queue(16) -> ToNetfront();").unwrap();
+        assert_eq!(r.config_shardability(&queued), Shardability::Global);
         assert!(!r.config_shardable(&queued));
+
+        // A Global element poisons an otherwise flow-partitionable
+        // config.
+        let mixed =
+            ClickConfig::parse("FromNetfront() -> IPNAT(5.5.5.5) -> Queue(16) -> ToNetfront();")
+                .unwrap();
+        assert_eq!(r.config_shardability(&mixed), Shardability::Global);
     }
 
     #[test]

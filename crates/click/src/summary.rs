@@ -209,6 +209,47 @@ pub enum SummaryKind {
     Sink,
 }
 
+/// How an element's state interacts with flow-sharded replication — the
+/// three-point lattice behind the parallel runner's worker-count verdict.
+///
+/// The variants are ordered `Stateless < FlowPartitionable < Global`
+/// (derived `Ord`), so a configuration's verdict is simply the `max`
+/// over its elements: one `Global` element poisons the whole config,
+/// one `FlowPartitionable` element upgrades dispatch from the directed
+/// flow hash to the symmetric (connection-pinning) hash, and an
+/// all-`Stateless` config shards freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Shardability {
+    /// Forwarding is a pure function of the packet: replicas make
+    /// identical per-packet decisions, so any flow-to-worker pinning
+    /// keeps output order-identical to a single instance.
+    Stateless,
+    /// Forwarding depends on state keyed by the *connection* (the
+    /// canonical 5-tuple): NAT translation tables, firewall connection
+    /// tracking, per-flow meters. Replicas stay equivalent to a single
+    /// instance as long as both directions of every connection are
+    /// pinned to the same replica — which the symmetric dispatch hash
+    /// guarantees — because then each replica owns a disjoint slice of
+    /// the connection-state table.
+    FlowPartitionable,
+    /// Forwarding depends on state shared *across* connections (token
+    /// buckets, queues, round-robin schedulers, opaque x86 VMs): no
+    /// flow-to-worker pinning can keep replicas equivalent, and the
+    /// runner degrades the configuration to a single worker.
+    Global,
+}
+
+impl Shardability {
+    /// Short display name (`stateless` / `flow` / `global`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Shardability::Stateless => "stateless",
+            Shardability::FlowPartitionable => "flow",
+            Shardability::Global => "global",
+        }
+    }
+}
+
 /// The complete field-effect summary of one configured element.
 #[derive(Debug, Clone)]
 pub struct ElementSummary {
@@ -219,21 +260,11 @@ pub struct ElementSummary {
     /// Whether this element breaks combinational cycles (queues,
     /// shapers — anything that decouples input from output in time).
     pub queue_like: bool,
-    /// Whether the element's *forwarding behavior* depends on state
-    /// accumulated across packets (per-flow tables, token buckets,
-    /// schedulers, buffers).
-    ///
-    /// This is the replication-safety bit for flow-sharded execution: a
-    /// configuration whose elements are all non-stateful can be
-    /// replicated once per worker — every replica makes identical
-    /// per-packet decisions, so only flow-to-worker pinning is needed to
-    /// keep outputs order-identical to a single instance. One stateful
-    /// element poisons the whole config (replicas would diverge through
-    /// that element's private state), and the runner degrades to one
-    /// worker. Counters and meters whose state never *influences*
-    /// forwarding (`Counter`, `FlowMeter`, `DPI`) are not stateful in
-    /// this sense.
-    pub stateful: bool,
+    /// Where this element sits on the replication-safety lattice: what
+    /// kind of cross-packet state (if any) its forwarding depends on,
+    /// and therefore what dispatch discipline flow-sharded execution
+    /// needs to replicate it faithfully. See [`Shardability`].
+    pub shardability: Shardability,
 }
 
 impl ElementSummary {
@@ -243,7 +274,7 @@ impl ElementSummary {
             ports: PortCount::ONE_ONE,
             kind: SummaryKind::Flows(vec![FlowSummary::identity(0, 0)]),
             queue_like: false,
-            stateful: false,
+            shardability: Shardability::Stateless,
         }
     }
 
@@ -253,7 +284,7 @@ impl ElementSummary {
             ports,
             kind: SummaryKind::Flows(flows),
             queue_like: false,
-            stateful: false,
+            shardability: Shardability::Stateless,
         }
     }
 
@@ -263,11 +294,24 @@ impl ElementSummary {
         self
     }
 
-    /// Marks the element's forwarding as dependent on cross-packet
-    /// state (see [`ElementSummary::stateful`]).
-    pub fn stateful(mut self) -> ElementSummary {
-        self.stateful = true;
+    /// Marks the element's forwarding as dependent on per-connection
+    /// state ([`Shardability::FlowPartitionable`]).
+    pub fn flow_state(mut self) -> ElementSummary {
+        self.shardability = Shardability::FlowPartitionable;
         self
+    }
+
+    /// Marks the element's forwarding as dependent on cross-connection
+    /// state ([`Shardability::Global`]).
+    pub fn global_state(mut self) -> ElementSummary {
+        self.shardability = Shardability::Global;
+        self
+    }
+
+    /// Whether forwarding depends on *any* cross-packet state (the old
+    /// boolean view of the lattice).
+    pub fn is_stateful(&self) -> bool {
+        self.shardability != Shardability::Stateless
     }
 
     /// All flows consuming from `in_port` (empty for egress/sinks).
@@ -311,7 +355,7 @@ fn to_netfront(args: &[String]) -> Result<ElementSummary, ElementError> {
         ports: Element::ports(&t),
         kind: SummaryKind::Egress,
         queue_like: false,
-        stateful: false,
+        shardability: Shardability::Stateless,
     })
 }
 
@@ -321,7 +365,7 @@ fn discard_sink(args: &[String]) -> Result<ElementSummary, ElementError> {
         ports: PortCount::new(1, 0),
         kind: SummaryKind::Sink,
         queue_like: false,
-        stateful: false,
+        shardability: Shardability::Stateless,
     })
 }
 
@@ -332,7 +376,7 @@ fn idle_sink(args: &[String]) -> Result<ElementSummary, ElementError> {
         ports: PortCount::ONE_ONE,
         kind: SummaryKind::Sink,
         queue_like: false,
-        stateful: false,
+        shardability: Shardability::Stateless,
     })
 }
 
@@ -349,13 +393,22 @@ macro_rules! identity_summary {
             Ok(ElementSummary::identity())
         }
     };
+    // Per-connection measurement state (FlowMeter): safe to shard as
+    // long as both directions of a connection stay on one worker.
+    ($class:literal, no_args, flow) => {
+        |args: &[String]| -> Result<ElementSummary, ElementError> {
+            ConfigArgs::new($class, args).expect_len(0)?;
+            Ok(ElementSummary::identity().flow_state())
+        }
+    };
     // Queue-like elements decouple input from output in time, which also
-    // makes them stateful for sharding: their emission schedule depends on
-    // every packet they have absorbed so far.
+    // makes them global state for sharding: their emission schedule (and
+    // shared token bucket / buffer) depends on every packet they have
+    // absorbed so far, across all flows.
     ($class:literal, $ty:ty, queue) => {
         |args: &[String]| -> Result<ElementSummary, ElementError> {
             <$ty>::from_args(&ConfigArgs::new($class, args))?;
-            Ok(ElementSummary::identity().queue_like().stateful())
+            Ok(ElementSummary::identity().queue_like().global_state())
         }
     };
 }
@@ -367,12 +420,20 @@ macro_rules! any_output_summary {
             Ok(any_output(Element::ports(&e).outputs))
         }
     };
-    // Output choice depends on arrival history (schedulers, token
-    // buckets, seeded rngs) — safe to verify, unsafe to replicate.
-    ($class:literal, $ty:ty, stateful) => {
+    // Per-connection inspection state (DPI counters): shardable under
+    // symmetric dispatch.
+    ($class:literal, $ty:ty, flow) => {
         |args: &[String]| -> Result<ElementSummary, ElementError> {
             let e = <$ty>::from_args(&ConfigArgs::new($class, args))?;
-            Ok(any_output(Element::ports(&e).outputs).stateful())
+            Ok(any_output(Element::ports(&e).outputs).flow_state())
+        }
+    };
+    // Output choice depends on cross-flow arrival history (schedulers,
+    // token buckets, seeded rngs) — safe to verify, unsafe to replicate.
+    ($class:literal, $ty:ty, global) => {
+        |args: &[String]| -> Result<ElementSummary, ElementError> {
+            let e = <$ty>::from_args(&ConfigArgs::new($class, args))?;
+            Ok(any_output(Element::ports(&e).outputs).global_state())
         }
     };
 }
@@ -483,7 +544,7 @@ fn firewall(args: &[String]) -> Result<ElementSummary, ElementError> {
         writes: Vec::new(),
         layer: LayerOp::None,
     });
-    Ok(ElementSummary::flows(PortCount::new(2, 2), flows).stateful())
+    Ok(ElementSummary::flows(PortCount::new(2, 2), flows).flow_state())
 }
 
 fn nat(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -514,7 +575,7 @@ fn nat(args: &[String]) -> Result<ElementSummary, ElementError> {
             },
         ],
     )
-    .stateful())
+    .flow_state())
 }
 
 fn rewriter(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -558,7 +619,7 @@ fn rewriter(args: &[String]) -> Result<ElementSummary, ElementError> {
             },
         ],
     )
-    .stateful())
+    .global_state())
 }
 
 fn transparent_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -614,7 +675,7 @@ fn transparent_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
             },
         ],
     )
-    .stateful())
+    .global_state())
 }
 
 fn encap_flows(
@@ -758,7 +819,7 @@ fn change_enforcer(args: &[String]) -> Result<ElementSummary, ElementError> {
             },
         ],
     )
-    .stateful())
+    .global_state())
 }
 
 fn stock_addr(class: &str, args: &[String]) -> Result<u64, ElementError> {
@@ -787,7 +848,7 @@ fn stock_x86_vm(_args: &[String]) -> Result<ElementSummary, ElementError> {
         }],
     )
     // Arbitrary x86: assume the worst about internal state.
-    .stateful())
+    .global_state())
 }
 
 fn stock_explicit_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
@@ -808,7 +869,7 @@ fn stock_explicit_proxy(args: &[String]) -> Result<ElementSummary, ElementError>
             layer: LayerOp::None,
         }],
     )
-    .stateful())
+    .global_state())
 }
 
 fn turnaround(
@@ -850,17 +911,17 @@ fn turnaround(
 }
 
 fn server_s(_args: &[String]) -> Result<ElementSummary, ElementError> {
-    Ok(turnaround(Some(proto(IpProto::Udp)), None, None, false).stateful())
+    Ok(turnaround(Some(proto(IpProto::Udp)), None, None, false).global_state())
 }
 
 fn stock_dns(args: &[String]) -> Result<ElementSummary, ElementError> {
     let own = stock_addr("StockDNSServer", args)?;
-    Ok(turnaround(Some(proto(IpProto::Udp)), Some(53), Some(own), true).stateful())
+    Ok(turnaround(Some(proto(IpProto::Udp)), Some(53), Some(own), true).global_state())
 }
 
 fn stock_reverse_proxy(args: &[String]) -> Result<ElementSummary, ElementError> {
     let own = stock_addr("StockReverseProxy", args)?;
-    Ok(turnaround(Some(proto(IpProto::Tcp)), Some(80), Some(own), true).stateful())
+    Ok(turnaround(Some(proto(IpProto::Tcp)), Some(80), Some(own), true).global_state())
 }
 
 /// Registers the field-effect summaries of the standard element library
@@ -900,7 +961,7 @@ pub(crate) fn register_standard(r: &mut Registry) {
 
     // Measurement.
     r.register_summary("Counter", identity_summary!("Counter", no_args));
-    r.register_summary("FlowMeter", identity_summary!("FlowMeter", no_args));
+    r.register_summary("FlowMeter", identity_summary!("FlowMeter", no_args, flow));
 
     // Shaping and queueing (cycle-breaking).
     r.register_summary(
@@ -932,13 +993,13 @@ pub(crate) fn register_standard(r: &mut Registry) {
     // Scheduling and annotations.
     r.register_summary(
         "RoundRobinSwitch",
-        any_output_summary!("RoundRobinSwitch", el::RoundRobinSwitch, stateful),
+        any_output_summary!("RoundRobinSwitch", el::RoundRobinSwitch, global),
     );
     r.register_summary(
         "RandomSwitch",
-        any_output_summary!("RandomSwitch", el::RandomSwitch, stateful),
+        any_output_summary!("RandomSwitch", el::RandomSwitch, global),
     );
-    r.register_summary("Meter", any_output_summary!("Meter", el::Meter, stateful));
+    r.register_summary("Meter", any_output_summary!("Meter", el::Meter, global));
     r.register_summary("Paint", identity_summary!("Paint", el::Paint));
     r.register_summary(
         "CheckPaint",
@@ -948,7 +1009,7 @@ pub(crate) fn register_standard(r: &mut Registry) {
     // Duplication, inspection, responders.
     r.register_summary("Tee", any_output_summary!("Tee", el::Tee));
     r.register_summary("IPMulticast", multicast);
-    r.register_summary("DPI", any_output_summary!("DPI", el::Dpi));
+    r.register_summary("DPI", any_output_summary!("DPI", el::Dpi, flow));
     r.register_summary("ICMPPingResponder", ping_responder);
     r.register_summary("StaticIPLookup", static_lookup);
 
@@ -1020,13 +1081,23 @@ mod tests {
     }
 
     #[test]
-    fn stateful_classification() {
+    fn shardability_classification() {
         let r = Registry::standard();
-        // Forwarding depends on cross-packet state: per-flow tables,
-        // token buckets, schedulers, buffers, black boxes.
+        // Per-connection state (flow tables keyed by the 5-tuple):
+        // shardable once both directions pin to one worker.
         for (class, args) in [
             ("StatefulFirewall", vec!["allow udp".to_string()]),
             ("IPNAT", vec!["5.5.5.5".to_string()]),
+            ("FlowMeter", vec![]),
+            ("DPI", vec!["attack".to_string()]),
+        ] {
+            let s = r.summary(class, &args).unwrap();
+            assert_eq!(s.shardability, Shardability::FlowPartitionable, "{class}");
+            assert!(s.is_stateful(), "{class}");
+        }
+        // Cross-connection state (token buckets, schedulers, buffers,
+        // black boxes): never shardable.
+        for (class, args) in [
             ("IPRewriter", vec!["pattern - - 1.2.3.4 - 0 0".to_string()]),
             (
                 "TransparentProxy",
@@ -1043,13 +1114,14 @@ mod tests {
             ("Meter", vec!["1000".to_string()]),
             ("StockX86VM", vec![]),
         ] {
-            assert!(r.summary(class, &args).unwrap().stateful, "{class}");
+            let s = r.summary(class, &args).unwrap();
+            assert_eq!(s.shardability, Shardability::Global, "{class}");
+            assert!(s.is_stateful(), "{class}");
         }
-        // Pure functions of the packet (plus counters that never touch
-        // forwarding) replicate safely.
+        // Pure functions of the packet replicate safely under any
+        // dispatch discipline.
         for (class, args) in [
             ("Counter", vec![]),
-            ("FlowMeter", vec![]),
             ("CheckIPHeader", vec![]),
             ("DecIPTTL", vec![]),
             ("IPFilter", vec!["allow udp".to_string()]),
@@ -1059,8 +1131,24 @@ mod tests {
             ("ToNetfront", vec![]),
             ("Discard", vec![]),
         ] {
-            assert!(!r.summary(class, &args).unwrap().stateful, "{class}");
+            let s = r.summary(class, &args).unwrap();
+            assert_eq!(s.shardability, Shardability::Stateless, "{class}");
+            assert!(!s.is_stateful(), "{class}");
         }
+    }
+
+    #[test]
+    fn shardability_lattice_order() {
+        use Shardability::*;
+        // The config verdict is a lattice join (max): these orderings
+        // are what `Registry::config_shardability` relies on.
+        assert!(Stateless < FlowPartitionable);
+        assert!(FlowPartitionable < Global);
+        assert_eq!(Stateless.max(FlowPartitionable), FlowPartitionable);
+        assert_eq!(FlowPartitionable.max(Global), Global);
+        assert_eq!(Stateless.name(), "stateless");
+        assert_eq!(FlowPartitionable.name(), "flow");
+        assert_eq!(Global.name(), "global");
     }
 
     #[test]

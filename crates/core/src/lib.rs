@@ -74,15 +74,15 @@ pub mod experiments;
 /// [`prelude::ParallelRunner`], all observable through a
 /// [`prelude::MetricsRegistry`].
 pub mod prelude {
-    pub use innet_click::{ClickConfig, Registry, Router};
+    pub use innet_click::{ClickConfig, Registry, Router, Shardability};
     pub use innet_controller::{
         ClientRequest, Controller, DeployError, DeployResponse, ModuleConfig, StockModule,
     };
     pub use innet_obs::Registry as MetricsRegistry;
     pub use innet_packet::{Cidr, FlowKey, IpProto, Packet, PacketBuilder};
     pub use innet_platform::{
-        Host, NativeRunner, NativeStats, ParallelRunner, ParallelStats, RunnerConfig,
-        SwitchController,
+        nat_gateway_config, stateful_firewall_config, Host, NativeRunner, NativeStats,
+        ParallelRunner, ParallelStats, RunnerConfig, SwitchController,
     };
     pub use innet_policy::Requirement;
     pub use innet_symnet::{RequesterClass, SymPacket, Verdict};

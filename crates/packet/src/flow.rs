@@ -102,6 +102,70 @@ impl FlowKey {
         }
     }
 
+    /// A direction-normalized connection hash for *symmetric* dispatch:
+    /// a flow and its reverse hash identically, so both directions of a
+    /// connection pin to the same flow-sharded worker.
+    ///
+    /// The hash covers only the connection's **remote** (outside-network)
+    /// endpoint — the destination of an outbound packet, the source of an
+    /// inbound one — plus the protocol. Hashing the canonical *sorted*
+    /// endpoint pair would also be direction-insensitive, but it breaks
+    /// under NAT: the reply to a translated flow is addressed to the
+    /// public address, not the inside host, so the sorted tuples of the
+    /// two directions differ. The remote endpoint is the one thing a
+    /// source-NAT never rewrites, so it is the only per-packet key under
+    /// which a NAT'd connection's forward packets, replies, and the
+    /// translator's own state all land on one worker.
+    ///
+    /// `inbound` says which side the packet was seen on: `false` for
+    /// inside → outside traffic (remote = destination), `true` for
+    /// outside → inside (remote = source). Like [`FlowKey::shard_hash`],
+    /// the hash is FNV-1a over a canonical byte encoding, deterministic
+    /// across runs and platforms.
+    pub fn symmetric_hash(&self, inbound: bool) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let (addr, port) = if inbound {
+            (self.src, self.src_port)
+        } else {
+            (self.dst, self.dst_port)
+        };
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&addr.octets());
+        eat(&[self.proto.number()]);
+        eat(&port.to_be_bytes());
+        h
+    }
+
+    /// The worker shard under symmetric dispatch (see
+    /// [`FlowKey::symmetric_hash`]) among `workers` workers.
+    pub fn symmetric_shard(&self, inbound: bool, workers: usize) -> usize {
+        if workers <= 1 {
+            return 0;
+        }
+        (self.symmetric_hash(inbound) % workers as u64) as usize
+    }
+
+    /// The symmetric-dispatch shard for an arbitrary packet.
+    ///
+    /// Direction is taken from the packet's ingress annotation using the
+    /// two-sided middlebox convention: even interfaces face the inside
+    /// network (their packets travel inside → outside), odd interfaces
+    /// face the outside. Unparseable packets pin to shard 0, exactly as
+    /// in [`FlowKey::shard_of`].
+    pub fn symmetric_shard_of(pkt: &Packet, workers: usize) -> usize {
+        match FlowKey::of(pkt) {
+            Ok(key) => key.symmetric_shard(pkt.meta.ingress % 2 == 1, workers),
+            Err(_) => 0,
+        }
+    }
+
     /// The key of traffic flowing in the opposite direction.
     pub fn reversed(&self) -> FlowKey {
         FlowKey {
@@ -222,6 +286,75 @@ mod tests {
         // A packet with no parseable 5-tuple pins to shard 0.
         let garbage = Packet::from_bytes([0u8; 10]);
         assert_eq!(FlowKey::shard_of(&garbage, 8), 0);
+    }
+
+    #[test]
+    fn symmetric_hash_pins_both_directions_together() {
+        let pkt = PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 5000)
+            .dst(Ipv4Addr::new(198, 51, 100, 7), 53)
+            .build();
+        let k = FlowKey::of(&pkt).unwrap();
+        // The outbound flow and its exact reverse agree for every
+        // worker count: the remote endpoint is the same either way.
+        assert_eq!(k.symmetric_hash(false), k.reversed().symmetric_hash(true));
+        for workers in 1..=16 {
+            let s = k.symmetric_shard(false, workers);
+            assert!(s < workers);
+            assert_eq!(s, k.reversed().symmetric_shard(true, workers));
+        }
+        assert_eq!(k.symmetric_shard(false, 1), 0);
+        assert_eq!(k.symmetric_shard(false, 0), 0);
+    }
+
+    #[test]
+    fn symmetric_hash_survives_source_nat() {
+        // The inside flow 10.0.0.1:5000 -> R:53 is rewritten by a
+        // source-NAT to public:eport -> R:53; the reply then arrives as
+        // R:53 -> public:eport. The remote endpoint (R, 53) is untouched
+        // by the rewrite, so the reply still hashes with the inside flow
+        // — which a sorted-endpoint canonical hash would not guarantee.
+        let inside = FlowKey {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(198, 51, 100, 7),
+            proto: IpProto::Udp,
+            src_port: 5000,
+            dst_port: 53,
+        };
+        let reply = FlowKey {
+            src: Ipv4Addr::new(198, 51, 100, 7),
+            dst: Ipv4Addr::new(203, 0, 113, 1), // the NAT's public address
+            proto: IpProto::Udp,
+            src_port: 53,
+            dst_port: 61234, // whatever external port the NAT allocated
+        };
+        assert_eq!(inside.symmetric_hash(false), reply.symmetric_hash(true));
+    }
+
+    #[test]
+    fn symmetric_shard_of_uses_ingress_parity() {
+        let out = PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 5000)
+            .dst(Ipv4Addr::new(198, 51, 100, 7), 53)
+            .build();
+        let mut back = PacketBuilder::udp()
+            .src(Ipv4Addr::new(198, 51, 100, 7), 53)
+            .dst(Ipv4Addr::new(10, 0, 0, 1), 5000)
+            .build();
+        back.meta.ingress = 1; // arrived on the outside-facing interface
+        let key = FlowKey::of(&out).unwrap();
+        for workers in 1..=8 {
+            assert_eq!(
+                FlowKey::symmetric_shard_of(&out, workers),
+                key.symmetric_shard(false, workers)
+            );
+            assert_eq!(
+                FlowKey::symmetric_shard_of(&back, workers),
+                FlowKey::symmetric_shard_of(&out, workers)
+            );
+        }
+        let garbage = Packet::from_bytes([0u8; 10]);
+        assert_eq!(FlowKey::symmetric_shard_of(&garbage, 8), 0);
     }
 
     #[test]

@@ -31,9 +31,12 @@
 //! # let _ = (single, sharded);
 //! ```
 //!
-//! The [`ParallelRunner`] scales a stateless configuration across flow-
-//! sharded router replicas; stateful configurations degrade to one
-//! worker (see [`ParallelRunner::shardable`]).
+//! The [`ParallelRunner`] scales a configuration across flow-sharded
+//! router replicas according to its shardability verdict: stateless
+//! configurations shard under the directed flow hash, per-connection
+//! stateful ones (NAT, stateful firewall) shard under the symmetric
+//! connection-pinning hash, and globally stateful ones degrade to one
+//! worker (see [`ParallelRunner::shardability`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,8 +51,8 @@ mod vm;
 
 pub use calib::{max_vms, VmTimingKind};
 pub use native::{
-    consolidated_config, middlebox_config, plain_firewall, sandboxed_firewall, NativeRunner,
-    NativeStats,
+    consolidated_config, middlebox_config, nat_gateway_config, plain_firewall, sandboxed_firewall,
+    stateful_firewall_config, NativeRunner, NativeStats,
 };
 pub use parallel::{ParallelRunner, ParallelStats};
 pub use runner::{RunnerConfig, DEFAULT_BATCH, DEFAULT_RING_CAPACITY};

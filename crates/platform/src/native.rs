@@ -211,6 +211,41 @@ pub fn middlebox_config(kind: &str) -> Option<ClickConfig> {
     Some(ClickConfig::parse(&text).expect("middlebox configs are valid"))
 }
 
+/// Builds a bidirectional NAT gateway: interface 0 faces the inside
+/// network, interface 1 the outside, with `IPNAT(public)` between them.
+///
+/// Outbound packets (ingress 0) enter the NAT's inside port and leave
+/// rewritten on interface 1; inbound packets (ingress 1) enter the
+/// outside port and leave translated on interface 0. This is the
+/// configuration the parallel runner's stateful differential tests
+/// drive with interleaved forward and reverse traffic: both directions
+/// of a connection must land on the same replica (the symmetric
+/// dispatch hash guarantees it) for the reverse path to find its
+/// mapping.
+pub fn nat_gateway_config(public: Ipv4Addr) -> ClickConfig {
+    ClickConfig::parse(&format!(
+        "inside :: FromNetfront(0); outside :: FromNetfront(1); \
+         nat :: IPNAT({public}); \
+         inside -> [0]nat; outside -> [1]nat; \
+         nat[0] -> ToNetfront(1); nat[1] -> ToNetfront(0);"
+    ))
+    .expect("valid literal config")
+}
+
+/// Builds a bidirectional stateful firewall: interface 0 inside,
+/// interface 1 outside, allowing outbound UDP and TCP and only
+/// *related* inbound traffic. Like [`nat_gateway_config`], this keeps
+/// per-connection state only, so it shards under the symmetric hash.
+pub fn stateful_firewall_config() -> ClickConfig {
+    ClickConfig::parse(
+        "inside :: FromNetfront(0); outside :: FromNetfront(1); \
+         fw :: StatefulFirewall(allow udp, allow tcp); \
+         inside -> [0]fw; outside -> [1]fw; \
+         fw[0] -> ToNetfront(1); fw[1] -> ToNetfront(0);",
+    )
+    .expect("valid literal config")
+}
+
 /// Wraps the firewall with a `ChangeEnforcer` on the world→module (RX)
 /// path, the direction the paper's Figure 11 measures: every received
 /// packet pays the enforcer's implicit-authorization bookkeeping before
@@ -232,7 +267,7 @@ pub fn plain_firewall() -> ClickConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use innet_packet::PacketBuilder;
+    use innet_packet::{FlowKey, PacketBuilder};
 
     fn client_addrs(n: usize) -> Vec<Ipv4Addr> {
         (0..n)
@@ -361,6 +396,61 @@ mod tests {
         let b = batched.run(&pkts, 3);
         assert_eq!(a.packets, b.packets);
         assert_eq!(a.transmitted, b.transmitted);
+    }
+
+    #[test]
+    fn nat_gateway_translates_both_directions() {
+        let public = Ipv4Addr::new(203, 0, 113, 1);
+        let cfg = nat_gateway_config(public);
+        cfg.validate().unwrap();
+        let mut runner = NativeRunner::new(&cfg).unwrap();
+        // Outbound from the inside network (ingress 0)...
+        let out = PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 7), 5000)
+            .dst(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .build();
+        let (_, tx) = runner.run_collect(&[out], 1);
+        assert_eq!(tx.len(), 1);
+        let (egress, rewritten) = &tx[0];
+        assert_eq!(*egress, 1, "outbound leaves on the outside interface");
+        let ip = rewritten.ipv4().unwrap();
+        assert_eq!(ip.src(), public);
+        // ...and the reply (ingress 1) translates back to the inside host.
+        let mapped = FlowKey::of(rewritten).unwrap().src_port;
+        let mut reply = PacketBuilder::udp()
+            .src(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .dst(public, mapped)
+            .build();
+        reply.meta.ingress = 1;
+        let (_, tx) = runner.run_collect(&[reply], 1);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].0, 0, "inbound leaves on the inside interface");
+        let ip = tx[0].1.ipv4().unwrap();
+        assert_eq!(ip.dst(), Ipv4Addr::new(10, 0, 0, 7));
+    }
+
+    #[test]
+    fn stateful_firewall_blocks_unrelated_inbound() {
+        let cfg = stateful_firewall_config();
+        cfg.validate().unwrap();
+        let mut runner = NativeRunner::new(&cfg).unwrap();
+        // Unsolicited inbound drops; after an outbound packet opens the
+        // connection, the reverse direction passes.
+        let mut unsolicited = PacketBuilder::udp()
+            .src(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .dst(Ipv4Addr::new(10, 0, 0, 7), 5000)
+            .build();
+        unsolicited.meta.ingress = 1;
+        let stats = runner.run(&[unsolicited.clone()], 1);
+        assert_eq!(stats.transmitted, 0);
+        let outbound = PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 7), 5000)
+            .dst(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .build();
+        let stats = runner.run(&[outbound], 1);
+        assert_eq!(stats.transmitted, 1);
+        let stats = runner.run(&[unsolicited], 1);
+        assert_eq!(stats.transmitted, 1, "related inbound now passes");
     }
 
     #[test]

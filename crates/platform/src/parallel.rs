@@ -15,16 +15,26 @@
 //!   back-pressure the dispatcher by default or count drops in lossy
 //!   mode.
 //!
-//! Replication is only sound for configurations whose forwarding is a pure
-//! function of each packet. The element registry's field-effect summaries
-//! carry a per-class statefulness bit, and
-//! [`Registry::config_shardable`] aggregates it; a stateful configuration
-//! (NAT, stateful firewall, queues…) silently degrades to **one worker**
-//! rather than silently misbehaving across replicas.
+//! How much state a configuration keeps decides how it shards. The
+//! element registry's field-effect summaries place every class on the
+//! [`Shardability`] lattice, and [`Registry::config_shardability`]
+//! aggregates the verdict:
+//!
+//! * **`Stateless`** — forwarding is a pure function of each packet;
+//!   replicas shard freely under the directed flow hash.
+//! * **`FlowPartitionable`** — state is keyed by the connection (NAT
+//!   tables, firewall conntrack, per-flow meters). Still sharded, but
+//!   dispatch switches to the *symmetric* hash
+//!   ([`FlowKey::symmetric_shard_of`]), which pins both directions of a
+//!   connection to the same replica so each replica owns a disjoint
+//!   slice of connection state.
+//! * **`Global`** — state spans connections (queues, token buckets,
+//!   schedulers, opaque VMs); the runner degrades to **one worker**
+//!   rather than silently misbehaving across replicas.
 
 use std::time::Instant;
 
-use innet_click::{ClickConfig, Registry, Router, RouterError};
+use innet_click::{ClickConfig, Registry, Router, RouterError, Shardability};
 use innet_packet::{FlowKey, Packet};
 
 use crate::runner::RunnerConfig;
@@ -46,20 +56,33 @@ pub struct ParallelStats {
     pub dropped: u64,
     /// Wall-clock nanoseconds elapsed.
     pub elapsed_ns: u64,
-    /// Workers that actually ran (1 for stateful configurations).
+    /// Workers that actually ran (1 for `Global` configurations).
     pub workers: usize,
 }
 
 impl ParallelStats {
-    /// Input rate in packets/second; 0.0 when no time elapsed.
+    /// *Delivered* rate in packets/second — transmitted packets over
+    /// elapsed time; 0.0 when no time elapsed. In lossy-ring mode this
+    /// excludes ring drops (the old offered-based figure inflated
+    /// throughput exactly when the system was overloaded).
     pub fn pps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.transmitted as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// *Offered* (input) rate in packets/second — what the dispatcher was
+    /// given, whether or not it made it through; 0.0 when no time
+    /// elapsed.
+    pub fn offered_pps(&self) -> f64 {
         if self.elapsed_ns == 0 {
             return 0.0;
         }
         self.packets as f64 / (self.elapsed_ns as f64 / 1e9)
     }
 
-    /// Throughput in Gbit/s assuming `frame_len`-byte frames.
+    /// Delivered throughput in Gbit/s assuming `frame_len`-byte frames.
     pub fn gbps(&self, frame_len: usize) -> f64 {
         self.pps() * frame_len as f64 * 8.0 / 1e9
     }
@@ -110,7 +133,7 @@ impl ParallelMetrics {
 pub struct ParallelRunner {
     routers: Vec<Router>,
     requested_workers: usize,
-    shardable: bool,
+    shardability: Shardability,
     batch: usize,
     lossy: bool,
     ring_capacity: usize,
@@ -119,14 +142,18 @@ pub struct ParallelRunner {
 
 impl ParallelRunner {
     /// Instantiates `config.workers` replicas of `cfg` (or one, if the
-    /// configuration is stateful and therefore not shardable).
+    /// configuration keeps global state and therefore cannot shard).
     pub(crate) fn with_config(
         cfg: &ClickConfig,
         config: RunnerConfig,
     ) -> Result<ParallelRunner, RouterError> {
         let registry = Registry::standard();
-        let shardable = registry.config_shardable(cfg);
-        let effective = if shardable { config.workers } else { 1 };
+        let shardability = registry.config_shardability(cfg);
+        let effective = if shardability == Shardability::Global {
+            1
+        } else {
+            config.workers
+        };
         let mut routers = Vec::with_capacity(effective);
         for _ in 0..effective {
             let mut router = Router::from_config(cfg, &registry)?;
@@ -141,7 +168,7 @@ impl ParallelRunner {
         Ok(ParallelRunner {
             routers,
             requested_workers: config.workers,
-            shardable,
+            shardability,
             batch: config.batch,
             lossy: config.lossy_rings,
             ring_capacity: config.ring_capacity,
@@ -152,7 +179,8 @@ impl ParallelRunner {
         })
     }
 
-    /// Workers actually running (1 when the configuration is stateful).
+    /// Workers actually running (1 when the configuration keeps global
+    /// state).
     pub fn effective_workers(&self) -> usize {
         self.routers.len()
     }
@@ -162,10 +190,17 @@ impl ParallelRunner {
         self.requested_workers
     }
 
+    /// The registry's [`Shardability`] verdict for this configuration
+    /// ([`Registry::config_shardability`]): it decides both the worker
+    /// count and the dispatch hash.
+    pub fn shardability(&self) -> Shardability {
+        self.shardability
+    }
+
     /// Whether the configuration passed the registry's replication-safety
-    /// check ([`Registry::config_shardable`]).
+    /// check (its verdict is not [`Shardability::Global`]).
     pub fn shardable(&self) -> bool {
-        self.shardable
+        self.shardability != Shardability::Global
     }
 
     /// Access to a worker's router replica (for counter inspection).
@@ -244,11 +279,23 @@ impl ParallelRunner {
             // flushing per-worker batches as they fill. Because one flow
             // always hashes to one worker and the rings are FIFO,
             // per-flow order is preserved end to end.
+            //
+            // Flow-partitionable configs (NAT, stateful firewall) carry
+            // per-connection state, so both directions of a connection
+            // must land on the same replica: they dispatch under the
+            // symmetric hash, which keys on the remote endpoint and is
+            // invariant under source NAT. Stateless configs keep the
+            // plain directed hash.
+            let symmetric = self.shardability == Shardability::FlowPartitionable;
             let mut pending: Vec<Vec<Packet>> =
                 (0..workers).map(|_| Vec::with_capacity(batch)).collect();
             for _ in 0..rounds {
                 for pkt in packets {
-                    let shard = FlowKey::shard_of(pkt, workers);
+                    let shard = if symmetric {
+                        FlowKey::symmetric_shard_of(pkt, workers)
+                    } else {
+                        FlowKey::shard_of(pkt, workers)
+                    };
                     pending[shard].push(pkt.clone());
                     if pending[shard].len() >= batch {
                         let full =
@@ -352,12 +399,36 @@ mod tests {
     }
 
     #[test]
-    fn stateful_config_degrades_to_one_worker() {
+    fn flow_partitionable_config_shards_under_symmetric_hash() {
+        // NAT keeps per-connection state only: it shards, and the
+        // verdict selects the symmetric dispatch hash.
         let cfg = middlebox_config("nat").unwrap();
         let runner = RunnerConfig::new().workers(8).parallel(&cfg).unwrap();
+        assert!(runner.shardable());
+        assert_eq!(runner.shardability(), Shardability::FlowPartitionable);
+        assert_eq!(runner.effective_workers(), 8);
+        assert_eq!(runner.requested_workers(), 8);
+    }
+
+    #[test]
+    fn global_config_degrades_to_one_worker() {
+        // A queue shares timing state across all flows: replicating it
+        // would change drop/ordering behavior, so the runner pins the
+        // config to a single worker no matter how many were requested.
+        let cfg = ClickConfig::parse("FromNetfront() -> Queue(16) -> ToNetfront();").unwrap();
+        let runner = RunnerConfig::new().workers(8).parallel(&cfg).unwrap();
         assert!(!runner.shardable());
+        assert_eq!(runner.shardability(), Shardability::Global);
         assert_eq!(runner.effective_workers(), 1);
         assert_eq!(runner.requested_workers(), 8);
+
+        let rr = ClickConfig::parse(
+            "FromNetfront() -> rr :: RoundRobinSwitch(2); rr[0] -> ToNetfront(); rr[1] -> ToNetfront();",
+        )
+        .unwrap();
+        let runner = RunnerConfig::new().workers(4).parallel(&rr).unwrap();
+        assert_eq!(runner.shardability(), Shardability::Global);
+        assert_eq!(runner.effective_workers(), 1);
     }
 
     #[test]
@@ -438,6 +509,23 @@ mod tests {
             workers: 1,
         };
         assert_eq!(stats.pps(), 0.0);
+        assert_eq!(stats.offered_pps(), 0.0);
         assert_eq!(stats.gbps(64), 0.0);
+    }
+
+    #[test]
+    fn pps_reports_delivered_not_offered() {
+        // 10 offered over 1 s, 4 delivered: pps() must report the 4
+        // that made it through, offered_pps() the 10 that were pushed.
+        let stats = ParallelStats {
+            packets: 10,
+            transmitted: 4,
+            dropped: 6,
+            elapsed_ns: 1_000_000_000,
+            workers: 2,
+        };
+        assert_eq!(stats.pps(), 4.0);
+        assert_eq!(stats.offered_pps(), 10.0);
+        assert_eq!(stats.gbps(125), 4.0 * 125.0 * 8.0 / 1e9);
     }
 }

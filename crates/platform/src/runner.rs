@@ -65,8 +65,10 @@ impl RunnerConfig {
     }
 
     /// Requests `n` flow-sharded workers (clamped to at least 1). The
-    /// parallel runner may still degrade to 1 if the configuration is
-    /// stateful; `NativeRunner` ignores this knob.
+    /// parallel runner may still degrade to 1 if the configuration
+    /// keeps global (cross-flow) state; per-connection state shards
+    /// fine under the symmetric dispatch hash. `NativeRunner` ignores
+    /// this knob.
     pub fn workers(mut self, n: usize) -> RunnerConfig {
         self.workers = n.max(1);
         self

@@ -1,7 +1,8 @@
 //! Flow-sharded parallel execution: scale the stock consolidated
 //! firewall across worker threads with the unified `RunnerConfig`
-//! builder, observe the `innet_parallel_*` instruments, and verify the
-//! stateful-degrade rule on a NAT.
+//! builder, observe the `innet_parallel_*` instruments, shard a
+//! bidirectional NAT gateway under the symmetric dispatch hash, and
+//! verify the global-state degrade rule on a queue.
 //!
 //! Exits non-zero if 4 workers fail to reach 1.5x the single-worker
 //! rate on the stateless corpus — the smoke threshold CI enforces (the
@@ -16,7 +17,7 @@
 use std::net::Ipv4Addr;
 
 use innet::obs;
-use innet::platform::{consolidated_config, middlebox_config};
+use innet::platform::consolidated_config;
 use innet::prelude::*;
 
 const TRACE_LEN: usize = 4096;
@@ -80,20 +81,96 @@ fn main() {
         );
     }
 
-    // The stateful-degrade rule, visibly: a NAT requests 4 workers and
-    // runs on 1, because replicating its translation table would give
-    // flows different mappings depending on the replica they hash to.
-    let nat = middlebox_config("nat").expect("stock kind");
-    let runner = RunnerConfig::new()
+    // Sharded NAT: per-connection state is flow-partitionable, so a
+    // bidirectional NAT gateway runs on all requested workers — the
+    // symmetric dispatch hash pins each connection's forward packets
+    // and its publicly-addressed replies to the same replica.
+    let public = Ipv4Addr::new(203, 0, 113, 1);
+    let nat = nat_gateway_config(public);
+    let mut runner = RunnerConfig::new()
         .workers(4)
+        .batch(32)
         .parallel(&nat)
         .expect("valid config");
-    println!("== stateful degrade ==");
+    println!("== sharded NAT (symmetric dispatch) ==");
     println!(
-        "  IPNAT: requested {} workers, running {} (shardable: {})",
+        "  IPNAT gateway: requested {} workers, running {} (verdict: {:?})",
         runner.requested_workers(),
         runner.effective_workers(),
-        runner.shardable()
+        runner.shardability()
+    );
+    assert_eq!(runner.shardability(), Shardability::FlowPartitionable);
+    assert_eq!(runner.effective_workers(), 4);
+    // Interleaved forward and reverse traffic: every reply must find
+    // its mapping on the replica that created it. The NAT allocates
+    // public ports as a pure hash of the flow key, so replies can
+    // target the mapped port up front; the corpus skips the rare
+    // preferred-port collision so every allocation is its preferred.
+    let mut conns: Vec<(FlowKey, u16)> = Vec::new();
+    let mut used_ports = std::collections::BTreeSet::new();
+    let mut c = 0usize;
+    while conns.len() < FLOWS {
+        let key = FlowKey {
+            src: Ipv4Addr::new(10, 0, 0, (c % 250) as u8 + 1),
+            dst: Ipv4Addr::new(198, 51, 100, (c % 250) as u8 + 1),
+            proto: IpProto::Udp,
+            src_port: 5000 + c as u16,
+            dst_port: 53,
+        };
+        c += 1;
+        let mapped = innet::click::elements::IpNat::preferred_port(&key);
+        if used_ports.insert(mapped) {
+            conns.push((key, mapped));
+        }
+    }
+    let mut nat_trace: Vec<Packet> = Vec::new();
+    for round in 0..4 {
+        for (key, mapped) in &conns {
+            if round % 2 == 0 {
+                nat_trace.push(
+                    PacketBuilder::udp()
+                        .src(key.src, key.src_port)
+                        .dst(key.dst, key.dst_port)
+                        .pad_to(64)
+                        .build(),
+                );
+            } else {
+                let mut reply = PacketBuilder::udp()
+                    .src(key.dst, key.dst_port)
+                    .dst(public, *mapped)
+                    .pad_to(64)
+                    .build();
+                reply.meta.ingress = 1;
+                nat_trace.push(reply);
+            }
+        }
+    }
+    let stats = runner.run(&nat_trace, 1);
+    assert_eq!(
+        stats.transmitted, stats.packets,
+        "every reply found its mapping across {} workers",
+        stats.workers
+    );
+    println!(
+        "  {} bidirectional packets across {} workers, all translated",
+        stats.packets, stats.workers
+    );
+
+    // The global-state degrade rule, visibly: a queue shares timing
+    // state across every flow, so it requests 4 workers and runs on 1.
+    let queued =
+        ClickConfig::parse("FromNetfront() -> Queue(64) -> TimedUnqueue(1, 64) -> ToNetfront();")
+            .expect("valid literal config");
+    let runner = RunnerConfig::new()
+        .workers(4)
+        .parallel(&queued)
+        .expect("valid config");
+    println!("== global-state degrade ==");
+    println!(
+        "  Queue: requested {} workers, running {} (verdict: {:?})",
+        runner.requested_workers(),
+        runner.effective_workers(),
+        runner.shardability()
     );
     assert!(!runner.shardable());
     assert_eq!(runner.effective_workers(), 1);

@@ -3,14 +3,21 @@
 //! byte sequence the single-threaded `NativeRunner` produces — sharding
 //! is an implementation detail, not a semantic change.
 //!
-//! Also property-checks the dispatch invariant the ordering guarantee
-//! rests on: the flow-hash dispatcher never splits one 5-tuple across
-//! workers.
+//! That contract now covers *stateful* (flow-partitionable)
+//! configurations too: a NAT gateway and a stateful firewall are driven
+//! with interleaved forward and reverse traffic, where correctness
+//! depends on the symmetric dispatch hash pinning both directions of
+//! every connection to the same replica.
+//!
+//! Also property-checks the dispatch invariants the guarantees rest on:
+//! the directed flow hash never splits one 5-tuple across workers, and
+//! the symmetric hash maps a flow and its reverse to the same shard.
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
-use innet::platform::consolidated_config;
+use innet::click::elements::IpNat;
+use innet::platform::{consolidated_config, nat_gateway_config, stateful_firewall_config};
 use innet::prelude::*;
 use proptest::prelude::*;
 
@@ -82,20 +89,167 @@ fn parallel_output_matches_native_per_flow() {
     }
 }
 
-#[test]
-fn stateful_config_runs_single_worker() {
-    // A NAT keeps per-flow translation state: replicating it would give
-    // different flows different public-port mappings depending on which
-    // replica they hit. The registry flags it, and the runner degrades.
-    let cfg =
-        ClickConfig::parse("FromNetfront() -> [0]n :: IPNAT(203.0.113.1); n[0] -> ToNetfront();")
+/// The public address the NAT gateway hides the inside network behind.
+const PUBLIC: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+/// One bidirectional UDP connection: an inside host behind interface 0
+/// talking to an outside server behind interface 1.
+#[derive(Clone, Copy)]
+struct Conn {
+    inside: Ipv4Addr,
+    sport: u16,
+    remote: Ipv4Addr,
+    rport: u16,
+}
+
+fn forward_key(conn: &Conn) -> FlowKey {
+    FlowKey {
+        src: conn.inside,
+        dst: conn.remote,
+        proto: IpProto::Udp,
+        src_port: conn.sport,
+        dst_port: conn.rport,
+    }
+}
+
+/// Generates `n` distinct connections whose NAT preferred ports do not
+/// collide. The NAT allocates public ports as a pure hash of the flow
+/// key, so a collision-free corpus gets identical allocations from the
+/// one shared NAT (native reference) and from the per-replica NATs
+/// (parallel run) — which is what makes byte-level comparison valid.
+fn connections(n: usize) -> Vec<Conn> {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut used_ports = std::collections::BTreeSet::new();
+    let mut c = 0usize;
+    while conns.len() < n {
+        let conn = Conn {
+            inside: Ipv4Addr::new(10, 0, (c / 200) as u8, (c % 200) as u8 + 1),
+            sport: 5000 + (c % 20000) as u16,
+            remote: Ipv4Addr::new(198, 51, (100 + c / 250) as u8, (c % 250) as u8 + 1),
+            rport: 53 + (c % 5) as u16,
+        };
+        c += 1;
+        if used_ports.insert(IpNat::preferred_port(&forward_key(&conn))) {
+            conns.push(conn);
+        }
+    }
+    conns
+}
+
+/// An interleaved bidirectional trace over `conns`: round 0 opens every
+/// connection outbound (ingress 0), later rounds mix forward packets
+/// with replies arriving on the outside interface (ingress 1). For the
+/// NAT gateway (`nat = true`), replies target the public address at the
+/// connection's deterministic mapped port; for the firewall they target
+/// the inside host directly.
+fn stateful_trace(conns: &[Conn], rounds: usize, nat: bool) -> Vec<Packet> {
+    let mut trace = Vec::new();
+    for r in 0..rounds {
+        for (c, conn) in conns.iter().enumerate() {
+            let reverse = r > 0 && (r + c) % 2 == 1;
+            let pad = 64 + ((r + c) % 7) * 16;
+            if !reverse {
+                trace.push(
+                    PacketBuilder::udp()
+                        .src(conn.inside, conn.sport)
+                        .dst(conn.remote, conn.rport)
+                        .pad_to(pad)
+                        .build(),
+                );
+            } else {
+                let (dst, dport) = if nat {
+                    (PUBLIC, IpNat::preferred_port(&forward_key(conn)))
+                } else {
+                    (conn.inside, conn.sport)
+                };
+                let mut pkt = PacketBuilder::udp()
+                    .src(conn.remote, conn.rport)
+                    .dst(dst, dport)
+                    .pad_to(pad)
+                    .build();
+                pkt.meta.ingress = 1;
+                trace.push(pkt);
+            }
+        }
+    }
+    trace
+}
+
+/// The stateful differential contract: the sharded runner must report a
+/// `FlowPartitionable` verdict, actually fan out to the requested worker
+/// count, and produce per-flow byte- and order-identical output to the
+/// single-threaded reference at every worker count.
+fn assert_stateful_parallel_matches_native(cfg: &ClickConfig, trace: &[Packet]) {
+    let mut native = RunnerConfig::new().native(cfg).unwrap();
+    let (native_stats, native_out) = native.run_collect(trace, 1);
+    assert_eq!(
+        native_stats.transmitted,
+        trace.len() as u64,
+        "reference forwards the whole trace"
+    );
+    let reference = by_flow(&native_out);
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut parallel = RunnerConfig::new()
+            .workers(workers)
+            .batch(16)
+            .parallel(cfg)
             .unwrap();
-    let mut runner = RunnerConfig::new().workers(8).parallel(&cfg).unwrap();
+        assert_eq!(parallel.shardability(), Shardability::FlowPartitionable);
+        assert_eq!(parallel.effective_workers(), workers);
+        let (stats, out) = parallel.run_collect(trace, 1);
+        assert_eq!(
+            stats.transmitted, native_stats.transmitted,
+            "{workers} workers"
+        );
+        assert_eq!(stats.dropped, 0, "{workers} workers");
+        assert_eq!(by_flow(&out), reference, "{workers} workers");
+    }
+}
+
+#[test]
+fn sharded_nat_matches_native_per_flow() {
+    // Replies enter on the outside interface addressed to the public IP;
+    // only the symmetric hash lands them on the replica holding the
+    // mapping. Output keys are the *rewritten* flows, identical on both
+    // sides because port allocation is a pure function of the flow key.
+    let conns = connections(48);
+    let trace = stateful_trace(&conns, 8, true);
+    assert_stateful_parallel_matches_native(&nat_gateway_config(PUBLIC), &trace);
+}
+
+#[test]
+fn sharded_stateful_firewall_matches_native_per_flow() {
+    // Unrelated inbound drops and related inbound passes — both facts
+    // must survive sharding, which they only do when each connection's
+    // conntrack entry lives on the replica its replies hash to.
+    let conns = connections(48);
+    let trace = stateful_trace(&conns, 8, false);
+    assert_stateful_parallel_matches_native(&stateful_firewall_config(), &trace);
+}
+
+#[test]
+fn global_config_runs_single_worker() {
+    // A queue shares timing and occupancy state across every flow:
+    // replicating it would change drop and ordering behavior, so the
+    // registry verdict is Global and the runner degrades to one worker.
+    let cfg = ClickConfig::parse("FromNetfront() -> Queue(16) -> ToNetfront();").unwrap();
+    let runner = RunnerConfig::new().workers(8).parallel(&cfg).unwrap();
     assert!(!runner.shardable());
+    assert_eq!(runner.shardability(), Shardability::Global);
     assert_eq!(runner.effective_workers(), 1);
     assert_eq!(runner.requested_workers(), 8);
 
-    // And it still forwards correctly on that single worker.
+    // A round-robin switch schedules across flows: also Global, and it
+    // still forwards correctly on its single worker.
+    let rr = ClickConfig::parse(
+        "FromNetfront() -> rr :: RoundRobinSwitch(2); \
+         rr[0] -> ToNetfront(); rr[1] -> ToNetfront(1);",
+    )
+    .unwrap();
+    let mut runner = RunnerConfig::new().workers(8).parallel(&rr).unwrap();
+    assert_eq!(runner.shardability(), Shardability::Global);
+    assert_eq!(runner.effective_workers(), 1);
     let pkts: Vec<Packet> = (0..100)
         .map(|i| {
             PacketBuilder::udp()
@@ -174,5 +328,42 @@ proptest! {
         // The shard is a pure function of the key.
         prop_assert_eq!(key.shard(workers), shard);
         prop_assert_eq!(key.shard(workers), key.shard(workers));
+    }
+
+    /// The symmetric-dispatch invariant behind stateful sharding: a flow
+    /// sent outbound and its reply arriving inbound land on the same
+    /// shard — even when NAT has rewritten the reply's destination to
+    /// an arbitrary public endpoint, because the hash keys only on the
+    /// remote endpoint, which source NAT never touches.
+    #[test]
+    fn symmetric_hash_pins_flow_and_reverse(
+        pkt in arb_packet(),
+        nat_addr in any::<u32>(),
+        nat_port in any::<u16>(),
+        workers in 1usize..=16,
+    ) {
+        let key = FlowKey::of(&pkt).unwrap();
+        let fwd = FlowKey::symmetric_shard_of(&pkt, workers);
+        prop_assert!(fwd < workers);
+        // Pure function of key + direction (the packet enters on the
+        // inside interface, ingress 0 = outbound).
+        prop_assert_eq!(key.symmetric_shard(false, workers), fwd);
+        if key.proto == IpProto::Udp {
+            // The un-NATted reply simply reverses the tuple.
+            let mut reply = PacketBuilder::udp()
+                .src(key.dst, key.dst_port)
+                .dst(key.src, key.src_port)
+                .build();
+            reply.meta.ingress = 1;
+            prop_assert_eq!(FlowKey::symmetric_shard_of(&reply, workers), fwd);
+            // The NATted reply targets whatever public endpoint the
+            // translator picked; the shard must not change.
+            let mut natted = PacketBuilder::udp()
+                .src(key.dst, key.dst_port)
+                .dst(Ipv4Addr::from(nat_addr), nat_port)
+                .build();
+            natted.meta.ingress = 1;
+            prop_assert_eq!(FlowKey::symmetric_shard_of(&natted, workers), fwd);
+        }
     }
 }
