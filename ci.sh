@@ -47,6 +47,20 @@ parallel_out="$(cargo run --release -q -p innet-examples --bin parallel)"
 grep -q "verdict: FlowPartitionable" <<<"$parallel_out"
 grep -q "all translated" <<<"$parallel_out"
 grep -q "verdict: Global" <<<"$parallel_out"
+grep -q "engine: compiled" <<<"$parallel_out"
 grep -q "== verdict:" <<<"$parallel_out"
+
+echo "==> bench snapshot smoke"
+# Quick-mode snapshot emission into a scratch dir, then schema
+# validation: proves the perf-trajectory machinery (BENCH_*.json
+# writer + validator) stays wired without paying full bench time. The
+# committed snapshots at the repo root are refreshed manually by full
+# `cargo bench` runs, not by CI.
+snapdir="$(mktemp -d)"
+trap 'rm -rf "$snapdir"' EXIT
+INNET_BENCH_QUICK=1 INNET_BENCH_SNAPSHOT_DIR="$snapdir" \
+  cargo bench --quiet --bench parallel_scaling >/dev/null
+cargo run --release -q -p innet-bench --bin validate_snapshot \
+  "$snapdir/BENCH_parallel_scaling.json"
 
 echo "CI OK"

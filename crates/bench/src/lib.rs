@@ -61,3 +61,474 @@ impl Report {
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var("INNET_BENCH_QUICK").is_ok()
 }
+
+// ---------------------------------------------------------------------------
+// Benchmark snapshots: the recorded perf trajectory.
+// ---------------------------------------------------------------------------
+
+/// Version stamp of the snapshot schema; bump on breaking changes.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// One measured point: a corpus, an engine mode, a worker count, and the
+/// observed rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Workload name (e.g. `"consolidated"`, `"fig12-firewall"`).
+    pub corpus: String,
+    /// `"interpreted"` or `"compiled"`.
+    pub mode: String,
+    /// Worker threads the corpus ran on (1 for the native runner).
+    pub workers: u64,
+    /// Measured packets per second.
+    pub pps: f64,
+    /// Measured throughput in Gbit/s at the corpus frame size.
+    pub gbps: f64,
+}
+
+/// A benchmark snapshot: the machine-readable record a bench run leaves
+/// behind (`BENCH_<name>.json`), committed to the repository so the perf
+/// trajectory across changes stays in history.
+///
+/// The container has no `serde_json`, so the format is hand-rolled here:
+/// [`BenchSnapshot::to_json`] emits it and [`BenchSnapshot::parse`]
+/// validates it (CI round-trips a freshly emitted file through the
+/// parser).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Which bench produced this snapshot.
+    pub bench: String,
+    /// The measured points.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchSnapshot {
+    /// An empty snapshot for bench `name`.
+    pub fn new(name: &str) -> BenchSnapshot {
+        BenchSnapshot {
+            bench: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one measured row.
+    pub fn row(&mut self, corpus: &str, mode: &str, workers: u64, pps: f64, gbps: f64) {
+        self.rows.push(BenchRow {
+            corpus: corpus.to_string(),
+            mode: mode.to_string(),
+            workers,
+            pps,
+            gbps,
+        });
+    }
+
+    /// Serializes to the snapshot JSON schema.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.3}")
+            } else {
+                "0.000".to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {SNAPSHOT_SCHEMA_VERSION},\n  \"bench\": \"{}\",\n  \"rows\": [",
+            esc(&self.bench)
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"corpus\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"pps\": {}, \"gbps\": {}}}",
+                if i == 0 { "" } else { "," },
+                esc(&r.corpus),
+                esc(&r.mode),
+                r.workers,
+                num(r.pps),
+                num(r.gbps)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses and schema-validates snapshot JSON: required fields, known
+    /// `mode` values, positive worker counts, finite non-negative rates.
+    pub fn parse(text: &str) -> Result<BenchSnapshot, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let version = json::field(obj, "schema_version")?
+            .as_num()
+            .ok_or("schema_version must be a number")?;
+        if version != SNAPSHOT_SCHEMA_VERSION as f64 {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        let bench = json::field(obj, "bench")?
+            .as_str()
+            .ok_or("bench must be a string")?
+            .to_string();
+        if bench.is_empty() {
+            return Err("bench must be non-empty".to_string());
+        }
+        let rows_v = json::field(obj, "rows")?
+            .as_arr()
+            .ok_or("rows must be an array")?;
+        let mut rows = Vec::new();
+        for (i, rv) in rows_v.iter().enumerate() {
+            let ro = rv.as_obj().ok_or(format!("row {i} must be an object"))?;
+            let corpus = json::field(ro, "corpus")?
+                .as_str()
+                .ok_or(format!("row {i}: corpus must be a string"))?
+                .to_string();
+            let mode = json::field(ro, "mode")?
+                .as_str()
+                .ok_or(format!("row {i}: mode must be a string"))?
+                .to_string();
+            if mode != "interpreted" && mode != "compiled" {
+                return Err(format!("row {i}: unknown mode '{mode}'"));
+            }
+            let workers = json::field(ro, "workers")?
+                .as_num()
+                .ok_or(format!("row {i}: workers must be a number"))?;
+            if workers < 1.0 || workers.fract() != 0.0 {
+                return Err(format!("row {i}: workers must be a positive integer"));
+            }
+            let pps = json::field(ro, "pps")?
+                .as_num()
+                .ok_or(format!("row {i}: pps must be a number"))?;
+            let gbps = json::field(ro, "gbps")?
+                .as_num()
+                .ok_or(format!("row {i}: gbps must be a number"))?;
+            if !(pps.is_finite() && pps >= 0.0 && gbps.is_finite() && gbps >= 0.0) {
+                return Err(format!("row {i}: rates must be finite and non-negative"));
+            }
+            rows.push(BenchRow {
+                corpus,
+                mode,
+                workers: workers as u64,
+                pps,
+                gbps,
+            });
+        }
+        Ok(BenchSnapshot { bench, rows })
+    }
+
+    /// Writes `BENCH_<bench>.json` into the snapshot directory
+    /// (`INNET_BENCH_SNAPSHOT_DIR`, or the workspace root so committed
+    /// snapshots live beside the code they measure). Returns the path on
+    /// success.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = match std::env::var("INNET_BENCH_SNAPSHOT_DIR") {
+            Ok(d) => PathBuf::from(d),
+            Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        };
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => {
+                eprintln!("[snapshot written to {}]", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("[snapshot write failed: {e}]");
+                None
+            }
+        }
+    }
+}
+
+/// A minimal JSON reader — just enough structure to validate snapshots
+/// without `serde_json` (the container is offline; see the vendor note in
+/// the workspace manifest).
+mod json {
+    #![allow(dead_code)] // general-purpose reader; snapshots use a subset
+
+    /// A parsed JSON value.
+    #[derive(Debug)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    /// Looks up a required object field.
+    pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or(format!("missing field '{name}'"))
+    }
+
+    /// Parses one JSON document (trailing garbage is an error).
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut obj = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(obj));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    obj.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(obj));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut arr = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                loop {
+                    arr.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(arr));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")
+                                .and_then(|h| {
+                                    std::str::from_utf8(h).map_err(|_| "bad \\u escape")
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                c => {
+                    // Re-decode multi-byte UTF-8 sequences from the raw bytes.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = *pos - 1;
+                        let mut end = *pos;
+                        while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        let s = std::str::from_utf8(&b[start..end])
+                            .map_err(|_| "invalid UTF-8 in string")?;
+                        out.push_str(s);
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{s}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        let mut s = BenchSnapshot::new("parallel_scaling");
+        s.row("consolidated", "interpreted", 1, 1_234_567.891, 0.632);
+        s.row("consolidated", "compiled", 1, 2_500_000.0, 1.28);
+        s.row("fig12-firewall", "compiled", 4, 9_000_000.5, 105.984);
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_parser() {
+        let s = sample();
+        let parsed = BenchSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.bench, "parallel_scaling");
+        assert_eq!(parsed.rows.len(), 3);
+        assert_eq!(parsed.rows[1].mode, "compiled");
+        assert_eq!(parsed.rows[2].workers, 4);
+        assert!((parsed.rows[0].pps - 1_234_567.891).abs() < 0.01);
+    }
+
+    #[test]
+    fn parser_rejects_schema_violations() {
+        // Unknown mode.
+        let bad = sample().to_json().replace("interpreted", "jit");
+        assert!(BenchSnapshot::parse(&bad).is_err());
+        // Missing field.
+        let bad = sample().to_json().replace("\"workers\": 1,", "");
+        assert!(BenchSnapshot::parse(&bad).is_err());
+        // Wrong version.
+        let bad = sample()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(BenchSnapshot::parse(&bad).is_err());
+        // Not JSON at all.
+        assert!(BenchSnapshot::parse("pps go brr").is_err());
+        // Negative rate.
+        let mut s = BenchSnapshot::new("x");
+        s.row("c", "compiled", 1, -5.0, 0.0);
+        assert!(BenchSnapshot::parse(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn json_reader_handles_scalars() {
+        let v = super::json::parse(r#"{"a": true, "b": false, "c": null, "d": [1, "x"]}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(super::json::field(obj, "a").unwrap().as_bool(), Some(true));
+        assert_eq!(super::json::field(obj, "b").unwrap().as_bool(), Some(false));
+        assert!(super::json::field(obj, "d").unwrap().as_arr().unwrap()[1]
+            .as_str()
+            .is_some());
+        assert!(super::json::field(obj, "e").is_err());
+    }
+
+    #[test]
+    fn non_finite_rates_serialize_as_zero() {
+        let mut s = BenchSnapshot::new("x");
+        s.row("c", "compiled", 1, f64::NAN, f64::INFINITY);
+        let parsed = BenchSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.rows[0].pps, 0.0);
+        assert_eq!(parsed.rows[0].gbps, 0.0);
+    }
+}

@@ -32,9 +32,16 @@ pub struct ByteCheck {
 }
 
 impl ByteCheck {
-    fn matches(&self, pkt: &Packet) -> bool {
+    /// Whether the masked comparison holds against `pkt`'s bytes.
+    ///
+    /// `offset` and `value` are tenant-controlled, so the bounds check
+    /// must not compute `offset + value.len()` — at `offset = usize::MAX`
+    /// that sum overflows (a panic in debug builds, a wrapped-and-small
+    /// bound that indexes out of range in release builds). Comparing
+    /// against the bytes *remaining past* the offset cannot overflow.
+    pub fn matches(&self, pkt: &Packet) -> bool {
         let data = pkt.bytes();
-        if data.len() < self.offset + self.value.len() {
+        if data.len().saturating_sub(self.offset) < self.value.len() {
             return false;
         }
         data[self.offset..]
@@ -98,7 +105,8 @@ impl BytePattern {
         Ok(BytePattern::Match(checks))
     }
 
-    fn matches(&self, pkt: &Packet) -> bool {
+    /// Whether the whole pattern matches `pkt`.
+    pub fn matches(&self, pkt: &Packet) -> bool {
         match self {
             BytePattern::CatchAll => true,
             BytePattern::Match(checks) => checks.iter().all(|c| c.matches(pkt)),
@@ -135,6 +143,12 @@ impl Classifier {
             patterns,
             dropped: 0,
         })
+    }
+
+    /// The parsed patterns, in match order (the plan compiler lowers
+    /// these into a [`crate::compile::CompiledRouter`] byte program).
+    pub fn patterns(&self) -> &[BytePattern] {
+        &self.patterns
     }
 
     /// Packets that matched no pattern.

@@ -53,6 +53,7 @@
 
 mod args;
 mod canonical;
+pub mod compile;
 mod config;
 mod element;
 pub mod elements;
@@ -63,6 +64,7 @@ pub mod summary;
 
 pub use args::ConfigArgs;
 pub use canonical::fnv1a_64;
+pub use compile::{ClassifyProgram, CompiledRouter, FilterProgram};
 pub use config::{ClickConfig, ConfigError, Connection, ElementDecl, PortRef};
 pub use element::{Context, Element, ElementError, PortCount, Sink, VecSink};
 pub use graph::{BatchResult, Router, RouterError, RouterStats};

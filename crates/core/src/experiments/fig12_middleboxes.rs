@@ -7,7 +7,7 @@
 //! regardless of middlebox count and type.
 
 use innet_packet::{Packet, PacketBuilder};
-use innet_platform::{middlebox_config, NativeRunner};
+use innet_platform::{middlebox_config, NativeRunner, RunnerConfig};
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
@@ -36,15 +36,32 @@ fn traffic(kind: &str, frame: usize) -> Vec<Packet> {
         .collect()
 }
 
-/// Measures aggregate throughput for `kind` at each VM count.
+/// Measures aggregate throughput for `kind` at each VM count on the
+/// interpreted engine.
 pub fn middlebox_sweep(kind: &str, vm_counts: &[usize], frame: usize) -> Vec<MiddleboxPoint> {
+    middlebox_sweep_with(kind, vm_counts, frame, false)
+}
+
+/// Like [`middlebox_sweep`], with an explicit engine choice: `compiled`
+/// runs each VM's configuration as a lowered flat plan
+/// ([`RunnerConfig::compiled`]). The bench records both series so the
+/// interpreted-vs-compiled trajectory is part of the committed snapshot.
+pub fn middlebox_sweep_with(
+    kind: &str,
+    vm_counts: &[usize],
+    frame: usize,
+    compiled: bool,
+) -> Vec<MiddleboxPoint> {
     vm_counts
         .iter()
         .map(|&n| {
             let mut runners: Vec<NativeRunner> = (0..n)
                 .map(|_| {
                     let cfg = middlebox_config(kind).expect("known middlebox kind");
-                    NativeRunner::new(&cfg).expect("valid config")
+                    RunnerConfig::new()
+                        .compiled(compiled)
+                        .native(&cfg)
+                        .expect("valid config")
                 })
                 .collect();
             let pkts = traffic(kind, frame);
@@ -98,6 +115,14 @@ mod tests {
         for kind in KINDS {
             let pts = middlebox_sweep(kind, &[2], 512);
             assert!(pts[0].mpps > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn all_kinds_run_compiled() {
+        for kind in KINDS {
+            let pts = middlebox_sweep_with(kind, &[2], 512, true);
+            assert!(pts[0].mpps > 0.0, "{kind} (compiled)");
         }
     }
 }

@@ -101,6 +101,12 @@ impl Packet {
         self.data.freeze()
     }
 
+    /// Takes the underlying buffer back out of the packet, discarding the
+    /// metadata. Pools use this to recycle allocations.
+    pub fn into_buf(self) -> BytesMut {
+        self.data
+    }
+
     /// Offset of the network header, defaulting to just past Ethernet.
     pub fn l3_offset(&self) -> usize {
         self.meta.l3_offset.unwrap_or(ETHER_HDR_LEN)
@@ -131,7 +137,17 @@ impl Packet {
         if !self.is_ipv4() {
             return Err(PacketError::NotIpv4);
         }
-        Ipv4View::new(&self.data[self.l3_offset()..])
+        // `l3_offset` is tenant-controlled (`MarkIPHeader(N)` writes any N):
+        // slicing with it directly would panic past the buffer end.
+        let off = self.l3_offset();
+        let Some(l3) = self.data.get(off..) else {
+            return Err(PacketError::Truncated {
+                what: "IPv4 header",
+                need: off,
+                have: self.data.len(),
+            });
+        };
+        Ipv4View::new(l3)
     }
 
     /// A mutable IPv4 view of the packet.
@@ -140,7 +156,15 @@ impl Packet {
             return Err(PacketError::NotIpv4);
         }
         let off = self.l3_offset();
-        Ipv4View::new_mut(&mut self.data[off..])
+        let have = self.data.len();
+        let Some(l3) = self.data.get_mut(off..) else {
+            return Err(PacketError::Truncated {
+                what: "IPv4 header",
+                need: off,
+                have,
+            });
+        };
+        Ipv4View::new_mut(l3)
     }
 
     /// Offset of the transport header within the buffer, derived from the

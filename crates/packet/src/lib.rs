@@ -53,6 +53,7 @@ mod icmp;
 mod ip;
 mod net;
 pub mod pattern;
+mod pool;
 mod tcp;
 mod udp;
 
@@ -63,6 +64,7 @@ pub use flow::{FlowKey, FlowTuple};
 pub use icmp::{IcmpKind, IcmpView, ICMP_HDR_LEN};
 pub use ip::{internet_checksum, IpProto, Ipv4View, IPV4_HDR_LEN};
 pub use net::{Cidr, CidrParseError};
+pub use pool::{PacketPool, DEFAULT_POOL_BUFFERS};
 pub use tcp::{TcpFlags, TcpView, TCP_HDR_LEN};
 pub use udp::{UdpView, UDP_HDR_LEN};
 

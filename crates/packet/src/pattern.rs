@@ -207,6 +207,32 @@ impl PacketView {
             syn,
         }
     }
+
+    /// Extracts an L3-only view: like [`PacketView::of`] but without the
+    /// transport-header parse, leaving the ports zero and `syn` false.
+    /// Only sound for rule programs that provably never read ports or
+    /// TCP flags — compiled classifiers check that property at build
+    /// time and take this cheaper parse when it holds.
+    pub fn of_l3(pkt: &Packet) -> PacketView {
+        let Ok(ip) = pkt.ipv4() else {
+            return PacketView {
+                proto: None,
+                src: 0,
+                dst: 0,
+                src_port: 0,
+                dst_port: 0,
+                syn: false,
+            };
+        };
+        PacketView {
+            proto: Some(ip.proto()),
+            src: u32::from(ip.src()),
+            dst: u32::from(ip.dst()),
+            src_port: 0,
+            dst_port: 0,
+            syn: false,
+        }
+    }
 }
 
 impl PatternExpr {

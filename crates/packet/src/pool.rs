@@ -1,0 +1,157 @@
+//! A free-list packet-buffer pool.
+//!
+//! The batch path copies every source packet once per round (sources are
+//! reused across rounds) and drops every transmitted packet after the
+//! stats are read. Without a pool that is one allocation and one free per
+//! packet per round; with it, buffers cycle between the working set and
+//! the free list and the allocator drops out of the steady state.
+//!
+//! The pool is deliberately not thread-safe: the compiled runners keep
+//! one pool per worker thread, so buffers never cross threads and no
+//! locking is needed. The free list is bounded — recycling past the cap
+//! simply frees the buffer — so a burst of jumbo frames cannot pin
+//! unbounded memory.
+
+use bytes::BytesMut;
+
+use crate::Packet;
+
+/// Default bound on the number of pooled free buffers.
+pub const DEFAULT_POOL_BUFFERS: usize = 4096;
+
+/// A bounded free-list of packet buffers (see the module docs).
+#[derive(Debug)]
+pub struct PacketPool {
+    free: Vec<BytesMut>,
+    cap: usize,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl PacketPool {
+    /// An empty pool holding at most [`DEFAULT_POOL_BUFFERS`] free buffers.
+    pub fn new() -> PacketPool {
+        PacketPool::with_capacity(DEFAULT_POOL_BUFFERS)
+    }
+
+    /// An empty pool holding at most `cap` free buffers.
+    pub fn with_capacity(cap: usize) -> PacketPool {
+        PacketPool {
+            free: Vec::new(),
+            cap: cap.max(1),
+            allocations: 0,
+            reuses: 0,
+        }
+    }
+
+    /// A copy of `src` (bytes and metadata) backed by a pooled buffer
+    /// when one is free, or a fresh allocation otherwise.
+    pub fn copy_of(&mut self, src: &Packet) -> Packet {
+        let mut buf = match self.free.pop() {
+            Some(mut b) => {
+                self.reuses += 1;
+                b.clear();
+                b
+            }
+            None => {
+                self.allocations += 1;
+                BytesMut::with_capacity(src.len())
+            }
+        };
+        buf.extend_from_slice(src.bytes());
+        let mut pkt = Packet::from_buf(buf);
+        pkt.meta = src.meta.clone();
+        pkt
+    }
+
+    /// Returns a packet's buffer to the free list (or frees it when the
+    /// pool is full).
+    pub fn recycle(&mut self, pkt: Packet) {
+        if self.free.len() < self.cap {
+            self.free.push(pkt.into_buf());
+        }
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Buffers handed out that needed a fresh allocation.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Buffers handed out from the free list.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        PacketPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Packet {
+        let mut p = PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 4242)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), 53)
+            .payload(b"pool")
+            .build();
+        p.meta.ingress = 3;
+        p
+    }
+
+    #[test]
+    fn copy_preserves_bytes_and_meta() {
+        let src = sample();
+        let mut pool = PacketPool::new();
+        let copy = pool.copy_of(&src);
+        assert_eq!(copy.bytes(), src.bytes());
+        assert_eq!(copy.meta, src.meta);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let src = sample();
+        let mut pool = PacketPool::new();
+        let copy = pool.copy_of(&src);
+        assert_eq!(pool.allocations(), 1);
+        pool.recycle(copy);
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.copy_of(&src);
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(again.bytes(), src.bytes());
+    }
+
+    #[test]
+    fn reuse_clears_stale_contents() {
+        let mut pool = PacketPool::new();
+        let big = Packet::from_bytes(vec![0xAA; 512]);
+        let copy = pool.copy_of(&big);
+        pool.recycle(copy);
+        let small = Packet::from_bytes(vec![0x55; 16]);
+        let reused = pool.copy_of(&small);
+        assert_eq!(reused.len(), 16);
+        assert_eq!(reused.bytes(), small.bytes());
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool = PacketPool::with_capacity(2);
+        for _ in 0..5 {
+            let p = Packet::from_bytes(vec![0u8; 64]);
+            pool.recycle(p);
+        }
+        assert_eq!(pool.pooled(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! The execution engine behind a runner: interpreted or compiled.
+//!
+//! Both engines execute the same verified [`ClickConfig`] with identical
+//! semantics (the compiled plan is differentially tested against the
+//! interpreter, which remains the oracle — see DESIGN.md §13); they differ
+//! only in speed. Runners hold an [`Engine`] and dispatch through it, so
+//! the choice is a [`RunnerConfig::compiled`](crate::RunnerConfig::compiled)
+//! flag rather than a separate runner type.
+
+use innet_click::{BatchResult, ClickConfig, CompiledRouter, Registry, Router, RouterError};
+use innet_packet::Packet;
+
+/// One tenant configuration instantiated for execution.
+pub enum Engine {
+    /// The element-graph interpreter ([`Router`]): boxed elements, hashed
+    /// edges, linear rule scans. The reference engine.
+    Interpreted(Router),
+    /// The flat compiled plan ([`CompiledRouter`]): specialized
+    /// classifiers, fused header stages, flat edges.
+    Compiled(CompiledRouter),
+}
+
+impl Engine {
+    /// Instantiates `cfg`, compiled or interpreted.
+    pub fn build(
+        cfg: &ClickConfig,
+        registry: &Registry,
+        compiled: bool,
+    ) -> Result<Engine, RouterError> {
+        Ok(if compiled {
+            Engine::Compiled(CompiledRouter::compile(cfg, registry)?)
+        } else {
+            Engine::Interpreted(Router::from_config(cfg, registry)?)
+        })
+    }
+
+    /// Whether this is the compiled engine.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, Engine::Compiled(_))
+    }
+
+    /// The interpreted router, when that is the engine (counter
+    /// inspection via `element_as` only works against the interpreter —
+    /// the compiled plan consumes its elements).
+    pub fn router(&self) -> Option<&Router> {
+        match self {
+            Engine::Interpreted(r) => Some(r),
+            Engine::Compiled(_) => None,
+        }
+    }
+
+    /// The compiled plan, when that is the engine.
+    pub fn compiled(&self) -> Option<&CompiledRouter> {
+        match self {
+            Engine::Interpreted(_) => None,
+            Engine::Compiled(c) => Some(c),
+        }
+    }
+
+    /// Publishes the engine's `innet_click_*` counters into `registry`.
+    pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
+        match self {
+            Engine::Interpreted(r) => r.attach_metrics(registry),
+            Engine::Compiled(c) => c.attach_metrics(registry),
+        }
+    }
+
+    /// Pushes a batch through the engine (see `Router::push_batch`).
+    pub fn push_batch(&mut self, batch: Vec<Packet>, now_ns: u64, step_ns: u64) -> BatchResult {
+        match self {
+            Engine::Interpreted(r) => r.push_batch(batch, now_ns, step_ns),
+            Engine::Compiled(c) => c.push_batch(batch, now_ns, step_ns),
+        }
+    }
+
+    /// Drains transmitted packets into `out` without allocating.
+    pub fn take_tx_into(&mut self, out: &mut Vec<(u16, Packet)>) {
+        match self {
+            Engine::Interpreted(r) => r.take_tx_into(out),
+            Engine::Compiled(c) => c.take_tx_into(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::plain_firewall;
+
+    #[test]
+    fn engine_exposes_only_its_own_kind() {
+        let cfg = plain_firewall();
+        let reg = Registry::standard();
+        let interp = Engine::build(&cfg, &reg, false).unwrap();
+        assert!(!interp.is_compiled());
+        assert!(interp.router().is_some() && interp.compiled().is_none());
+        let comp = Engine::build(&cfg, &reg, true).unwrap();
+        assert!(comp.is_compiled());
+        assert!(comp.router().is_none() && comp.compiled().is_some());
+    }
+}

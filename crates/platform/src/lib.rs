@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+mod engine;
 mod native;
 mod parallel;
 mod runner;
@@ -50,6 +51,7 @@ mod switch;
 mod vm;
 
 pub use calib::{max_vms, VmTimingKind};
+pub use engine::Engine;
 pub use native::{
     consolidated_config, middlebox_config, nat_gateway_config, plain_firewall, sandboxed_firewall,
     stateful_firewall_config, NativeRunner, NativeStats,

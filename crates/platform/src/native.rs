@@ -12,7 +12,9 @@ use std::net::Ipv4Addr;
 use std::time::Instant;
 
 use innet_click::{ClickConfig, Registry, Router, RouterError};
-use innet_packet::Packet;
+use innet_packet::{Packet, PacketPool};
+
+use crate::engine::Engine;
 
 /// Result of a timed native run.
 #[derive(Debug, Clone, Copy)]
@@ -56,9 +58,13 @@ struct NativeMetrics {
 /// [`RunnerConfig::native`](crate::RunnerConfig::native) to set batch
 /// size and metrics up front.
 pub struct NativeRunner {
-    router: Router,
+    engine: Engine,
     metrics: Option<NativeMetrics>,
     batch: usize,
+    /// Per-runner buffer pool: round inputs are copies of the caller's
+    /// packet set, and in non-collecting runs the transmitted buffers
+    /// recycle straight back into the next round's copies.
+    pool: PacketPool,
 }
 
 impl NativeRunner {
@@ -74,9 +80,9 @@ impl NativeRunner {
         cfg: &ClickConfig,
         config: crate::RunnerConfig,
     ) -> Result<NativeRunner, RouterError> {
-        let mut router = Router::from_config(cfg, &Registry::standard())?;
+        let mut engine = Engine::build(cfg, &Registry::standard(), config.compiled)?;
         let metrics = config.metrics.as_ref().map(|registry| {
-            router.attach_metrics(registry);
+            engine.attach_metrics(registry);
             NativeMetrics {
                 packets: registry.counter("innet_native_packets_total"),
                 transmitted: registry.counter("innet_native_transmitted_total"),
@@ -84,9 +90,10 @@ impl NativeRunner {
             }
         });
         Ok(NativeRunner {
-            router,
+            engine,
             metrics,
             batch: config.batch,
+            pool: PacketPool::new(),
         })
     }
 
@@ -100,7 +107,7 @@ impl NativeRunner {
         note = "configure metrics up front: RunnerConfig::new().metrics(&registry).native(&cfg)"
     )]
     pub fn attach_metrics(&mut self, registry: &innet_obs::Registry) {
-        self.router.attach_metrics(registry);
+        self.engine.attach_metrics(registry);
         self.metrics = Some(NativeMetrics {
             packets: registry.counter("innet_native_packets_total"),
             transmitted: registry.counter("innet_native_transmitted_total"),
@@ -108,9 +115,22 @@ impl NativeRunner {
         });
     }
 
-    /// Access to the underlying router (for counter inspection).
-    pub fn router(&self) -> &Router {
-        &self.router
+    /// Access to the underlying interpreted router (for `element_as`
+    /// counter inspection). `None` in compiled mode: the plan consumed
+    /// its element instances during lowering.
+    pub fn router(&self) -> Option<&Router> {
+        self.engine.router()
+    }
+
+    /// Whether this runner executes the compiled plan.
+    pub fn is_compiled(&self) -> bool {
+        self.engine.is_compiled()
+    }
+
+    /// The compiled plan's stage listing, when running compiled (used by
+    /// the parallel example's marker and by tests asserting fusion).
+    pub fn plan(&self) -> Option<Vec<String>> {
+        self.engine.compiled().map(|c| c.describe())
     }
 
     /// Pushes the packet set through the graph `rounds` times, measuring
@@ -146,13 +166,16 @@ impl NativeRunner {
         let start = Instant::now();
         for _ in 0..rounds {
             for chunk in packets.chunks(batch) {
-                self.router.push_batch(chunk.to_vec(), now_ns, 1_000);
+                let copies: Vec<Packet> = chunk.iter().map(|p| self.pool.copy_of(p)).collect();
+                self.engine.push_batch(copies, now_ns, 1_000);
                 now_ns += 1_000 * chunk.len() as u64;
                 let before = out.len();
-                self.router.take_tx_into(&mut out);
+                self.engine.take_tx_into(&mut out);
                 transmitted += (out.len() - before) as u64;
                 if !collect {
-                    out.clear();
+                    for (_, pkt) in out.drain(..) {
+                        self.pool.recycle(pkt);
+                    }
                 }
             }
         }

@@ -37,6 +37,7 @@ use std::time::Instant;
 use innet_click::{ClickConfig, Registry, Router, RouterError, Shardability};
 use innet_packet::{FlowKey, Packet};
 
+use crate::engine::Engine;
 use crate::runner::RunnerConfig;
 use crate::spsc::{self, TrySendError};
 
@@ -131,7 +132,7 @@ impl ParallelMetrics {
 /// dispatcher. Build one with
 /// [`RunnerConfig::parallel`](crate::RunnerConfig::parallel).
 pub struct ParallelRunner {
-    routers: Vec<Router>,
+    engines: Vec<Engine>,
     requested_workers: usize,
     shardability: Shardability,
     batch: usize,
@@ -154,19 +155,19 @@ impl ParallelRunner {
         } else {
             config.workers
         };
-        let mut routers = Vec::with_capacity(effective);
+        let mut engines = Vec::with_capacity(effective);
         for _ in 0..effective {
-            let mut router = Router::from_config(cfg, &registry)?;
+            let mut engine = Engine::build(cfg, &registry, config.compiled)?;
             if let Some(reg) = &config.metrics {
                 // Replicas share the same click counters: the registry
                 // hands out one shared cell per name, so `innet_click_*`
                 // aggregates across workers.
-                router.attach_metrics(reg);
+                engine.attach_metrics(reg);
             }
-            routers.push(router);
+            engines.push(engine);
         }
         Ok(ParallelRunner {
-            routers,
+            engines,
             requested_workers: config.workers,
             shardability,
             batch: config.batch,
@@ -182,7 +183,7 @@ impl ParallelRunner {
     /// Workers actually running (1 when the configuration keeps global
     /// state).
     pub fn effective_workers(&self) -> usize {
-        self.routers.len()
+        self.engines.len()
     }
 
     /// Workers asked for via [`RunnerConfig::workers`].
@@ -203,9 +204,16 @@ impl ParallelRunner {
         self.shardability != Shardability::Global
     }
 
-    /// Access to a worker's router replica (for counter inspection).
+    /// Access to a worker's interpreted router replica (for counter
+    /// inspection). `None` for an out-of-range worker — or in compiled
+    /// mode, where replicas are flat plans with no element instances.
     pub fn router(&self, worker: usize) -> Option<&Router> {
-        self.routers.get(worker)
+        self.engines.get(worker).and_then(|e| e.router())
+    }
+
+    /// Whether the replicas execute the compiled plan.
+    pub fn is_compiled(&self) -> bool {
+        self.engines.first().is_some_and(|e| e.is_compiled())
     }
 
     /// Pushes the packet set through the sharded replicas `rounds`
@@ -232,7 +240,7 @@ impl ParallelRunner {
         rounds: usize,
         collect: bool,
     ) -> (ParallelStats, Vec<(u16, Packet)>) {
-        let workers = self.routers.len();
+        let workers = self.engines.len();
         let batch = self.batch;
         let lossy = self.lossy;
         let ring_capacity = self.ring_capacity;
@@ -245,7 +253,7 @@ impl ParallelRunner {
         std::thread::scope(|s| {
             let mut senders = Vec::with_capacity(workers);
             let mut handles = Vec::with_capacity(workers);
-            for (w, router) in self.routers.iter_mut().enumerate() {
+            for (w, engine) in self.engines.iter_mut().enumerate() {
                 let (tx, rx) = spsc::ring::<Vec<Packet>>(ring_capacity);
                 senders.push(tx);
                 let worker_metrics = metrics
@@ -257,10 +265,10 @@ impl ParallelRunner {
                     let mut out: Vec<(u16, Packet)> = Vec::new();
                     while let Some(b) = rx.recv() {
                         let n = b.len() as u64;
-                        router.push_batch(b, clock, STEP_NS);
+                        engine.push_batch(b, clock, STEP_NS);
                         clock += STEP_NS * n;
                         let before = out.len();
-                        router.take_tx_into(&mut out);
+                        engine.take_tx_into(&mut out);
                         let emitted = (out.len() - before) as u64;
                         tx_count += emitted;
                         if let Some((pkts, txs)) = &worker_metrics {

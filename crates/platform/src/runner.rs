@@ -43,6 +43,7 @@ pub struct RunnerConfig {
     pub(crate) metrics: Option<innet_obs::Registry>,
     pub(crate) lossy_rings: bool,
     pub(crate) ring_capacity: usize,
+    pub(crate) compiled: bool,
 }
 
 impl Default for RunnerConfig {
@@ -61,7 +62,21 @@ impl RunnerConfig {
             metrics: None,
             lossy_rings: false,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            compiled: false,
         }
+    }
+
+    /// Selects the compiled execution engine: the verified configuration
+    /// is lowered once into a flat plan (specialized classifiers, fused
+    /// header stages, flat edges — see `innet_click::compile`) instead of
+    /// being interpreted element by element. Semantics are identical —
+    /// the plan is differentially tested against the interpreter — but
+    /// runners lose `element_as`-style counter inspection, so
+    /// [`NativeRunner::router`](crate::NativeRunner::router) returns
+    /// `None` in this mode.
+    pub fn compiled(mut self, compiled: bool) -> RunnerConfig {
+        self.compiled = compiled;
+        self
     }
 
     /// Requests `n` flow-sharded workers (clamped to at least 1). The

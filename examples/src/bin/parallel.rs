@@ -81,6 +81,27 @@ fn main() {
         );
     }
 
+    // The compiled flat plan: the same verified config lowered to a
+    // host-table dispatch + fused header ops, behind one builder flag.
+    // Both engines must agree packet-for-packet (the differential suite
+    // proves it); here we show the flag and the single-worker delta.
+    println!("== engine: compiled (flat plan vs interpreted graph, 1 worker) ==");
+    let mut interp = RunnerConfig::new().batch(32).native(&cfg).expect("valid");
+    let mut comp = RunnerConfig::new()
+        .batch(32)
+        .compiled(true)
+        .native(&cfg)
+        .expect("valid");
+    let si = interp.run(&pkts, ROUNDS / 4);
+    let sc = comp.run(&pkts, ROUNDS / 4);
+    assert_eq!(sc.transmitted, si.transmitted, "engines agree on delivery");
+    println!(
+        "  interpreted {:>8.0} kpps | compiled {:>8.0} kpps ({:.2}x)",
+        si.pps() / 1e3,
+        sc.pps() / 1e3,
+        sc.pps() / si.pps()
+    );
+
     // Sharded NAT: per-connection state is flow-partitionable, so a
     // bidirectional NAT gateway runs on all requested workers — the
     // symmetric dispatch hash pins each connection's forward packets

@@ -132,3 +132,141 @@ fn garbage_requirements_are_typed_errors() {
         "{err}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Hostile classifier patterns: parse AND push, on both engines.
+// ---------------------------------------------------------------------------
+
+use innet::click::CompiledRouter;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// A three-element pipeline around one hostile middle element.
+fn pipeline(class: &str, args: &[&str]) -> ClickConfig {
+    let mut cfg = ClickConfig::new();
+    cfg.add_element("in", "FromNetfront", &[]);
+    cfg.add_element("x", class, args);
+    cfg.add_element("out", "ToNetfront", &[]);
+    cfg.connect("in", 0, "x", 0);
+    cfg.connect("x", 0, "out", 0);
+    cfg
+}
+
+/// Drives `frames` through `cfg` on the interpreter and on the compiled
+/// plan (when the hostile arguments survive construction). Returning at
+/// all is the assertion; any index-arithmetic panic fails the test.
+fn push_both_engines(cfg: &ClickConfig, frames: Vec<Packet>) {
+    let registry = Registry::standard();
+    if let Ok(mut r) = Router::from_config(cfg, &registry) {
+        r.push_batch(frames.clone(), 0, 100);
+    }
+    if let Ok(mut c) = CompiledRouter::compile(cfg, &registry) {
+        c.push_batch(frames, 0, 100);
+    }
+}
+
+/// Frames chosen to stress bounds logic: empty, truncated, exactly
+/// header-sized, oversized, and one well-formed UDP packet.
+fn hostile_frames(len: usize) -> Vec<Packet> {
+    vec![
+        Packet::from_bytes(Vec::new()),
+        Packet::from_bytes(vec![0xAA; len % 33]),
+        Packet::from_bytes(vec![0x45; 34]),
+        PacketBuilder::udp()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 5000)
+            .dst(Ipv4Addr::new(203, 0, 113, 7), 80)
+            .pad_to(64 + len % 1600)
+            .build(),
+    ]
+}
+
+#[test]
+fn max_offset_classifier_pattern_does_not_panic() {
+    // Regression for the `ByteCheck::matches` overflow: at
+    // `offset = usize::MAX` the old `offset + value.len()` bound
+    // wrapped (out-of-bounds indexing in release) or overflowed (panic
+    // in debug). The first pushed packet took the panic.
+    let cfg = pipeline("Classifier", &["18446744073709551615/ffff", "-"]);
+    let req = ClientRequest::click("m", cfg.clone());
+    let _ = deploy_must_not_panic("max-offset classifier", req);
+    push_both_engines(&cfg, hostile_frames(64));
+}
+
+/// Hostile rule fragments for the tcpdump-style classifiers: nonsense
+/// tokens, out-of-range values, and a few valid rules so construction
+/// sometimes succeeds and the push path actually runs.
+const HOSTILE_IP_RULES: &[&str] = &[
+    "dst host 203.0.113.7",
+    "allow udp dst port 65535",
+    "dst port 18446744073709551615",
+    "src net 256.256.256.256/99",
+    "proto 999",
+    "tcp syn",
+    "udp",
+    "allow",
+    "deny all",
+    "-",
+    "",
+    "%%%%",
+    "\u{0}\u{ffff}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Raw byte patterns with tenant-controlled offsets, values and
+    /// masks: every combination must parse-or-refuse and push without
+    /// unwinding, at any offset up to `u64::MAX` and against frames
+    /// from empty to oversized.
+    #[test]
+    fn hostile_classifier_patterns_never_panic(
+        offset in proptest::arbitrary::any::<u64>(),
+        val_len in 1usize..48,
+        with_mask in proptest::arbitrary::any::<bool>(),
+        frame_len in 0usize..4096,
+    ) {
+        let mut term = format!("{offset}/{}", "ff".repeat(val_len));
+        if with_mask {
+            term.push_str(&format!("%{}", "aa".repeat(val_len)));
+        }
+        let cfg = pipeline("Classifier", &[&term, "-"]);
+        let _ = deploy_must_not_panic("hostile byte pattern", ClientRequest::click("m", cfg.clone()));
+        push_both_engines(&cfg, hostile_frames(frame_len));
+    }
+
+    /// Rule-list classifiers (`IPClassifier`/`IPFilter`) built from
+    /// hostile fragments, pushed as well as parsed.
+    #[test]
+    fn hostile_ip_rules_never_panic(
+        picks in proptest::collection::vec(0usize..HOSTILE_IP_RULES.len(), 1..4),
+        frame_len in 0usize..4096,
+    ) {
+        let args: Vec<&str> = picks.iter().map(|&i| HOSTILE_IP_RULES[i]).collect();
+        for class in ["IPClassifier", "IPFilter"] {
+            let cfg = pipeline(class, &args);
+            let _ = deploy_must_not_panic("hostile ip rules", ClientRequest::click("m", cfg.clone()));
+            push_both_engines(&cfg, hostile_frames(frame_len));
+        }
+    }
+
+    /// `MarkIPHeader(N)` writes a tenant-chosen L3 offset into packet
+    /// metadata; header accessors downstream must bounds-check it at
+    /// any value.
+    #[test]
+    fn hostile_mark_ip_header_offsets_never_panic(
+        offset in proptest::arbitrary::any::<u64>(),
+        frame_len in 0usize..4096,
+    ) {
+        let arg = format!("{offset}");
+        let mut cfg = ClickConfig::new();
+        cfg.add_element("in", "FromNetfront", &[]);
+        cfg.add_element("m", "MarkIPHeader", &[&arg]);
+        cfg.add_element("t", "DecIPTTL", &[]);
+        cfg.add_element("out", "ToNetfront", &[]);
+        cfg.connect("in", 0, "m", 0);
+        cfg.connect("m", 0, "t", 0);
+        cfg.connect("t", 0, "out", 0);
+        let _ = deploy_must_not_panic("hostile mark offset", ClientRequest::click("m", cfg.clone()));
+        push_both_engines(&cfg, hostile_frames(frame_len));
+    }
+}

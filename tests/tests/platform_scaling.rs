@@ -107,7 +107,9 @@ fn consolidation_isolates_tenants() {
     let pkt = PacketBuilder::udp().dst(tenants[6], 80).build();
     let stats = runner.run(&[pkt], 1);
     assert_eq!(stats.transmitted, 1);
-    let router = runner.router();
+    let router = runner
+        .router()
+        .expect("interpreted runner exposes its router");
     for (i, _) in tenants.iter().enumerate() {
         let fw = router
             .element_as::<IPFilter>(&format!("fw{i}"))

@@ -46,6 +46,21 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Number of bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Clears the buffer, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
     /// Appends `src` to the end of the buffer.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.vec.extend_from_slice(src);
