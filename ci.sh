@@ -33,6 +33,15 @@ echo "==> metrics example smoke-run"
 cargo run --release -q -p innet-examples --bin metrics \
   | grep -q "invariant holds: no silent packet loss"
 
+echo "==> deploy_storm example smoke-run"
+# A fleet of alpha-renamed tenants deploys one stock chain: every
+# admission after the first must replay the memoized chain summary
+# (the marker line proves the compositional path actually ran).
+# (capture first: grep -q would close the pipe mid-print)
+storm_out="$(cargo run --release -q -p innet-examples --bin deploy_storm)"
+grep -qE "summary cache: [1-9][0-9]* hits" <<<"$storm_out"
+grep -q "speedup:" <<<"$storm_out"
+
 echo "==> bench compile gate"
 # Benches are not run in CI (too slow, too noisy), but they must keep
 # compiling — parallel_scaling in particular tracks the runner API.
@@ -62,5 +71,9 @@ INNET_BENCH_QUICK=1 INNET_BENCH_SNAPSHOT_DIR="$snapdir" \
   cargo bench --quiet --bench parallel_scaling >/dev/null
 cargo run --release -q -p innet-bench --bin validate_snapshot \
   "$snapdir/BENCH_parallel_scaling.json"
+INNET_BENCH_QUICK=1 INNET_BENCH_SNAPSHOT_DIR="$snapdir" \
+  cargo bench --quiet --bench deploy_storm >/dev/null
+cargo run --release -q -p innet-bench --bin validate_snapshot \
+  "$snapdir/BENCH_admission.json"
 
 echo "CI OK"

@@ -14,13 +14,16 @@
 //! | IN-L008 | error    | element unreachable from any ingress           |
 //! | IN-L009 | error    | combinational cycle containing no queue        |
 //! | IN-L010 | warning  | wire into a source element (push/pull mismatch)|
+//! | IN-L011 | warning  | dead classifier/filter rule (fully shadowed)   |
 //!
 //! Unwired *input* ports are deliberately not linted: elements such as
 //! `IPRewriter` legitimately leave their reverse direction unused.
 
 use std::collections::{HashMap, HashSet};
 
+use innet_click::elements::{IPClassifier, IPFilter};
 use innet_click::{ClickConfig, ElementSummary, PortCount, Registry, SummaryKind};
+use innet_symnet::{pattern, SymPacket};
 
 /// How severe a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -373,6 +376,89 @@ pub fn lint(cfg: &ClickConfig, registry: &Registry) -> LintReport {
                     ),
                 );
             }
+        }
+    }
+
+    // IN-L011: dead classifier/filter rules. `IPFilter` and
+    // `IPClassifier` match first-hit, so a rule whose match set is fully
+    // covered by the rules before it can never fire. Decided exactly
+    // against the symbolic pattern semantics (RangeSet intersection
+    // underneath): walk the rules in order, carrying the branch set of
+    // packets *not* matched by any earlier rule; rule `i` is dead when no
+    // carried branch can still satisfy it. The warning names the shortest
+    // shadowing prefix. If refutation fragments the branch set past a
+    // small cap, the element is skipped (conservative: no warning).
+    const SHADOW_BRANCH_CAP: usize = 64;
+    for e in &cfg.elements {
+        // A single rule cannot be shadowed; skip before paying for
+        // element instantiation or any symbolic work (lint runs on every
+        // admission, and one-rule filters are the common case).
+        if e.args.len() < 2 || !matches!(e.class.as_str(), "IPFilter" | "IPClassifier") {
+            continue;
+        }
+        let rules: Vec<_> = match e.class.as_str() {
+            "IPFilter" => {
+                let Ok(el) = registry.instantiate(&e.class, &e.args) else {
+                    continue; // Diagnosed via IN-L003.
+                };
+                let Some(f) = el.as_any().downcast_ref::<IPFilter>() else {
+                    continue;
+                };
+                f.rules().iter().map(|(_, x)| x.clone()).collect()
+            }
+            "IPClassifier" => {
+                let Ok(el) = registry.instantiate(&e.class, &e.args) else {
+                    continue;
+                };
+                let Some(c) = el.as_any().downcast_ref::<IPClassifier>() else {
+                    continue;
+                };
+                c.rules().to_vec()
+            }
+            _ => continue,
+        };
+        let mut remaining = vec![SymPacket::unconstrained()];
+        for (ri, rule) in rules.iter().enumerate() {
+            if remaining.iter().any(|p| pattern::satisfiable(p, rule)) {
+                // Still matchable: remove its match set before looking at
+                // the rules after it.
+                let next: Vec<SymPacket> = remaining
+                    .iter()
+                    .flat_map(|p| pattern::refute(p, rule))
+                    .collect();
+                if next.len() > SHADOW_BRANCH_CAP {
+                    break;
+                }
+                remaining = next;
+                continue;
+            }
+            // Dead. Find the shortest prefix that already covers it by
+            // replaying refutation from scratch.
+            let mut probe = vec![SymPacket::unconstrained()];
+            let mut shadow = ri.saturating_sub(1);
+            for (rj, prev) in rules[..ri].iter().enumerate() {
+                probe = probe
+                    .iter()
+                    .flat_map(|p| pattern::refute(p, prev))
+                    .collect();
+                if !probe.iter().any(|p| pattern::satisfiable(p, rule)) {
+                    shadow = rj;
+                    break;
+                }
+            }
+            let text = e.args.get(ri).cloned().unwrap_or_else(|| format!("#{ri}"));
+            push(
+                "IN-L011",
+                Severity::Warning,
+                Some(&e.name),
+                None,
+                format!(
+                    "`{}` rule {ri} (`{text}`) can never match: \
+                     fully shadowed by rules 0..={shadow}",
+                    e.class
+                ),
+            );
+            // A dead rule matches nothing, so `remaining` is unchanged.
         }
     }
 

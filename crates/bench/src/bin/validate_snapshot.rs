@@ -1,8 +1,13 @@
 //! Schema-validates `BENCH_*.json` snapshot files (CI's bench-snapshot
 //! smoke step). Exits non-zero with a diagnostic on the first invalid
 //! file.
+//!
+//! Two snapshot schemas exist: throughput rows ([`BenchSnapshot`]) and
+//! admission-latency rows ([`AdmissionSnapshot`]). The validator tries
+//! both and accepts a file that satisfies either; a file that satisfies
+//! neither reports both diagnostics.
 
-use innet_bench::BenchSnapshot;
+use innet_bench::{AdmissionSnapshot, BenchSnapshot};
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -18,7 +23,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match BenchSnapshot::parse(&text) {
+        let bench_err = match BenchSnapshot::parse(&text) {
             Ok(snap) => {
                 if snap.rows.is_empty() {
                     eprintln!("{path}: valid but has no rows");
@@ -29,9 +34,27 @@ fn main() {
                     snap.rows.len(),
                     snap.bench
                 );
+                continue;
             }
-            Err(e) => {
-                eprintln!("{path}: schema violation: {e}");
+            Err(e) => e,
+        };
+        match AdmissionSnapshot::parse(&text) {
+            Ok(snap) => {
+                if snap.rows.is_empty() {
+                    eprintln!("{path}: valid but has no rows");
+                    std::process::exit(1);
+                }
+                println!(
+                    "{path}: ok ({} admission rows, bench '{}')",
+                    snap.rows.len(),
+                    snap.bench
+                );
+            }
+            Err(adm_err) => {
+                eprintln!(
+                    "{path}: schema violation: not a throughput snapshot \
+                     ({bench_err}) and not an admission snapshot ({adm_err})"
+                );
                 std::process::exit(1);
             }
         }

@@ -229,21 +229,225 @@ impl BenchSnapshot {
     /// snapshots live beside the code they measure). Returns the path on
     /// success.
     pub fn write(&self) -> Option<PathBuf> {
-        let dir = match std::env::var("INNET_BENCH_SNAPSHOT_DIR") {
-            Ok(d) => PathBuf::from(d),
-            Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
-        };
-        let path = dir.join(format!("BENCH_{}.json", self.bench));
-        match std::fs::write(&path, self.to_json()) {
-            Ok(()) => {
-                eprintln!("[snapshot written to {}]", path.display());
-                Some(path)
-            }
-            Err(e) => {
-                eprintln!("[snapshot write failed: {e}]");
-                None
+        write_snapshot(&self.bench, &self.to_json())
+    }
+}
+
+/// Resolves the snapshot directory and writes `BENCH_<bench>.json`.
+fn write_snapshot(bench: &str, json: &str) -> Option<PathBuf> {
+    let dir = match std::env::var("INNET_BENCH_SNAPSHOT_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            eprintln!("[snapshot written to {}]", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("[snapshot write failed: {e}]");
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission-latency snapshots (the deploy-storm bench).
+// ---------------------------------------------------------------------------
+
+/// One admission-latency row: a verification engine mode driven over a
+/// request corpus, with the observed per-request latency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRow {
+    /// Corpus name (e.g. `"mixed-stock-novel"`).
+    pub corpus: String,
+    /// `"whole-graph"` or `"compositional"`.
+    pub mode: String,
+    /// Uncached admission requests measured.
+    pub requests: u64,
+    /// Mean admission latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median admission latency in nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile admission latency in nanoseconds.
+    pub p99_ns: f64,
+    /// Chain summaries served from the fleet-wide cache during the run
+    /// (zero in whole-graph mode by construction).
+    pub summary_hits: u64,
+}
+
+/// The machine-readable record the deploy-storm bench leaves behind
+/// (`BENCH_admission.json`): per-mode admission latency percentiles, so
+/// the compositional-vs-whole-graph trajectory stays in history alongside
+/// the throughput snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionSnapshot {
+    /// Which bench produced this snapshot (`"admission"`).
+    pub bench: String,
+    /// The measured rows.
+    pub rows: Vec<AdmissionRow>,
+}
+
+impl AdmissionSnapshot {
+    /// An empty snapshot for bench `name`.
+    pub fn new(name: &str) -> AdmissionSnapshot {
+        AdmissionSnapshot {
+            bench: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one measured row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn row(
+        &mut self,
+        corpus: &str,
+        mode: &str,
+        requests: u64,
+        mean_ns: f64,
+        p50_ns: f64,
+        p99_ns: f64,
+        summary_hits: u64,
+    ) {
+        self.rows.push(AdmissionRow {
+            corpus: corpus.to_string(),
+            mode: mode.to_string(),
+            requests,
+            mean_ns,
+            p50_ns,
+            p99_ns,
+            summary_hits,
+        });
+    }
+
+    /// Serializes to the snapshot JSON schema.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.3}")
+            } else {
+                "0.000".to_string()
             }
         }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {SNAPSHOT_SCHEMA_VERSION},\n  \"bench\": \"{}\",\n  \"rows\": [",
+            esc(&self.bench)
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"corpus\": \"{}\", \"mode\": \"{}\", \"requests\": {}, \
+                 \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"summary_hits\": {}}}",
+                if i == 0 { "" } else { "," },
+                esc(&r.corpus),
+                esc(&r.mode),
+                r.requests,
+                num(r.mean_ns),
+                num(r.p50_ns),
+                num(r.p99_ns),
+                r.summary_hits
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses and schema-validates admission snapshot JSON: required
+    /// fields, the closed `mode` set, positive request counts, finite
+    /// non-negative latencies with `p50 <= p99`.
+    pub fn parse(text: &str) -> Result<AdmissionSnapshot, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let version = json::field(obj, "schema_version")?
+            .as_num()
+            .ok_or("schema_version must be a number")?;
+        if version != SNAPSHOT_SCHEMA_VERSION as f64 {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        let bench = json::field(obj, "bench")?
+            .as_str()
+            .ok_or("bench must be a string")?
+            .to_string();
+        if bench.is_empty() {
+            return Err("bench must be non-empty".to_string());
+        }
+        let rows_v = json::field(obj, "rows")?
+            .as_arr()
+            .ok_or("rows must be an array")?;
+        let mut rows = Vec::new();
+        for (i, rv) in rows_v.iter().enumerate() {
+            let ro = rv.as_obj().ok_or(format!("row {i} must be an object"))?;
+            let corpus = json::field(ro, "corpus")?
+                .as_str()
+                .ok_or(format!("row {i}: corpus must be a string"))?
+                .to_string();
+            let mode = json::field(ro, "mode")?
+                .as_str()
+                .ok_or(format!("row {i}: mode must be a string"))?
+                .to_string();
+            if mode != "whole-graph" && mode != "compositional" {
+                return Err(format!("row {i}: unknown mode '{mode}'"));
+            }
+            let requests = json::field(ro, "requests")?
+                .as_num()
+                .ok_or(format!("row {i}: requests must be a number"))?;
+            if requests < 1.0 || requests.fract() != 0.0 {
+                return Err(format!("row {i}: requests must be a positive integer"));
+            }
+            let lat = |name: &str| -> Result<f64, String> {
+                let x = json::field(ro, name)?
+                    .as_num()
+                    .ok_or(format!("row {i}: {name} must be a number"))?;
+                if !(x.is_finite() && x >= 0.0) {
+                    return Err(format!("row {i}: {name} must be finite and non-negative"));
+                }
+                Ok(x)
+            };
+            let mean_ns = lat("mean_ns")?;
+            let p50_ns = lat("p50_ns")?;
+            let p99_ns = lat("p99_ns")?;
+            if p50_ns > p99_ns {
+                return Err(format!("row {i}: p50_ns exceeds p99_ns"));
+            }
+            let summary_hits = json::field(ro, "summary_hits")?
+                .as_num()
+                .ok_or(format!("row {i}: summary_hits must be a number"))?;
+            if summary_hits < 0.0 || summary_hits.fract() != 0.0 {
+                return Err(format!(
+                    "row {i}: summary_hits must be a non-negative integer"
+                ));
+            }
+            rows.push(AdmissionRow {
+                corpus,
+                mode,
+                requests: requests as u64,
+                mean_ns,
+                p50_ns,
+                p99_ns,
+                summary_hits: summary_hits as u64,
+            });
+        }
+        Ok(AdmissionSnapshot { bench, rows })
+    }
+
+    /// Writes `BENCH_<bench>.json` (same directory resolution as
+    /// [`BenchSnapshot::write`]). Returns the path on success.
+    pub fn write(&self) -> Option<PathBuf> {
+        write_snapshot(&self.bench, &self.to_json())
     }
 }
 
@@ -521,6 +725,60 @@ mod snapshot_tests {
             .as_str()
             .is_some());
         assert!(super::json::field(obj, "e").is_err());
+    }
+
+    fn admission_sample() -> AdmissionSnapshot {
+        let mut s = AdmissionSnapshot::new("admission");
+        s.row(
+            "mixed-stock-novel",
+            "whole-graph",
+            100_000,
+            81_234.5,
+            74_000.0,
+            190_000.0,
+            0,
+        );
+        s.row(
+            "mixed-stock-novel",
+            "compositional",
+            100_000,
+            31_234.5,
+            28_000.0,
+            90_000.0,
+            99_000,
+        );
+        s
+    }
+
+    #[test]
+    fn admission_snapshot_roundtrips_through_parser() {
+        let s = admission_sample();
+        let parsed = AdmissionSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.bench, "admission");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].mode, "whole-graph");
+        assert_eq!(parsed.rows[1].summary_hits, 99_000);
+        assert!((parsed.rows[1].mean_ns - 31_234.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn admission_parser_rejects_schema_violations() {
+        // Unknown mode.
+        let bad = admission_sample().to_json().replace("whole-graph", "vibes");
+        assert!(AdmissionSnapshot::parse(&bad).is_err());
+        // Missing field.
+        let bad = admission_sample()
+            .to_json()
+            .replace("\"requests\": 100000, ", "");
+        assert!(AdmissionSnapshot::parse(&bad).is_err());
+        // Inverted percentiles.
+        let mut s = AdmissionSnapshot::new("admission");
+        s.row("c", "compositional", 1, 5.0, 9.0, 4.0, 0);
+        assert!(AdmissionSnapshot::parse(&s.to_json()).is_err());
+        // The throughput parser must not accept the admission schema
+        // (and vice versa): the validator dispatches on whichever fits.
+        assert!(BenchSnapshot::parse(&admission_sample().to_json()).is_err());
+        assert!(AdmissionSnapshot::parse(&sample().to_json()).is_err());
     }
 
     #[test]

@@ -93,14 +93,47 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// A parsed Click configuration: element declarations plus connections.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct ClickConfig {
     /// Declared elements, in declaration order.
     pub elements: Vec<ElementDecl>,
     /// Connections, in source order.
     pub connections: Vec<Connection>,
     anon_counter: usize,
+    /// Memoized canonical text (see [`ClickConfig::canonical_text`]) —
+    /// every admission-path memo keys on it, so it is rendered at most
+    /// once per config instance. The mutating builder methods reset it
+    /// and clones start unmemoized, so it cannot go stale through this
+    /// type's API; code mutating the public fields of a config it did not
+    /// just create must clone first.
+    #[serde(skip)]
+    pub(crate) canonical: std::sync::OnceLock<String>,
 }
+
+/// Clones restart with an empty canonical-text memo: the usual reason to
+/// clone is to mutate (e.g. `$SELF` substitution), after which the
+/// original's rendered text would be wrong for the copy.
+impl Clone for ClickConfig {
+    fn clone(&self) -> ClickConfig {
+        ClickConfig {
+            elements: self.elements.clone(),
+            connections: self.connections.clone(),
+            anon_counter: self.anon_counter,
+            canonical: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+/// Equality ignores the canonical-text memo (a derived value).
+impl PartialEq for ClickConfig {
+    fn eq(&self, other: &ClickConfig) -> bool {
+        self.elements == other.elements
+            && self.connections == other.connections
+            && self.anon_counter == other.anon_counter
+    }
+}
+
+impl Eq for ClickConfig {}
 
 impl ClickConfig {
     /// An empty configuration (use the builder methods to populate it).
@@ -116,6 +149,7 @@ impl ClickConfig {
         args: &[&str],
     ) -> String {
         let name = name.into();
+        self.canonical.take();
         self.elements.push(ElementDecl {
             name: name.clone(),
             class: class.into(),
@@ -140,6 +174,7 @@ impl ClickConfig {
         to: impl Into<String>,
         to_port: usize,
     ) {
+        self.canonical.take();
         self.connections.push(Connection {
             from: PortRef::new(from, from_port),
             to: PortRef::new(to, to_port),
@@ -191,6 +226,7 @@ impl ClickConfig {
     /// configuration. No connections are added between the imported graph
     /// and existing elements — isolation is preserved by construction.
     pub fn merge_namespaced(&mut self, prefix: &str, other: &ClickConfig) {
+        self.canonical.take();
         let rename = |n: &str| format!("{prefix}/{n}");
         for e in &other.elements {
             self.elements.push(ElementDecl {

@@ -20,6 +20,9 @@
 //!   symbolic verdicts always agree, but the reports they attach to a
 //!   rejection differ in detail (the analyzer carries no symbolic egress
 //!   flows), so verdicts never replay across a toggle;
+//! * whether **compositional summaries** are enabled — same reasoning:
+//!   verdicts agree with the whole-graph oracle, report details (egress
+//!   flow ordering) may not;
 //! * the tenant's **requester class** and sorted **registered addresses**
 //!   (both drive the security rules);
 //! * the **hardening policy** bits;
@@ -129,18 +132,22 @@ fn push_field(key: &mut String, tag: &str, value: &str) {
 }
 
 /// Builds the canonical cache key for one request. `epoch` must be read
-/// from the same cache the key will be used against.
+/// from the same cache the key will be used against. Like the analyzer
+/// fast-path flag, the compositional-summaries toggle joins the key:
+/// verdicts agree across the toggle, but the attached reports may differ
+/// in detail (flow ordering), so they never replay across it.
 pub(crate) fn verdict_key(
     epoch: u64,
     request: &ClientRequest,
     account: &ClientAccount,
     hardening: HardeningPolicy,
     analysis: bool,
+    summaries: bool,
 ) -> String {
     let mut key = String::with_capacity(256);
     let _ = write!(
         key,
-        "epoch={epoch};analysis={analysis};class={:?};",
+        "epoch={epoch};analysis={analysis};summaries={summaries};class={:?};",
         account.class
     );
     let mut registered = account.registered.clone();
@@ -192,12 +199,14 @@ mod tests {
             &account(),
             HardeningPolicy::default(),
             true,
+            true,
         );
         let k2 = verdict_key(
             0,
             &request(REQ),
             &account(),
             HardeningPolicy::default(),
+            true,
             true,
         );
         assert_eq!(k1, k2);
@@ -211,6 +220,7 @@ mod tests {
             &account(),
             HardeningPolicy::default(),
             true,
+            true,
         );
         // Epoch.
         assert_ne!(
@@ -220,6 +230,7 @@ mod tests {
                 &request(REQ),
                 &account(),
                 HardeningPolicy::default(),
+                true,
                 true
             )
         );
@@ -230,14 +241,28 @@ mod tests {
         );
         assert_ne!(
             base,
-            verdict_key(0, &other, &account(), HardeningPolicy::default(), true)
+            verdict_key(
+                0,
+                &other,
+                &account(),
+                HardeningPolicy::default(),
+                true,
+                true
+            )
         );
         // Requirements.
         let mut fewer = request(REQ);
         fewer.requirements.clear();
         assert_ne!(
             base,
-            verdict_key(0, &fewer, &account(), HardeningPolicy::default(), true)
+            verdict_key(
+                0,
+                &fewer,
+                &account(),
+                HardeningPolicy::default(),
+                true,
+                true
+            )
         );
         // Class.
         let third_party = ClientAccount {
@@ -251,6 +276,7 @@ mod tests {
                 &request(REQ),
                 &third_party,
                 HardeningPolicy::default(),
+                true,
                 true
             )
         );
@@ -269,6 +295,7 @@ mod tests {
                 &request(REQ),
                 &more_addrs,
                 HardeningPolicy::default(),
+                true,
                 true
             )
         );
@@ -279,7 +306,7 @@ mod tests {
         };
         assert_ne!(
             base,
-            verdict_key(0, &request(REQ), &account(), hardened, true)
+            verdict_key(0, &request(REQ), &account(), hardened, true, true)
         );
         // Analyzer fast-path toggle.
         assert_ne!(
@@ -289,6 +316,19 @@ mod tests {
                 &request(REQ),
                 &account(),
                 HardeningPolicy::default(),
+                false,
+                true
+            )
+        );
+        // Compositional-summaries toggle.
+        assert_ne!(
+            base,
+            verdict_key(
+                0,
+                &request(REQ),
+                &account(),
+                HardeningPolicy::default(),
+                true,
                 false
             )
         );
@@ -305,8 +345,8 @@ mod tests {
             registered: vec!["10.0.0.2".parse().unwrap(), "10.0.0.1".parse().unwrap()],
         };
         assert_eq!(
-            verdict_key(0, &request(REQ), &a, HardeningPolicy::default(), true),
-            verdict_key(0, &request(REQ), &b, HardeningPolicy::default(), true)
+            verdict_key(0, &request(REQ), &a, HardeningPolicy::default(), true, true),
+            verdict_key(0, &request(REQ), &b, HardeningPolicy::default(), true, true)
         );
     }
 

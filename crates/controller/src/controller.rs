@@ -1,6 +1,7 @@
 //! The controller proper: client accounts, placement search, commitment,
 //! and flow-rule installation.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -9,7 +10,8 @@ use std::time::Instant;
 use innet_click::{ClickConfig, Registry};
 use innet_policy::Requirement;
 use innet_symnet::{
-    check_module, RequesterClass, SecurityContext, SecurityReport, SymError, Verdict,
+    check_module_summarized, check_module_with_stats, CheckStats, ModelCache, RequesterClass,
+    SecurityContext, SecurityReport, SymError, Verdict,
 };
 use innet_topology::{NodeId, NodeKind, Topology};
 use parking_lot::RwLock;
@@ -21,7 +23,8 @@ use crate::{
     request::{ClientRequest, ModuleConfig},
     sandbox::wrap_with_enforcer,
     stock::stock_config,
-    verify::{check_requirement, VerifyError},
+    summaries::{SharedSummaries, SummaryCache},
+    verify::{check_requirement_summarized, VerifyError},
 };
 
 /// Identifier of an installed module.
@@ -82,9 +85,36 @@ pub struct ControllerStats {
     pub fastpath_fallbacks: u64,
     /// Requests refused by the lint pass before any verification.
     pub lint_rejects: u64,
+    /// Lint reports replayed from the fleet-wide memo instead of
+    /// re-running the lint pass (lint is a pure function of the
+    /// materialized configuration and the element registry).
+    pub lint_cache_hits: u64,
     /// Nanoseconds spent in static analysis (lint + abstract
     /// interpretation).
     pub analysis_ns: u64,
+    /// Symbolic runs stopped by the global hop (state) bound.
+    pub hop_cap_bailouts: u64,
+    /// Symbolic branches cut by the per-node visit (depth) bound.
+    pub visit_cap_bailouts: u64,
+    /// Chain summaries served from the fleet-wide summary cache.
+    pub summary_cache_hits: u64,
+    /// Chain summaries computed fresh (and stored for the fleet).
+    pub summary_cache_misses: u64,
+    /// Chain elements covered by summary replay instead of per-element
+    /// symbolic execution.
+    pub summary_chain_nodes: u64,
+    /// Cached chain summaries discarded by epoch bumps.
+    pub summary_invalidations: u64,
+    /// Nanoseconds spent in the admission pipeline's lint stage.
+    pub stage_lint_ns: u64,
+    /// Nanoseconds spent in the abstract-interpretation fast-path stage.
+    pub stage_fastpath_ns: u64,
+    /// Nanoseconds spent in the compositional symbolic stage (security
+    /// check, summary replay included).
+    pub stage_symbolic_ns: u64,
+    /// Nanoseconds spent in the placement stage (capacity + address
+    /// assignment, model compilation, policy and requirement checks).
+    pub stage_placement_ns: u64,
 }
 
 impl ControllerStats {
@@ -97,6 +127,13 @@ impl ControllerStats {
         } else {
             self.fastpath_hits as f64 / consulted as f64
         }
+    }
+
+    /// Total symbolic bailouts: runs stopped by the state (hop) cap plus
+    /// branches cut by the depth (per-node visit) cap. The split is
+    /// exported as `innet_ctl_symbolic_bailouts_total{reason=…}`.
+    pub fn symbolic_bailouts(&self) -> u64 {
+        self.hop_cap_bailouts + self.visit_cap_bailouts
     }
 }
 
@@ -119,8 +156,18 @@ struct ControllerMetrics {
     fastpath_hits: innet_obs::Counter,
     fastpath_fallbacks: innet_obs::Counter,
     lint_rejects: innet_obs::Counter,
+    lint_cache_hits: innet_obs::Counter,
     analysis_ns_total: innet_obs::Counter,
     analysis_ns: innet_obs::Histogram,
+    symbolic_bailouts: innet_obs::LabeledCounter,
+    summary_cache_hits: innet_obs::Counter,
+    summary_cache_misses: innet_obs::Counter,
+    summary_chain_nodes: innet_obs::Counter,
+    summary_invalidations: innet_obs::Counter,
+    stage_lint_ns: innet_obs::Histogram,
+    stage_fastpath_ns: innet_obs::Histogram,
+    stage_symbolic_ns: innet_obs::Histogram,
+    stage_placement_ns: innet_obs::Histogram,
 }
 
 impl ControllerMetrics {
@@ -141,8 +188,18 @@ impl ControllerMetrics {
             fastpath_hits: reg.counter("innet_ctl_fastpath_hits_total"),
             fastpath_fallbacks: reg.counter("innet_ctl_fastpath_fallbacks_total"),
             lint_rejects: reg.counter("innet_ctl_lint_rejects_total"),
+            lint_cache_hits: reg.counter("innet_ctl_lint_cache_hits_total"),
             analysis_ns_total: reg.counter("innet_ctl_analysis_ns_total"),
             analysis_ns: reg.histogram("innet_ctl_analysis_ns"),
+            symbolic_bailouts: reg.labeled_counter("innet_ctl_symbolic_bailouts_total", "reason"),
+            summary_cache_hits: reg.counter("innet_ctl_summary_cache_hits_total"),
+            summary_cache_misses: reg.counter("innet_ctl_summary_cache_misses_total"),
+            summary_chain_nodes: reg.counter("innet_ctl_summary_chain_nodes_total"),
+            summary_invalidations: reg.counter("innet_ctl_summary_invalidations_total"),
+            stage_lint_ns: reg.histogram("innet_ctl_stage_lint_ns"),
+            stage_fastpath_ns: reg.histogram("innet_ctl_stage_fastpath_ns"),
+            stage_symbolic_ns: reg.histogram("innet_ctl_stage_symbolic_ns"),
+            stage_placement_ns: reg.histogram("innet_ctl_stage_placement_ns"),
         }
     }
 }
@@ -159,8 +216,11 @@ pub enum DeployError {
     /// outputs, queueless cycles, …) — refused before any verification,
     /// with the precise rule ids.
     Lint(innet_analysis::LintReport),
-    /// The module provably violates the security rules.
-    SecurityReject(SecurityReport),
+    /// The module provably violates the security rules. The report is
+    /// shared (`Arc`): the same rejection is also memoized in the verdict
+    /// cache, and a deep copy of its symbolic egress flows per request
+    /// would dominate the admission path's constant costs.
+    SecurityReject(Arc<SecurityReport>),
     /// No platform satisfies both the operator's policy and the client's
     /// requirements.
     NoFeasiblePlacement {
@@ -219,6 +279,16 @@ pub struct DeployResponse {
     pub check_ns: u64,
 }
 
+/// Per-stage wall time of one pass through the admission pipeline
+/// (lint → abstract fast path → compositional symbolic → placement).
+#[derive(Debug, Clone, Copy, Default)]
+struct StageNs {
+    lint: u64,
+    fastpath: u64,
+    symbolic: u64,
+    placement: u64,
+}
+
 /// What one full (uncached) deployment evaluation produced: the outcome
 /// plus per-phase timings and static-analysis counters, so the caller
 /// can do all statistics accounting in one place.
@@ -230,6 +300,9 @@ struct UncachedOutcome {
     fastpath_hits: u64,
     fastpath_fallbacks: u64,
     lint_rejected: bool,
+    lint_cache_hit: bool,
+    check: CheckStats,
+    stage: StageNs,
 }
 
 /// The In-Net controller.
@@ -247,10 +320,29 @@ pub struct Controller {
     /// (the lint pass always runs). On by default; the analyzer bench
     /// turns it off for its baseline.
     analysis_enabled: bool,
+    /// Whether the security check may walk memoized chain summaries
+    /// (`check_module_summarized`) instead of whole-graph symbolic
+    /// execution. On by default; the admission bench turns it off for its
+    /// whole-graph baseline. Participates in the verdict-cache key.
+    summaries_enabled: bool,
     /// The verification verdict cache, shared (behind `parking_lot`) with
     /// the verification snapshots `deploy_batch` spawns, so shard misses
     /// warm the cache for everyone.
     verdicts: Arc<RwLock<VerdictCache>>,
+    /// The chain-summary cache, shared like the verdict cache and
+    /// epoch-invalidated alongside it.
+    summaries: Arc<RwLock<SummaryCache>>,
+    /// Fleet-wide memo of symbolic element models, handed to the
+    /// compositional checker through [`SharedSummaries`] (the whole-graph
+    /// oracle deliberately rebuilds its models per check). Entries are
+    /// pure functions of element class + arguments; flushed with the
+    /// other verification memos for hygiene only.
+    models: Arc<ModelCache>,
+    /// Memoized lint reports keyed by the materialized configuration's
+    /// canonical text. Lint is a pure function of the configuration and
+    /// the element registry, so replays are exact; flushed alongside the
+    /// verdict cache for hygiene.
+    lint_memo: Arc<RwLock<HashMap<String, innet_analysis::LintReport>>>,
     /// Cumulative statistics.
     stats: ControllerStats,
     /// Shared-registry instruments, if attached.
@@ -271,7 +363,11 @@ impl Controller {
             addr_cursor: HashMap::new(),
             hardening: HardeningPolicy::default(),
             analysis_enabled: true,
+            summaries_enabled: true,
             verdicts: Arc::new(RwLock::new(VerdictCache::default())),
+            summaries: Arc::new(RwLock::new(SummaryCache::default())),
+            models: Arc::new(ModelCache::default()),
+            lint_memo: Arc::new(RwLock::new(HashMap::new())),
             stats: ControllerStats::default(),
             metrics: None,
         }
@@ -288,6 +384,25 @@ impl Controller {
     /// Whether the fast path is enabled.
     pub fn analysis_enabled(&self) -> bool {
         self.analysis_enabled
+    }
+
+    /// Enables or disables the compositional summary walk in the security
+    /// check (whole-graph symbolic execution — the differential oracle —
+    /// runs when disabled). Verdicts are identical either way; the flag
+    /// still participates in the verdict-cache key because the reports
+    /// attached to an outcome may order their details differently.
+    pub fn set_summaries_enabled(&mut self, enabled: bool) {
+        self.summaries_enabled = enabled;
+    }
+
+    /// Whether the compositional summary walk is enabled.
+    pub fn summaries_enabled(&self) -> bool {
+        self.summaries_enabled
+    }
+
+    /// Number of chain summaries currently cached.
+    pub fn cached_summaries(&self) -> usize {
+        self.summaries.read().len()
     }
 
     /// Publishes this controller's counters into `registry` (Prometheus
@@ -316,14 +431,23 @@ impl Controller {
     }
 
     /// Discards every cached verification verdict by starting a new cache
-    /// epoch. Called automatically on operator policy, hardening, and
-    /// module-removal changes; operators can call it directly after
-    /// out-of-band changes (e.g. topology edits).
+    /// epoch — and the chain-summary cache with it, so all verification
+    /// memoization shares one invalidation discipline. Called
+    /// automatically on operator policy, hardening, and module-removal
+    /// changes; operators can call it directly after out-of-band changes
+    /// (e.g. topology edits).
     pub fn invalidate_verdicts(&mut self) {
         let dropped = self.verdicts.write().bump_epoch();
         self.stats.cache_invalidations += dropped;
+        let summaries_dropped = self.summaries.write().bump_epoch();
+        self.stats.summary_invalidations += summaries_dropped;
+        // Model and lint memos hold pure functions of their keys and can
+        // never go stale; they join the epoch flush as a memory bound.
+        self.models.clear();
+        self.lint_memo.write().clear();
         if let Some(m) = &self.metrics {
             m.cache_invalidations.add(dropped);
+            m.summary_invalidations.add(summaries_dropped);
         }
     }
 
@@ -423,10 +547,19 @@ impl Controller {
 
     /// Materializes a request's configuration for a concrete assigned
     /// address: binds `$SELF` placeholders in Click configurations and
-    /// instantiates stock templates.
-    fn materialize_config(config: &ModuleConfig, addr: Ipv4Addr) -> ClickConfig {
+    /// instantiates stock templates. Configurations without `$SELF` are
+    /// address-independent and borrowed as-is — the common case on the
+    /// admission hot path, where the clone would be pure overhead.
+    fn materialize_config(config: &ModuleConfig, addr: Ipv4Addr) -> Cow<'_, ClickConfig> {
         match config {
             ModuleConfig::Click(c) => {
+                if !c
+                    .elements
+                    .iter()
+                    .any(|e| e.args.iter().any(|a| a.contains("$SELF")))
+                {
+                    return Cow::Borrowed(c);
+                }
                 let mut c = c.clone();
                 for e in &mut c.elements {
                     for a in &mut e.args {
@@ -435,9 +568,9 @@ impl Controller {
                         }
                     }
                 }
-                c
+                Cow::Owned(c)
             }
-            ModuleConfig::Stock(kind) => stock_config(*kind, addr),
+            ModuleConfig::Stock(kind) => Cow::Owned(stock_config(*kind, addr)),
         }
     }
 
@@ -490,6 +623,7 @@ impl Controller {
                     &account,
                     self.hardening,
                     self.analysis_enabled,
+                    self.summaries_enabled,
                 ),
             )
         };
@@ -542,6 +676,9 @@ impl Controller {
             fastpath_hits,
             fastpath_fallbacks,
             lint_rejected,
+            lint_cache_hit,
+            check,
+            stage,
         } = self.deploy_uncached(client_id, &account, request);
         self.stats.compile_ns += compile_ns;
         self.stats.check_ns += check_ns;
@@ -549,6 +686,16 @@ impl Controller {
         self.stats.fastpath_hits += fastpath_hits;
         self.stats.fastpath_fallbacks += fastpath_fallbacks;
         self.stats.lint_rejects += u64::from(lint_rejected);
+        self.stats.lint_cache_hits += u64::from(lint_cache_hit);
+        self.stats.hop_cap_bailouts += check.hop_cap_bailouts;
+        self.stats.visit_cap_bailouts += check.visit_cap_bailouts;
+        self.stats.summary_cache_hits += check.summary_cache_hits;
+        self.stats.summary_cache_misses += check.summary_cache_misses;
+        self.stats.summary_chain_nodes += check.summary_chain_nodes;
+        self.stats.stage_lint_ns += stage.lint;
+        self.stats.stage_fastpath_ns += stage.fastpath;
+        self.stats.stage_symbolic_ns += stage.symbolic;
+        self.stats.stage_placement_ns += stage.placement;
         if let Some(m) = &self.metrics {
             m.compile_ns_total.add(compile_ns);
             m.check_ns_total.add(check_ns);
@@ -561,6 +708,22 @@ impl Controller {
             if lint_rejected {
                 m.lint_rejects.inc();
             }
+            if lint_cache_hit {
+                m.lint_cache_hits.inc();
+            }
+            m.symbolic_bailouts
+                .with("hop_cap")
+                .add(check.hop_cap_bailouts);
+            m.symbolic_bailouts
+                .with("visit_cap")
+                .add(check.visit_cap_bailouts);
+            m.summary_cache_hits.add(check.summary_cache_hits);
+            m.summary_cache_misses.add(check.summary_cache_misses);
+            m.summary_chain_nodes.add(check.summary_chain_nodes);
+            m.stage_lint_ns.observe(stage.lint);
+            m.stage_fastpath_ns.observe(stage.fastpath);
+            m.stage_symbolic_ns.observe(stage.symbolic);
+            m.stage_placement_ns.observe(stage.placement);
         }
         match &result {
             Ok(resp) => {
@@ -597,9 +760,12 @@ impl Controller {
         result
     }
 
-    /// The full (uncached) deployment pipeline. Returns the outcome plus
-    /// per-phase timings and static-analysis counters; the caller owns
-    /// all statistics accounting.
+    /// The full (uncached) admission pipeline, run as four explicit
+    /// stages — lint → abstract fast path → compositional symbolic →
+    /// placement — with per-stage wall time recorded in [`StageNs`] (and,
+    /// via the caller, in the `innet_ctl_stage_*_ns` histograms). Returns
+    /// the outcome plus per-phase timings and analysis counters; the
+    /// caller owns all statistics accounting.
     fn deploy_uncached(
         &mut self,
         client_id: &str,
@@ -611,6 +777,8 @@ impl Controller {
         let mut analysis_ns = 0u64;
         let mut fastpath_hits = 0u64;
         let mut fastpath_fallbacks = 0u64;
+        let mut check = CheckStats::default();
+        let mut stage = StageNs::default();
         let mut reasons: Vec<(String, String)> = Vec::new();
 
         // Stage 1: lint. Structural rules are address-independent, so one
@@ -618,8 +786,24 @@ impl Controller {
         // documentation address purely so argument parsing succeeds.
         let t_lint = Instant::now();
         let lint_cfg = Controller::materialize_config(&request.config, Ipv4Addr::new(192, 0, 2, 1));
-        let lint_report = innet_analysis::lint(&lint_cfg, &self.registry);
-        analysis_ns += t_lint.elapsed().as_nanos() as u64;
+        // Lint is a pure function of (configuration, registry), so a
+        // report memoized under the configuration's canonical text is an
+        // exact replay — the stock chains a fleet redeploys under fresh
+        // module names lint once.
+        let lint_key = lint_cfg.canonical_text();
+        let memoized = self.lint_memo.read().get(&lint_key).cloned();
+        let lint_cache_hit = memoized.is_some();
+        let lint_report = match memoized {
+            Some(report) => report,
+            None => {
+                let report = innet_analysis::lint(&lint_cfg, &self.registry);
+                self.lint_memo.write().insert(lint_key, report.clone());
+                report
+            }
+        };
+        let lint_ns = t_lint.elapsed().as_nanos() as u64;
+        analysis_ns += lint_ns;
+        stage.lint += lint_ns;
         if lint_report.has_errors() {
             return UncachedOutcome {
                 result: Err(DeployError::Lint(lint_report)),
@@ -629,6 +813,9 @@ impl Controller {
                 fastpath_hits,
                 fastpath_fallbacks,
                 lint_rejected: true,
+                lint_cache_hit,
+                check,
+                stage,
             };
         }
 
@@ -646,7 +833,9 @@ impl Controller {
             for platform in platforms {
                 let platform_name = self.topology.node(platform).name.clone();
 
-                // Capacity check.
+                // Placement: capacity check and tentative address
+                // assignment on this platform.
+                let t_place = Instant::now();
                 let NodeKind::Platform(spec) = &self.topology.node(platform).kind else {
                     continue;
                 };
@@ -656,12 +845,13 @@ impl Controller {
                     .filter(|m| m.platform == platform)
                     .count();
                 if installed_here >= spec.capacity {
+                    stage.placement += t_place.elapsed().as_nanos() as u64;
                     reasons.push((platform_name, "platform full".to_string()));
                     continue;
                 }
 
-                // Tentatively assign an address on this platform.
                 let Some(addr) = self.allocate_addr(platform) else {
+                    stage.placement += t_place.elapsed().as_nanos() as u64;
                     reasons.push((platform_name, "no address pool".to_string()));
                     continue;
                 };
@@ -670,6 +860,7 @@ impl Controller {
                 // assigned address; Click configurations may reference
                 // the not-yet-known module address as `$SELF`).
                 let raw_cfg = Controller::materialize_config(&request.config, addr);
+                stage.placement += t_place.elapsed().as_nanos() as u64;
 
                 let ctx = SecurityContext {
                     assigned_addr: addr,
@@ -685,7 +876,9 @@ impl Controller {
                 if fastpath_eligible {
                     let t = Instant::now();
                     fast = innet_analysis::abstract_verdict(&raw_cfg, &ctx, &self.registry);
-                    analysis_ns += t.elapsed().as_nanos() as u64;
+                    let fast_ns = t.elapsed().as_nanos() as u64;
+                    analysis_ns += fast_ns;
+                    stage.fastpath += fast_ns;
                     if fast.is_some() {
                         fastpath_hits += 1;
                     } else {
@@ -702,13 +895,25 @@ impl Controller {
                         egress_flows: Vec::new(),
                     },
                     None => {
-                        // Security check (per requester class).
+                        // Stage 3: compositional symbolic security check
+                        // (per requester class). The summary walk replays
+                        // memoized chain summaries from the fleet-wide
+                        // cache; disabled, the whole-graph oracle runs.
                         let t0 = Instant::now();
-                        let mut report = match check_module(&raw_cfg, &ctx, &self.registry) {
-                            Ok(r) => r,
+                        let outcome = if self.summaries_enabled {
+                            let source = SharedSummaries::new(&self.summaries, &self.models);
+                            check_module_summarized(&raw_cfg, &ctx, &self.registry, Some(&source))
+                        } else {
+                            check_module_with_stats(&raw_cfg, &ctx, &self.registry)
+                        };
+                        let (mut report, check_stats) = match outcome {
+                            Ok(v) => v,
                             Err(e) => break 'search Err(DeployError::BadConfig(e)),
                         };
-                        check_ns += t0.elapsed().as_nanos() as u64;
+                        check.absorb(check_stats);
+                        let sym_ns = t0.elapsed().as_nanos() as u64;
+                        check_ns += sym_ns;
+                        stage.symbolic += sym_ns;
 
                         // §7 hardening: the UDP-reflection (amplification)
                         // ban (fast-path-ineligible, so only seen here).
@@ -727,13 +932,13 @@ impl Controller {
 
                 let (run_cfg, sandboxed) = match report.verdict {
                     Verdict::Reject => {
-                        break 'search Err(DeployError::SecurityReject(report));
+                        break 'search Err(DeployError::SecurityReject(Arc::new(report)));
                     }
                     Verdict::SafeWithSandbox => (
                         wrap_with_enforcer(&raw_cfg, addr, &account.registered),
                         true,
                     ),
-                    Verdict::Safe => (raw_cfg, false),
+                    Verdict::Safe => (raw_cfg.into_owned(), false),
                 };
 
                 // Pretend the module is installed here.
@@ -750,6 +955,11 @@ impl Controller {
                 // policy sets are empty, so the network model would have
                 // nothing to check — skip compiling it.
                 if !fast_path {
+                    // Stage 4: placement verification — compile the
+                    // network model with the candidate installed and
+                    // check operator policy and client requirements
+                    // against it (summary-walked where the entry chains
+                    // allow).
                     let mut world = self.modules.clone();
                     world.push(candidate.clone());
 
@@ -759,7 +969,9 @@ impl Controller {
                         Err(e) => break 'search Err(DeployError::BadConfig(e)),
                     };
                     model.ingress_filtering = self.hardening.ingress_filtering;
-                    compile_ns += t1.elapsed().as_nanos() as u64;
+                    let model_ns = t1.elapsed().as_nanos() as u64;
+                    compile_ns += model_ns;
+                    stage.placement += model_ns;
 
                     // Operator policy and client requirements must all hold.
                     let t2 = Instant::now();
@@ -767,9 +979,10 @@ impl Controller {
                     let mut why = String::new();
                     let mut failure: Option<VerifyError> = None;
                     for rule in &self.operator_policy {
-                        match check_requirement(&model, rule) {
-                            Ok(true) => {}
-                            Ok(false) => {
+                        match check_requirement_summarized(&model, rule, self.summaries_enabled) {
+                            Ok((true, cs)) => check.absorb(cs),
+                            Ok((false, cs)) => {
+                                check.absorb(cs);
                                 ok = false;
                                 why = format!("operator policy violated: {rule}");
                                 break;
@@ -782,9 +995,11 @@ impl Controller {
                     }
                     if ok && failure.is_none() {
                         for rule in &request.requirements {
-                            match check_requirement(&model, rule) {
-                                Ok(true) => {}
-                                Ok(false) => {
+                            match check_requirement_summarized(&model, rule, self.summaries_enabled)
+                            {
+                                Ok((true, cs)) => check.absorb(cs),
+                                Ok((false, cs)) => {
+                                    check.absorb(cs);
                                     ok = false;
                                     why = format!("client requirement unsatisfied: {rule}");
                                     break;
@@ -796,7 +1011,9 @@ impl Controller {
                             }
                         }
                     }
-                    check_ns += t2.elapsed().as_nanos() as u64;
+                    let req_ns = t2.elapsed().as_nanos() as u64;
+                    check_ns += req_ns;
+                    stage.placement += req_ns;
                     if let Some(e) = failure {
                         break 'search Err(DeployError::Verify(e));
                     }
@@ -837,6 +1054,9 @@ impl Controller {
             fastpath_hits,
             fastpath_fallbacks,
             lint_rejected: false,
+            lint_cache_hit,
+            check,
+            stage,
         }
     }
 
@@ -868,7 +1088,7 @@ impl Controller {
         let run_cfg = if sandboxed {
             wrap_with_enforcer(&raw_cfg, addr, &account.registered)
         } else {
-            raw_cfg
+            raw_cfg.into_owned()
         };
         let id = self.next_id;
         self.next_id += 1;
@@ -945,7 +1165,11 @@ impl Controller {
             addr_cursor: HashMap::new(),
             hardening: self.hardening,
             analysis_enabled: self.analysis_enabled,
+            summaries_enabled: self.summaries_enabled,
             verdicts: Arc::clone(&self.verdicts),
+            summaries: Arc::clone(&self.summaries),
+            models: Arc::clone(&self.models),
+            lint_memo: Arc::clone(&self.lint_memo),
             stats: ControllerStats::default(),
             metrics: None,
         }
@@ -976,7 +1200,22 @@ impl Controller {
             fastpath_hits,
             fastpath_fallbacks,
             lint_rejects,
+            lint_cache_hits,
             analysis_ns,
+            hop_cap_bailouts,
+            visit_cap_bailouts,
+            summary_cache_hits,
+            summary_cache_misses,
+            summary_chain_nodes,
+            // Shards never bump the shared caches' epochs (invalidation
+            // requires `&mut` access to the live controller), so a
+            // shard's figure is always zero; folding it keeps the
+            // destructure honest.
+            summary_invalidations,
+            stage_lint_ns,
+            stage_fastpath_ns,
+            stage_symbolic_ns,
+            stage_placement_ns,
         } = shard;
         self.stats.requests += requests;
         self.stats.rejected += rejected;
@@ -989,7 +1228,18 @@ impl Controller {
         self.stats.fastpath_hits += fastpath_hits;
         self.stats.fastpath_fallbacks += fastpath_fallbacks;
         self.stats.lint_rejects += lint_rejects;
+        self.stats.lint_cache_hits += lint_cache_hits;
         self.stats.analysis_ns += analysis_ns;
+        self.stats.hop_cap_bailouts += hop_cap_bailouts;
+        self.stats.visit_cap_bailouts += visit_cap_bailouts;
+        self.stats.summary_cache_hits += summary_cache_hits;
+        self.stats.summary_cache_misses += summary_cache_misses;
+        self.stats.summary_chain_nodes += summary_chain_nodes;
+        self.stats.summary_invalidations += summary_invalidations;
+        self.stats.stage_lint_ns += stage_lint_ns;
+        self.stats.stage_fastpath_ns += stage_fastpath_ns;
+        self.stats.stage_symbolic_ns += stage_symbolic_ns;
+        self.stats.stage_placement_ns += stage_placement_ns;
         if let Some(m) = &self.metrics {
             m.requests.add(requests);
             m.rejected.add(rejected);
@@ -1002,7 +1252,16 @@ impl Controller {
             m.fastpath_hits.add(fastpath_hits);
             m.fastpath_fallbacks.add(fastpath_fallbacks);
             m.lint_rejects.add(lint_rejects);
+            m.lint_cache_hits.add(lint_cache_hits);
             m.analysis_ns_total.add(analysis_ns);
+            m.symbolic_bailouts.with("hop_cap").add(hop_cap_bailouts);
+            m.symbolic_bailouts
+                .with("visit_cap")
+                .add(visit_cap_bailouts);
+            m.summary_cache_hits.add(summary_cache_hits);
+            m.summary_cache_misses.add(summary_cache_misses);
+            m.summary_chain_nodes.add(summary_chain_nodes);
+            m.summary_invalidations.add(summary_invalidations);
         }
     }
 
@@ -1172,6 +1431,87 @@ mod tests {
         assert_eq!(c.stats().accepted, 1);
         assert!(c.stats().compile_ns > 0);
         assert!(c.stats().check_ns > 0);
+        // Pipeline stage timings: FIG4 carries requirements, so the fast
+        // path is ineligible and the symbolic + placement stages run.
+        assert!(c.stats().stage_lint_ns > 0);
+        assert_eq!(c.stats().stage_fastpath_ns, 0);
+        assert!(c.stats().stage_symbolic_ns > 0);
+        assert!(c.stats().stage_placement_ns > 0);
+        // A requirement-free stock request rides the fast path instead.
+        let _ = c.deploy(
+            "mobile-7",
+            ClientRequest::parse("stock dns: geo-dns").unwrap(),
+        );
+        assert!(c.stats().stage_fastpath_ns > 0);
+    }
+
+    #[test]
+    fn summary_cache_warms_across_requests() {
+        let mut c = controller();
+        c.deploy("mobile-7", ClientRequest::parse(FIG4).unwrap())
+            .unwrap();
+        let s1 = c.stats();
+        assert!(
+            s1.summary_cache_misses > 0,
+            "first check computes summaries"
+        );
+        assert!(s1.summary_chain_nodes > 0, "chain elements were replayed");
+        assert!(c.cached_summaries() > 0);
+        // A renamed module with the same chain is a verdict-cache miss
+        // (the module name is part of the verdict key) but a summary hit.
+        let mut req2 = ClientRequest::parse(FIG4).unwrap();
+        req2.module_name = "batcher2".to_string();
+        c.deploy("mobile-7", req2).unwrap();
+        let s2 = c.stats();
+        assert!(s2.summary_cache_hits > s1.summary_cache_hits);
+        assert_eq!(s2.summary_cache_misses, s1.summary_cache_misses);
+    }
+
+    #[test]
+    fn invalidation_flushes_summary_cache() {
+        let mut c = controller();
+        let resp = c
+            .deploy("mobile-7", ClientRequest::parse(FIG4).unwrap())
+            .unwrap();
+        assert!(c.cached_summaries() > 0);
+        // `kill` bumps the shared epoch: verdicts and summaries flush
+        // together.
+        c.kill(resp.module_id).unwrap();
+        assert_eq!(c.cached_summaries(), 0);
+        assert_eq!(c.cached_verdicts(), 0);
+        assert!(c.stats().summary_invalidations > 0);
+
+        // The policy and hardening paths flush too.
+        c.deploy("mobile-7", ClientRequest::parse(FIG4).unwrap())
+            .unwrap();
+        assert!(c.cached_summaries() > 0);
+        c.add_operator_policy(Requirement::parse("reach from client -> internet").unwrap());
+        assert_eq!(c.cached_summaries(), 0);
+    }
+
+    #[test]
+    fn summaries_toggle_agrees_with_whole_graph_oracle() {
+        let accept = ClientRequest::parse(FIG4).unwrap();
+        let reject = ClientRequest::parse(
+            "module evil:\nFromNetfront() -> SetIPSrc(8.8.8.8) -> ToNetfront();\n\
+             reach from internet -> client",
+        )
+        .unwrap();
+        let mut with = controller();
+        let mut without = controller();
+        without.set_summaries_enabled(false);
+        assert!(!without.summaries_enabled());
+        for req in [accept, reject] {
+            let a = with.deploy("mobile-7", req.clone());
+            let b = without.deploy("mobile-7", req);
+            assert_eq!(a.is_ok(), b.is_ok(), "compositional verdict diverged");
+        }
+        assert_eq!(
+            without.stats().summary_chain_nodes,
+            0,
+            "oracle mode replays nothing"
+        );
+        assert!(with.stats().summary_chain_nodes > 0);
     }
 
     #[test]

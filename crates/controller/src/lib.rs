@@ -66,6 +66,7 @@ mod parallel;
 mod request;
 mod sandbox;
 mod stock;
+mod summaries;
 mod verdicts;
 mod verify;
 

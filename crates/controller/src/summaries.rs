@@ -1,0 +1,189 @@
+//! The chain-summary cache: fleet-wide memoization of compositional
+//! chain summaries.
+//!
+//! [`crate::Controller::deploy`] checks module security by symbolic
+//! execution; the compositional path
+//! ([`innet_symnet::check_module_summarized`]) replays a memoized
+//! [`SymSummary`] over the maximal chain-safe entry chain instead of
+//! re-executing it element by element. This module provides the
+//! memoization backend: a map from the chain's *canonical slice form*
+//! ([`innet_click::ClickConfig::canonical_slice_text`] — classes, ordered
+//! arguments, and order only, **no element names**) to its summary, so a
+//! stock element chain shared across tenants — even alpha-renamed, even
+//! embedded in different surrounding graphs — is summarized once
+//! fleet-wide.
+//!
+//! # Keying and collision safety
+//!
+//! Like the verdict cache, the map is keyed by the full canonical slice
+//! text rather than its 64-bit FNV fingerprint
+//! ([`innet_click::ClickConfig::canonical_slice_hash`]): a crafted
+//! fingerprint collision must not let one tenant's chain replay another's
+//! transfer function.
+//!
+//! # Invalidation
+//!
+//! A chain summary is a pure function of the slice text — element classes
+//! and arguments fully determine the chain's transfer function, which
+//! depends on no controller state (policy, hardening, topology, other
+//! tenants). Entries therefore never become *unsound*. The cache is still
+//! epoch-invalidated alongside the verdict cache
+//! ([`crate::Controller::invalidate_verdicts`]) as a hygiene measure: one
+//! invalidation discipline for all verification memoization, and a bound
+//! on how long entries outlive the workload that produced them. Stale
+//! inserts (computed under an older epoch) are refused, mirroring the
+//! verdict cache's contract.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use innet_click::ClickConfig;
+use innet_symnet::{ModelCache, SummarySource, SymSummary};
+use parking_lot::RwLock;
+
+/// The cache proper: an epoch counter plus the summary map. Shared across
+/// `deploy_batch` verification shards behind `parking_lot::RwLock`, like
+/// the verdict cache.
+#[derive(Debug, Default)]
+pub(crate) struct SummaryCache {
+    epoch: u64,
+    entries: HashMap<String, Arc<SymSummary>>,
+}
+
+impl SummaryCache {
+    /// The current invalidation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up a summary by its full canonical slice key.
+    pub fn get(&self, key: &str) -> Option<Arc<SymSummary>> {
+        self.entries.get(key).cloned()
+    }
+
+    /// Inserts a summary computed under `key_epoch`. Dropped silently if
+    /// the epoch moved on while the summary was being computed.
+    pub fn insert(&mut self, key_epoch: u64, key: String, summary: Arc<SymSummary>) {
+        if key_epoch == self.epoch {
+            self.entries.insert(key, summary);
+        }
+    }
+
+    /// Starts a new epoch, discarding every entry; returns how many
+    /// summaries were invalidated.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        let discarded = self.entries.len() as u64;
+        self.entries.clear();
+        discarded
+    }
+}
+
+/// [`SummarySource`] adapter handed to
+/// [`innet_symnet::check_module_summarized`]: reads and writes the shared
+/// cache under its lock, pinning the epoch observed at construction so a
+/// summary computed before an invalidation can never land after it.
+pub(crate) struct SharedSummaries {
+    cache: Arc<RwLock<SummaryCache>>,
+    models: Arc<ModelCache>,
+    epoch: u64,
+}
+
+impl SharedSummaries {
+    /// Snapshots the current epoch and wraps the shared cache, together
+    /// with the fleet-wide symbolic model memo.
+    pub fn new(cache: &Arc<RwLock<SummaryCache>>, models: &Arc<ModelCache>) -> SharedSummaries {
+        let epoch = cache.read().epoch();
+        SharedSummaries {
+            cache: Arc::clone(cache),
+            models: Arc::clone(models),
+            epoch,
+        }
+    }
+}
+
+impl SummarySource for SharedSummaries {
+    fn lookup(&self, cfg: &ClickConfig, chain: &[usize]) -> Option<Arc<SymSummary>> {
+        self.cache.read().get(&cfg.canonical_slice_text(chain))
+    }
+
+    fn store(&self, cfg: &ClickConfig, chain: &[usize], summary: Arc<SymSummary>) {
+        self.cache
+            .write()
+            .insert(self.epoch, cfg.canonical_slice_text(chain), summary);
+    }
+
+    fn models(&self) -> Option<&ModelCache> {
+        Some(&self.models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> Arc<SymSummary> {
+        Arc::new(SymSummary::identity())
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut cache = SummaryCache::default();
+        cache.insert(0, "k".to_string(), summary());
+        assert!(cache.get("k").is_some());
+        assert!(cache.get("other").is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn bump_discards_and_counts() {
+        let mut cache = SummaryCache::default();
+        cache.insert(0, "k".to_string(), summary());
+        assert_eq!(cache.bump_epoch(), 1);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.epoch(), 1);
+        // Stale inserts (computed under epoch 0) are refused.
+        cache.insert(0, "k".to_string(), summary());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn shared_wrapper_pins_its_epoch() {
+        let shared = Arc::new(RwLock::new(SummaryCache::default()));
+        let models = Arc::new(ModelCache::default());
+        let source = SharedSummaries::new(&shared, &models);
+        let cfg = ClickConfig::parse("f :: IPFilter(allow udp); d :: DecIPTTL(); f -> d;").unwrap();
+        source.store(&cfg, &[0, 1], summary());
+        assert!(source.lookup(&cfg, &[0, 1]).is_some());
+        assert!(source.lookup(&cfg, &[0]).is_none());
+
+        // A wrapper created before an epoch bump cannot store afterwards…
+        let stale = SharedSummaries::new(&shared, &models);
+        shared.write().bump_epoch();
+        stale.store(&cfg, &[0], summary());
+        assert_eq!(shared.read().len(), 0);
+        // …but a fresh wrapper can.
+        let fresh = SharedSummaries::new(&shared, &models);
+        fresh.store(&cfg, &[0], summary());
+        assert_eq!(shared.read().len(), 1);
+    }
+
+    #[test]
+    fn alpha_renamed_chains_share_an_entry() {
+        let shared = Arc::new(RwLock::new(SummaryCache::default()));
+        let source = SharedSummaries::new(&shared, &Arc::new(ModelCache::default()));
+        let a = ClickConfig::parse("f :: IPFilter(allow udp); d :: DecIPTTL(); f -> d;").unwrap();
+        let b =
+            ClickConfig::parse("x9 :: IPFilter(allow   udp); y :: DecIPTTL(); x9 -> y;").unwrap();
+        source.store(&a, &[0, 1], summary());
+        assert!(
+            source.lookup(&b, &[0, 1]).is_some(),
+            "slice keys are name-independent"
+        );
+    }
+}

@@ -11,9 +11,13 @@
 //! unwritten on the hop leading to it.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use innet_policy::{ConstField, NodeRef, Requirement};
-use innet_symnet::{pattern, ExecOptions, Field, Observe, RangeSet, SymPacket};
+use innet_symnet::{
+    entry_chain, pattern, summarize_chain, BranchOutcome, CheckStats, ExecOptions, Field, Observe,
+    RangeSet, SymPacket, SymSummary,
+};
 
 use crate::netmodel::NetworkModel;
 
@@ -221,15 +225,50 @@ fn assign(
 }
 
 /// Checks one requirement against the model. Returns `Ok(true)` when at
-/// least one symbolic flow conforms.
+/// least one symbolic flow conforms. This is the whole-graph oracle path;
+/// the controller's admission pipeline calls the crate-private
+/// `check_requirement_summarized` instead.
 pub fn check_requirement(model: &NetworkModel, req: &Requirement) -> Result<bool, VerifyError> {
+    Ok(check_requirement_summarized(model, req, false)?.0)
+}
+
+/// [`check_requirement`] with an optional compositional walk over the
+/// injection point's maximal chain-safe entry chain, plus the check's
+/// [`CheckStats`].
+///
+/// When `use_summaries` is set, each source's entry chain is summarized
+/// once per call ([`summarize_chain`]) and replayed for every injected
+/// pattern branch; per-element execution resumes at the chain boundary.
+/// The network model is compiled fresh per placement candidate and keeps
+/// no composite configuration, so there is no canonical slice to key a
+/// cross-request cache on — memoization here is per call (one summary
+/// serving all of `pattern::satisfy`'s branches), unlike the admission
+/// security check, which shares the controller's fleet-wide
+/// `SummaryCache`.
+///
+/// The walk is only taken when the chain contains **no observed
+/// way-point node**: summary replay records the chain's arrivals before
+/// its writes, so a way-point *inside* the chain would snapshot fields
+/// the chain had not yet written where real execution interleaves them.
+/// With every way-point outside the chain, all chain write positions
+/// precede all way-point positions in both modes, so `written_between`
+/// and snapshot matching agree exactly (the differential suite holds the
+/// two paths together). Injected packets are constrain-only refinements
+/// of [`SymPacket::unconstrained`], as the summary exactness contract
+/// requires.
+pub(crate) fn check_requirement_summarized(
+    model: &NetworkModel,
+    req: &Requirement,
+    use_summaries: bool,
+) -> Result<(bool, CheckStats), VerifyError> {
+    let mut stats = CheckStats::default();
     let wps: Vec<Waypoint> = req
         .hops
         .iter()
         .map(|h| resolve_waypoint(model, &h.node))
         .collect::<Result<_, _>>()?;
     let Some(last) = wps.last() else {
-        return Ok(true);
+        return Ok((true, stats));
     };
 
     let mut observe: HashSet<usize> = HashSet::new();
@@ -239,10 +278,22 @@ pub fn check_requirement(model: &NetworkModel, req: &Requirement) -> Result<bool
     let opts = ExecOptions {
         max_hops: 200_000,
         max_node_visits: 6,
-        observe: Observe::Nodes(observe),
+        observe: Observe::Nodes(observe.clone()),
     };
 
     for (src_node, src_constraint) in resolve_source(model, &req.from)? {
+        // Summarize this source's entry chain once; every pattern branch
+        // below replays it.
+        let chain: Option<(innet_symnet::EntryChain, Arc<SymSummary>)> = if use_summaries {
+            let c = entry_chain(&model.graph, src_node);
+            if c.nodes.len() >= 2 && c.nodes.iter().all(|n| !observe.contains(n)) {
+                summarize_chain(&model.graph, &c.nodes).map(|s| (c, Arc::new(s)))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
         // Initial symbolic packet: unconstrained, then the source
         // constraint and the requirement's initial flow definition.
         let mut base = SymPacket::unconstrained();
@@ -252,10 +303,35 @@ pub fn check_requirement(model: &NetworkModel, req: &Requirement) -> Result<bool
             }
         }
         for branch in pattern::satisfy(&base, &req.from_flow) {
-            let res = model.graph.run(src_node, 0, branch, &opts);
+            let observations: Vec<(usize, SymPacket)> = match &chain {
+                Some((c, s)) => {
+                    stats.summary_chain_nodes += c.nodes.len() as u64;
+                    let mut obs = Vec::new();
+                    for (outcome, pkt) in s.apply(&branch, &c.nodes) {
+                        // Egress branches leave the graph inside the
+                        // chain, which contains no observed node — they
+                        // cannot carry way-point observations.
+                        if let BranchOutcome::Continue = outcome {
+                            if let Some((n, p)) = c.cont {
+                                let res = model.graph.run(n, p, pkt, &opts);
+                                stats.hop_cap_bailouts += res.hop_cap_hits;
+                                stats.visit_cap_bailouts += res.visit_cap_hits;
+                                obs.extend(res.observations);
+                            }
+                        }
+                    }
+                    obs
+                }
+                None => {
+                    let res = model.graph.run(src_node, 0, branch, &opts);
+                    stats.hop_cap_bailouts += res.hop_cap_hits;
+                    stats.visit_cap_bailouts += res.visit_cap_hits;
+                    res.observations
+                }
+            };
             // Find observations at the last way-point and try to assign
             // all way-points along their traces.
-            for (node, flow) in &res.observations {
+            for (node, flow) in &observations {
                 if !last.nodes.contains(node) {
                     continue;
                 }
@@ -263,12 +339,12 @@ pub fn check_requirement(model: &NetworkModel, req: &Requirement) -> Result<bool
                 // `node`; the assignment search covers ordering + specs.
                 let hops = flow.hops();
                 if assign(flow, &hops, req, &wps, 0, 0, 0) {
-                    return Ok(true);
+                    return Ok((true, stats));
                 }
             }
         }
     }
-    Ok(false)
+    Ok((false, stats))
 }
 
 #[cfg(test)]
@@ -398,6 +474,27 @@ mod tests {
         // Without filtering the spoofed variant is reachable.
         model.ingress_filtering = false;
         assert!(check_requirement(&model, &spoofed).unwrap());
+    }
+
+    #[test]
+    fn summarized_requirements_agree_with_oracle() {
+        let model = model_with_batcher();
+        for text in [
+            "reach from internet udp -> batcher:dst:0 dst 172.16.15.133 \
+             -> client dst port 1500 const proto && dst port && payload",
+            "reach from internet udp -> batcher:dst:0 -> client dst port 2250",
+            "reach from internet udp -> batcher:dst:0 const dst host -> client",
+            "reach from internet udp -> batcher:dst:0 -> client dst port 1500 \
+             const dst host && payload",
+            "reach from internet tcp -> HTTPOptimizer",
+            "reach from client -> internet",
+            "reach from internet src net 172.16.0.0/16 -> client",
+        ] {
+            let req = Requirement::parse(text).unwrap();
+            let want = check_requirement(&model, &req).unwrap();
+            let (got, _) = check_requirement_summarized(&model, &req, true).unwrap();
+            assert_eq!(want, got, "summarized verdict diverged on: {text}");
+        }
     }
 
     #[test]

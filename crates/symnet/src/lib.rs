@@ -61,17 +61,25 @@ mod packet;
 pub mod pattern;
 pub mod plist;
 pub mod security;
+pub mod summary;
 mod value;
 
 pub use field::{Field, FieldMap, ALL_FIELDS};
 pub use model::{ExecOptions, ExecResult, Observe, SymElement, SymError, SymGraph, SymOut};
 pub use models::{
-    build_sym_graph, model_for, AnyOutputModel, ChangeEnforcerModel, DecTtlModel, DropModel,
-    EgressModel, ExplicitProxyModel, FirewallModel, IdentityModel, IpClassifierModel,
-    IpFilterModel, MulticastModel, NatModel, OpaqueVmModel, PingResponderModel, RewriterModel,
-    SetFieldModel, StaticLookupModel, TransparentProxyModel, TunnelDecapModel, TunnelEncapModel,
-    TurnaroundServerModel,
+    build_sym_graph, build_sym_graph_cached, model_for, AnyOutputModel, ChangeEnforcerModel,
+    DecTtlModel, DropModel, EgressModel, ExplicitProxyModel, FirewallModel, IdentityModel,
+    IpClassifierModel, IpFilterModel, ModelCache, MulticastModel, NatModel, OpaqueVmModel,
+    PingResponderModel, RewriterModel, SetFieldModel, StaticLookupModel, TransparentProxyModel,
+    TunnelDecapModel, TunnelEncapModel, TurnaroundServerModel,
 };
 pub use packet::{Hop, SymPacket, WriteRec};
-pub use security::{check_module, RequesterClass, SecurityContext, SecurityReport, Tri, Verdict};
+pub use security::{
+    check_module, check_module_summarized, check_module_with_stats, CheckStats, RequesterClass,
+    SecurityContext, SecurityReport, SummarySource, Tri, Verdict,
+};
+pub use summary::{
+    compose, entry_chain, summarize_chain, summarize_element, BranchOutcome, EntryChain,
+    SummaryBranch, SummaryVal, SymSummary,
+};
 pub use value::{Origin, RangeSet, SymValue, VarId, VarInfo};

@@ -8,6 +8,7 @@
 //! state pushed into the flow itself.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use crate::packet::SymPacket;
 
@@ -21,13 +22,27 @@ pub enum SymOut {
 }
 
 /// An abstract model of one processing node.
-pub trait SymElement: Send {
+pub trait SymElement: Send + Sync {
     /// Model name (class name for Click-derived models).
     fn model_name(&self) -> &'static str;
 
     /// Executes the model on one symbolic packet, producing zero or more
     /// branch continuations. Implementations must not loop internally.
     fn exec(&self, in_port: usize, pkt: SymPacket) -> Vec<SymOut>;
+
+    /// Whether this model is *chain-safe*: stateless in the symbolic
+    /// sense, single-input (reads only port 0), emits only on port 0 or
+    /// egress, never manipulates header layers, and is substitution-exact
+    /// — its behaviour on any constrain-only restriction of the
+    /// unconstrained packet equals the restriction of its behaviour on
+    /// the unconstrained packet. Chain-safe models may be summarized by
+    /// [`crate::summary::summarize_element`] and replayed from a memoized
+    /// [`crate::summary::SymSummary`] instead of being re-executed.
+    /// Defaults to `false`; only models audited for the above contract
+    /// opt in.
+    fn chain_safe(&self) -> bool {
+        false
+    }
 }
 
 /// Errors produced while building or executing a symbolic graph.
@@ -104,11 +119,15 @@ pub struct ExecResult {
     pub hops: u64,
     /// True when `max_hops` stopped the run early.
     pub truncated: bool,
+    /// Times the global `max_hops` bound stopped the run (0 or 1).
+    pub hop_cap_hits: u64,
+    /// Branches cut by the per-node `max_node_visits` bound.
+    pub visit_cap_hits: u64,
 }
 
 /// A graph of symbolic models.
 pub struct SymGraph {
-    nodes: Vec<Box<dyn SymElement>>,
+    nodes: Vec<Arc<dyn SymElement>>,
     names: Vec<String>,
     index: HashMap<String, usize>,
     /// `(node, out_port) -> (node, in_port)`.
@@ -131,6 +150,17 @@ impl SymGraph {
         &mut self,
         name: impl Into<String>,
         model: Box<dyn SymElement>,
+    ) -> Result<usize, SymError> {
+        self.add_shared(name, Arc::from(model))
+    }
+
+    /// Adds a node holding a shared model instance (see
+    /// [`crate::ModelCache`]), returning its index. Duplicate names are
+    /// rejected.
+    pub fn add_shared(
+        &mut self,
+        name: impl Into<String>,
+        model: Arc<dyn SymElement>,
     ) -> Result<usize, SymError> {
         let name = name.into();
         if self.index.contains_key(&name) {
@@ -185,6 +215,40 @@ impl SymGraph {
         self.nodes.is_empty()
     }
 
+    /// The model attached to a node index.
+    pub fn model(&self, idx: usize) -> &dyn SymElement {
+        self.nodes[idx].as_ref()
+    }
+
+    /// The edge leaving `(node, out_port)`, as `(to, to_port)`.
+    pub fn edge_target(&self, node: usize, out_port: usize) -> Option<(usize, usize)> {
+        self.edges.get(&(node, out_port)).copied()
+    }
+
+    /// Every edge leaving `node`, as `(from_port, to, to_port)`.
+    pub fn out_edges(&self, node: usize) -> Vec<(usize, usize, usize)> {
+        let mut v: Vec<(usize, usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|((from, _), _)| *from == node)
+            .map(|(&(_, fp), &(to, tp))| (fp, to, tp))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every edge entering `node`, as `(from, from_port, to_port)`.
+    pub fn in_edges(&self, node: usize) -> Vec<(usize, usize, usize)> {
+        let mut v: Vec<(usize, usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|(_, (to, _))| *to == node)
+            .map(|(&(from, fp), &(_, tp))| (from, fp, tp))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Runs the engine: injects `pkt` into `entry`'s input `in_port` and
     /// pushes every branch until it is dropped, leaves via egress, or the
     /// hop bound is exhausted.
@@ -201,6 +265,7 @@ impl SymGraph {
         while let Some((node, port, mut p)) = queue.pop_front() {
             if result.hops as usize >= opts.max_hops {
                 result.truncated = true;
+                result.hop_cap_hits += 1;
                 break;
             }
             // Cut circulating branches: more than `max_node_visits`
@@ -210,6 +275,7 @@ impl SymGraph {
             // `max_hops`.)
             if p.visits_recent(node, 512) >= opts.max_node_visits {
                 result.truncated = true;
+                result.visit_cap_hits += 1;
                 continue;
             }
             result.hops += 1;

@@ -9,6 +9,7 @@
 //! security verdicts stay sound.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use innet_click::{
     elements as el,
@@ -41,6 +42,9 @@ impl SymElement for IdentityModel {
     fn model_name(&self) -> &'static str {
         self.0
     }
+    fn chain_safe(&self) -> bool {
+        true
+    }
     fn exec(&self, _p: usize, pkt: SymPacket) -> Vec<SymOut> {
         vec![SymOut::Port(0, pkt)]
     }
@@ -53,6 +57,9 @@ impl SymElement for EgressModel {
     fn model_name(&self) -> &'static str {
         "ToNetfront"
     }
+    fn chain_safe(&self) -> bool {
+        true
+    }
     fn exec(&self, _p: usize, pkt: SymPacket) -> Vec<SymOut> {
         vec![SymOut::Egress(self.0, pkt)]
     }
@@ -64,6 +71,9 @@ pub struct DropModel(pub &'static str);
 impl SymElement for DropModel {
     fn model_name(&self) -> &'static str {
         self.0
+    }
+    fn chain_safe(&self) -> bool {
+        true
     }
     fn exec(&self, _p: usize, _pkt: SymPacket) -> Vec<SymOut> {
         vec![]
@@ -127,6 +137,9 @@ pub struct IpFilterModel {
 impl SymElement for IpFilterModel {
     fn model_name(&self) -> &'static str {
         "IPFilter"
+    }
+    fn chain_safe(&self) -> bool {
+        true
     }
     fn exec(&self, _p: usize, pkt: SymPacket) -> Vec<SymOut> {
         let mut out = Vec::new();
@@ -201,6 +214,9 @@ impl SymElement for SetFieldModel {
     fn model_name(&self) -> &'static str {
         self.name
     }
+    fn chain_safe(&self) -> bool {
+        true
+    }
     fn exec(&self, _p: usize, mut pkt: SymPacket) -> Vec<SymOut> {
         pkt.write(self.field, SymValue::Const(self.value));
         vec![SymOut::Port(0, pkt)]
@@ -214,6 +230,9 @@ pub struct DecTtlModel;
 impl SymElement for DecTtlModel {
     fn model_name(&self) -> &'static str {
         "DecIPTTL"
+    }
+    fn chain_safe(&self) -> bool {
+        true
     }
     fn exec(&self, _p: usize, pkt: SymPacket) -> Vec<SymOut> {
         match pkt.get(Field::Ttl) {
@@ -486,6 +505,9 @@ impl SymElement for MulticastModel {
     fn model_name(&self) -> &'static str {
         "IPMulticast"
     }
+    fn chain_safe(&self) -> bool {
+        true
+    }
     fn exec(&self, _p: usize, pkt: SymPacket) -> Vec<SymOut> {
         self.dsts
             .iter()
@@ -505,6 +527,9 @@ pub struct PingResponderModel;
 impl SymElement for PingResponderModel {
     fn model_name(&self) -> &'static str {
         "ICMPPingResponder"
+    }
+    fn chain_safe(&self) -> bool {
+        true
     }
     fn exec(&self, _p: usize, mut pkt: SymPacket) -> Vec<SymOut> {
         if !pkt.constrain_eq(Field::Proto, IpProto::Icmp.number() as u64) {
@@ -559,6 +584,9 @@ impl SymElement for ExplicitProxyModel {
     fn model_name(&self) -> &'static str {
         "StockExplicitProxy"
     }
+    fn chain_safe(&self) -> bool {
+        true
+    }
     fn exec(&self, _p: usize, mut pkt: SymPacket) -> Vec<SymOut> {
         pkt.write(Field::IpSrc, SymValue::Const(self.own));
         let d = pkt.fresh(Origin::Computed);
@@ -580,6 +608,9 @@ pub struct OpaqueVmModel;
 impl SymElement for OpaqueVmModel {
     fn model_name(&self) -> &'static str {
         "StockX86VM"
+    }
+    fn chain_safe(&self) -> bool {
+        true
     }
     fn exec(&self, _p: usize, mut pkt: SymPacket) -> Vec<SymOut> {
         pkt.havoc_all(Origin::Opaque);
@@ -611,6 +642,9 @@ pub struct TurnaroundServerModel {
 impl SymElement for TurnaroundServerModel {
     fn model_name(&self) -> &'static str {
         self.name
+    }
+    fn chain_safe(&self) -> bool {
+        true
     }
     fn exec(&self, _p: usize, mut pkt: SymPacket) -> Vec<SymOut> {
         if let Some(proto) = self.proto {
@@ -904,14 +938,199 @@ pub fn model_for(
     }
 }
 
+/// A fleet-wide memo of symbolic element models, keyed by element class
+/// and argument list.
+///
+/// A model is a *pure function* of `(class, args)` — building one merely
+/// re-parses the concrete element's arguments — so a single instance can
+/// be shared (`Arc`) across every graph, request, and verification
+/// worker. The memo exists because that argument re-parsing dominates
+/// graph construction on the controller's admission path: with models
+/// memoized, building a graph for a stock chain is just node wiring —
+/// and a second, graph-level memo skips even that for configurations
+/// seen before (see [`ModelCache::graph`]).
+///
+/// Entries never become stale (nothing outside the key influences a
+/// model), so [`ModelCache::clear`] is a memory-hygiene knob, not an
+/// invalidation requirement.
+#[derive(Default)]
+pub struct ModelCache {
+    entries: std::sync::RwLock<std::collections::HashMap<String, Arc<dyn SymElement>>>,
+    /// Whole wired graphs, keyed by the configuration's canonical text
+    /// (names included — callers address nodes by name). A [`SymGraph`]
+    /// is immutable after construction and a pure function of
+    /// `(configuration, registry)`, so sharing one `Arc` across requests
+    /// skips even the node-wiring cost for stock configurations.
+    graphs: std::sync::RwLock<std::collections::HashMap<String, Arc<SymGraph>>>,
+    /// Per-element chain summaries, keyed like `entries`. `None` records
+    /// that the element is not summarizable — itself a pure fact of
+    /// `(class, args)` worth memoizing, since the chain extractor asks
+    /// again for every configuration the element appears in.
+    summaries: std::sync::RwLock<std::collections::HashMap<String, Option<Arc<crate::SymSummary>>>>,
+}
+
+impl ModelCache {
+    /// Number of memoized models.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("not poisoned").len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of memoized wired graphs.
+    pub fn graphs_len(&self) -> usize {
+        self.graphs.read().expect("not poisoned").len()
+    }
+
+    /// Discards every memoized model, graph, and element summary.
+    pub fn clear(&self) {
+        self.entries.write().expect("not poisoned").clear();
+        self.graphs.write().expect("not poisoned").clear();
+        self.summaries.write().expect("not poisoned").clear();
+    }
+
+    /// `'\0'` cannot appear in parsed class names or arguments, so the
+    /// joined key is injective.
+    fn key(class: &str, args: &[String]) -> String {
+        let mut k = String::with_capacity(class.len() + 16);
+        k.push_str(class);
+        for a in args {
+            k.push('\0');
+            k.push_str(a);
+        }
+        k
+    }
+
+    /// The memoized model for `(class, args)`, building and storing it on
+    /// first sight. Build errors are not cached (they are rare and the
+    /// caller rejects the whole configuration anyway).
+    pub fn model(
+        &self,
+        class: &str,
+        args: &[String],
+        registry: &Registry,
+    ) -> Result<Arc<dyn SymElement>, SymError> {
+        let key = ModelCache::key(class, args);
+        if let Some(m) = self.entries.read().expect("not poisoned").get(&key) {
+            return Ok(Arc::clone(m));
+        }
+        let model: Arc<dyn SymElement> = Arc::from(model_for(class, args, registry)?);
+        self.entries
+            .write()
+            .expect("not poisoned")
+            .insert(key, Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// The memoized chain summary for a single element, computing and
+    /// storing it (including the "not summarizable" outcome) on first
+    /// sight. [`crate::summarize_element`] replays the model over a
+    /// capture probe — deterministic in the model, which is itself a pure
+    /// function of `(class, args)` — so the memo can never go stale.
+    pub fn element_summary(
+        &self,
+        class: &str,
+        args: &[String],
+        registry: &Registry,
+    ) -> Result<Option<Arc<crate::SymSummary>>, SymError> {
+        let key = ModelCache::key(class, args);
+        if let Some(s) = self.summaries.read().expect("not poisoned").get(&key) {
+            return Ok(s.clone());
+        }
+        let model = self.model(class, args, registry)?;
+        let summary = crate::summarize_element(model.as_ref()).map(Arc::new);
+        self.summaries
+            .write()
+            .expect("not poisoned")
+            .insert(key, summary.clone());
+        Ok(summary)
+    }
+
+    /// Summarizes the chain of configuration elements at `nodes`
+    /// (declaration-order indices, as produced by [`crate::entry_chain`]
+    /// on a graph built from `cfg`) by folding memoized per-element
+    /// summaries with [`crate::compose`]. Equivalent to
+    /// [`crate::summarize_chain`] on the built graph — node indices follow
+    /// declaration order — but only the compose fold runs per miss; the
+    /// per-element probe replay is shared fleet-wide through the memo.
+    /// `Ok(None)` mirrors `summarize_chain`'s `None`: some element resists
+    /// summarization or the branch partition explodes.
+    pub fn chain_summary(
+        &self,
+        cfg: &ClickConfig,
+        nodes: &[usize],
+        registry: &Registry,
+    ) -> Result<Option<crate::SymSummary>, SymError> {
+        let mut acc = crate::SymSummary::identity();
+        for &n in nodes {
+            let Some(decl) = cfg.elements.get(n) else {
+                return Ok(None);
+            };
+            let Some(s) = self.element_summary(&decl.class, &decl.args, registry)? else {
+                return Ok(None);
+            };
+            let Some(next) = crate::compose(&acc, &s) else {
+                return Ok(None);
+            };
+            acc = next;
+        }
+        Ok(Some(acc))
+    }
+
+    /// The memoized wired graph for `cfg`, building it (through the model
+    /// memo) and storing it on first sight. Build errors are not cached.
+    pub fn graph(&self, cfg: &ClickConfig, registry: &Registry) -> Result<Arc<SymGraph>, SymError> {
+        let key = cfg.canonical_text();
+        if let Some(g) = self.graphs.read().expect("not poisoned").get(&key) {
+            return Ok(Arc::clone(g));
+        }
+        let graph = Arc::new(build_sym_graph_cached(cfg, registry, Some(self))?);
+        self.graphs
+            .write()
+            .expect("not poisoned")
+            .insert(key, Arc::clone(&graph));
+        Ok(graph)
+    }
+}
+
+impl std::fmt::Debug for ModelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelCache")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
 /// Builds a [`SymGraph`] mirroring a Click configuration.
 pub fn build_sym_graph(cfg: &ClickConfig, registry: &Registry) -> Result<SymGraph, SymError> {
+    build_sym_graph_cached(cfg, registry, None)
+}
+
+/// [`build_sym_graph`] with an optional shared [`ModelCache`]: node
+/// models are served from the memo instead of being rebuilt from the
+/// element arguments.
+pub fn build_sym_graph_cached(
+    cfg: &ClickConfig,
+    registry: &Registry,
+    models: Option<&ModelCache>,
+) -> Result<SymGraph, SymError> {
     cfg.validate()
         .map_err(|e| SymError::Config(e.to_string()))?;
     let mut g = SymGraph::new();
     for decl in &cfg.elements {
-        let model = model_for(&decl.class, &decl.args, registry)?;
-        g.add_node(&decl.name, model)?;
+        match models {
+            Some(cache) => {
+                let model = cache.model(&decl.class, &decl.args, registry)?;
+                g.add_shared(&decl.name, model)?;
+            }
+            None => {
+                let model = model_for(&decl.class, &decl.args, registry)?;
+                g.add_node(&decl.name, model)?;
+            }
+        }
     }
     for c in &cfg.connections {
         g.connect_names(&c.from.element, c.from.port, &c.to.element, c.to.port)?;

@@ -84,6 +84,30 @@ impl SymPacket {
         p
     }
 
+    /// A summarization capture probe: *every* field — including `FwTag`
+    /// and `TcpSyn` — is a fresh, fully unconstrained [`Origin::Free`]
+    /// variable. Unlike [`SymPacket::unconstrained`] (which models real
+    /// platform ingress), the probe carries no initial narrowing, so every
+    /// constraint a chain applies is captured as a pure intersection set
+    /// that replays exactly onto *any* entry value.
+    pub(crate) fn capture_probe() -> SymPacket {
+        let mut p = SymPacket {
+            layers: vec![FieldMap::zeroed()],
+            store: HashMap::new(),
+            next_var: 0,
+            feasible: true,
+            trace: PList::new(),
+            writes: PList::new(),
+            ingress: FieldMap::zeroed(),
+        };
+        for f in ALL_FIELDS {
+            let v = p.fresh(Origin::Free);
+            p.top_mut().set(f, v);
+        }
+        p.ingress = *p.top();
+        p
+    }
+
     /// Allocates a fresh variable of the given origin.
     pub fn fresh(&mut self, origin: Origin) -> SymValue {
         let id = self.next_var;
@@ -164,7 +188,13 @@ impl SymPacket {
     /// The possible values of a field: a constant's singleton, or the
     /// variable's current range set.
     pub fn possible(&self, f: Field) -> RangeSet {
-        match self.get(f) {
+        self.possible_of(self.get(f))
+    }
+
+    /// The possible values of a symbolic value under this packet's
+    /// constraint store (a constant's singleton, or the variable's range).
+    pub fn possible_of(&self, v: SymValue) -> RangeSet {
+        match v {
             SymValue::Const(c) => RangeSet::single(c),
             SymValue::Var(id) => self
                 .store
@@ -172,6 +202,41 @@ impl SymPacket {
                 .map(|i| i.ranges.clone())
                 .unwrap_or_else(RangeSet::full),
         }
+    }
+
+    /// Restricts a symbolic *value* (rather than a field slot) to the
+    /// given set. Needed by summary replay: a chain's constraints apply to
+    /// the values a field held at chain entry, which copies may since have
+    /// moved into other fields. Returns (and latches) feasibility.
+    pub fn constrain_value(&mut self, v: SymValue, allowed: &RangeSet) -> bool {
+        if !self.feasible {
+            return false;
+        }
+        match v {
+            SymValue::Const(c) => {
+                if !allowed.contains(c) {
+                    self.feasible = false;
+                }
+            }
+            SymValue::Var(id) => {
+                let info = self.store.get_mut(&id).expect("store entry for var");
+                info.ranges = info.ranges.intersect(allowed);
+                if info.ranges.is_empty() {
+                    self.feasible = false;
+                }
+            }
+        }
+        self.feasible
+    }
+
+    /// Allocates a fresh variable of the given origin pre-constrained to
+    /// `ranges` (summary replay materializing a recorded fresh slot).
+    pub fn fresh_ranged(&mut self, origin: Origin, ranges: RangeSet) -> SymValue {
+        let v = self.fresh(origin);
+        if let SymValue::Var(id) = v {
+            self.store.get_mut(&id).expect("just allocated").ranges = ranges;
+        }
+        v
     }
 
     /// The origin of a value (constants have no origin).

@@ -35,6 +35,7 @@
 //! integration suite asserts all 36 cells.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use innet_click::{ClickConfig, Registry};
 use serde::{Deserialize, Serialize};
@@ -42,8 +43,9 @@ use serde::{Deserialize, Serialize};
 use crate::{
     field::Field,
     model::{ExecOptions, Observe, SymError},
-    models::build_sym_graph,
+    models::{build_sym_graph_cached, ModelCache},
     packet::SymPacket,
+    summary::{entry_chain, summarize_chain, BranchOutcome, SymSummary},
     value::Origin,
 };
 
@@ -116,6 +118,52 @@ pub struct SecurityReport {
     /// The symbolic egress flow classes themselves, for follow-on policy
     /// passes (e.g. the §7 UDP-reflection ban).
     pub egress_flows: Vec<SymPacket>,
+}
+
+/// A memoization backend for chain summaries, implemented by the
+/// controller's epoch-invalidated `SummaryCache`. `chain` is the ordered
+/// list of configuration element indices the summary covers (node indices
+/// in the [`crate::SymGraph`] built from `cfg`, which follow declaration
+/// order).
+pub trait SummarySource {
+    /// A previously stored summary for this chain slice, if any.
+    fn lookup(&self, cfg: &ClickConfig, chain: &[usize]) -> Option<Arc<SymSummary>>;
+    /// Stores a freshly computed summary for this chain slice.
+    fn store(&self, cfg: &ClickConfig, chain: &[usize], summary: Arc<SymSummary>);
+    /// A shared [`ModelCache`] the checker may build graphs from. The
+    /// default (`None`) rebuilds every element model per check — the
+    /// whole-graph oracle stays that way so differential comparisons
+    /// measure the memoized pipeline against an unaided baseline.
+    fn models(&self) -> Option<&ModelCache> {
+        None
+    }
+}
+
+/// Execution-cost and memoization counters from one module check.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Symbolic runs stopped by the global hop bound.
+    pub hop_cap_bailouts: u64,
+    /// Symbolic branches cut by the per-node visit bound.
+    pub visit_cap_bailouts: u64,
+    /// Chain elements covered by summary replay instead of per-element
+    /// execution.
+    pub summary_chain_nodes: u64,
+    /// Summaries served from the [`SummarySource`].
+    pub summary_cache_hits: u64,
+    /// Summaries that had to be computed (and were stored back).
+    pub summary_cache_misses: u64,
+}
+
+impl CheckStats {
+    /// Merges another check's counters into this one.
+    pub fn absorb(&mut self, other: CheckStats) {
+        self.hop_cap_bailouts += other.hop_cap_bailouts;
+        self.visit_cap_bailouts += other.visit_cap_bailouts;
+        self.summary_chain_nodes += other.summary_chain_nodes;
+        self.summary_cache_hits += other.summary_cache_hits;
+        self.summary_cache_misses += other.summary_cache_misses;
+    }
 }
 
 fn u(a: Ipv4Addr) -> u64 {
@@ -216,18 +264,64 @@ pub fn check_module(
     ctx: &SecurityContext,
     registry: &Registry,
 ) -> Result<SecurityReport, SymError> {
+    Ok(check_inner(cfg, ctx, registry, None, false)?.0)
+}
+
+/// [`check_module`] plus its [`CheckStats`] (bailout counters), still on
+/// the whole-graph path — the controller's differential-oracle mode.
+pub fn check_module_with_stats(
+    cfg: &ClickConfig,
+    ctx: &SecurityContext,
+    registry: &Registry,
+) -> Result<(SecurityReport, CheckStats), SymError> {
+    check_inner(cfg, ctx, registry, None, false)
+}
+
+/// Compositional variant of [`check_module`]: walks a memoized (or
+/// freshly composed) [`SymSummary`] over the maximal chain-safe entry
+/// chain and falls back to per-element execution at the chain boundary —
+/// stateful elements, multi-port fan-out/fan-in, or unsummarizable
+/// models. Verdicts are identical to [`check_module`] (the differential
+/// suite holds the two together); only the work done differs. `source`
+/// supplies cross-request memoization; `None` still composes summaries
+/// but recomputes them per call.
+pub fn check_module_summarized(
+    cfg: &ClickConfig,
+    ctx: &SecurityContext,
+    registry: &Registry,
+    source: Option<&dyn SummarySource>,
+) -> Result<(SecurityReport, CheckStats), SymError> {
+    check_inner(cfg, ctx, registry, source, true)
+}
+
+fn check_inner(
+    cfg: &ClickConfig,
+    ctx: &SecurityContext,
+    registry: &Registry,
+    source: Option<&dyn SummarySource>,
+    use_summaries: bool,
+) -> Result<(SecurityReport, CheckStats), SymError> {
+    let mut stats = CheckStats::default();
     if ctx.class == RequesterClass::Operator {
         // Trusted: static analysis is advisory only.
-        return Ok(SecurityReport {
-            verdict: Verdict::Safe,
-            flows_checked: 0,
-            violations: Vec::new(),
-            unknowns: Vec::new(),
-            egress_flows: Vec::new(),
-        });
+        return Ok((
+            SecurityReport {
+                verdict: Verdict::Safe,
+                flows_checked: 0,
+                violations: Vec::new(),
+                unknowns: Vec::new(),
+                egress_flows: Vec::new(),
+            },
+            stats,
+        ));
     }
 
-    let graph = build_sym_graph(cfg, registry)?;
+    // With a model memo available (compositional mode), the whole wired
+    // graph is shared across requests; the oracle rebuilds from scratch.
+    let graph: std::sync::Arc<crate::SymGraph> = match source.and_then(|s| s.models()) {
+        Some(cache) => cache.graph(cfg, registry)?,
+        None => std::sync::Arc::new(build_sym_graph_cached(cfg, registry, None)?),
+    };
     let mut report = SecurityReport {
         verdict: Verdict::Safe,
         flows_checked: 0,
@@ -259,8 +353,68 @@ pub fn check_module(
     };
 
     for entry in entries {
-        let mut res = graph.run_named(&entry, 0, SymPacket::unconstrained(), &opts)?;
-        for (_iface, flow) in &res.egress {
+        let entry_idx = graph.node_index(&entry)?;
+        let mut flows: Vec<(u16, SymPacket)> = Vec::new();
+        let mut summarized = false;
+        if use_summaries {
+            let chain = entry_chain(&graph, entry_idx);
+            if chain.nodes.len() >= 2 {
+                let summary: Option<Arc<SymSummary>> = match source {
+                    Some(src) => match src.lookup(cfg, &chain.nodes) {
+                        Some(s) => {
+                            stats.summary_cache_hits += 1;
+                            Some(s)
+                        }
+                        None => {
+                            // Prefer the fleet-wide per-element summary
+                            // memo when the source exposes one: only the
+                            // compose fold runs per miss. Equivalent to
+                            // summarize_chain on the built graph (node
+                            // indices follow declaration order).
+                            let computed = match src.models() {
+                                Some(cache) => cache.chain_summary(cfg, &chain.nodes, registry)?,
+                                None => summarize_chain(&graph, &chain.nodes),
+                            };
+                            computed.map(|s| {
+                                stats.summary_cache_misses += 1;
+                                let s = Arc::new(s);
+                                src.store(cfg, &chain.nodes, Arc::clone(&s));
+                                s
+                            })
+                        }
+                    },
+                    None => summarize_chain(&graph, &chain.nodes).map(Arc::new),
+                };
+                if let Some(s) = summary {
+                    summarized = true;
+                    stats.summary_chain_nodes += chain.nodes.len() as u64;
+                    for (outcome, pkt) in s.apply(&SymPacket::unconstrained(), &chain.nodes) {
+                        match outcome {
+                            BranchOutcome::Egress(iface) => flows.push((iface, pkt)),
+                            BranchOutcome::Continue => {
+                                // Resume per-element execution at the
+                                // chain boundary; a chain with no
+                                // continuation edge drops continues, as
+                                // the runtime would.
+                                if let Some((n, p)) = chain.cont {
+                                    let res = graph.run(n, p, pkt, &opts);
+                                    stats.hop_cap_bailouts += res.hop_cap_hits;
+                                    stats.visit_cap_bailouts += res.visit_cap_hits;
+                                    flows.extend(res.egress);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !summarized {
+            let res = graph.run(entry_idx, 0, SymPacket::unconstrained(), &opts);
+            stats.hop_cap_bailouts += res.hop_cap_hits;
+            stats.visit_cap_bailouts += res.visit_cap_hits;
+            flows.extend(res.egress);
+        }
+        for (_iface, flow) in &flows {
             report.flows_checked += 1;
             let mut tris = vec![anti_spoof(flow, ctx), ownership(flow, ctx)];
             if ctx.class == RequesterClass::ThirdParty {
@@ -283,9 +437,7 @@ pub fn check_module(
                 }
             }
         }
-        report
-            .egress_flows
-            .extend(res.egress.drain(..).map(|(_, f)| f));
+        report.egress_flows.extend(flows.drain(..).map(|(_, f)| f));
     }
 
     report.verdict = if !report.violations.is_empty() {
@@ -295,7 +447,7 @@ pub fn check_module(
     } else {
         Verdict::Safe
     };
-    Ok(report)
+    Ok((report, stats))
 }
 
 #[cfg(test)]

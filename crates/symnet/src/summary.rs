@@ -1,0 +1,632 @@
+//! Compositional symbolic summaries of chain-safe element chains.
+//!
+//! A [`SymSummary`] is the transfer function of a maximal single-in /
+//! single-out chain of [`chain-safe`](crate::SymElement::chain_safe)
+//! elements, captured once by running each element's model over a fully
+//! unconstrained *capture probe* and folded with [`compose`]. Applying a
+//! summary ([`SymSummary::apply`]) to a packet at a graph entry reproduces
+//! — exactly, up to variable renaming and write positions — the set of
+//! branches the engine would produce by executing the chain element by
+//! element, at a cost independent of the chain's length and branch
+//! structure of the individual elements.
+//!
+//! # The summary domain
+//!
+//! Each [`SummaryBranch`] is one input-partition cell of the chain:
+//!
+//! * `constraints` — per header field, the intersection set the chain
+//!   applies to the value that field held *at chain entry* (not to the
+//!   field slot: copies may move entry values into other fields);
+//! * `writes` — the final value of every overwritten field, as a
+//!   constant, a reference to an entry field's value ([`SummaryVal::Entry`]
+//!   — preserving SymNet's structural `provably_same` binding), or a
+//!   fresh-variable slot ([`SummaryVal::Fresh`] — slot indices preserve
+//!   aliasing when one fresh value lands in several fields);
+//! * `fresh` — origin and residual range of each fresh slot;
+//! * `outcome` — the branch continues past the chain, or leaves through a
+//!   numbered egress interface.
+//!
+//! # Soundness (`summarize(chain) ⊑ execute(chain)`)
+//!
+//! Summaries are *exact* (not merely over-approximate) for chain-safe
+//! models, by the substitution-exactness contract of
+//! [`SymElement::chain_safe`]: chain-safe
+//! models transform packets only through value-preserving writes and
+//! range-intersection constraints, so their behaviour on any restriction
+//! of the capture probe equals the restriction of their captured
+//! behaviour. Concretely, for every chain `C` of chain-safe elements and
+//! every packet `p` obtained by constrain-only refinement of
+//! [`SymPacket::unconstrained`]:
+//!
+//! * every feasible branch of `execute(C, p)` corresponds to exactly one
+//!   feasible branch of `apply(summarize(C), p)` with identical field
+//!   values (modulo fresh-variable renaming), identical possible-value
+//!   sets, identical origins, identical written-field sets, and identical
+//!   outcome — and vice versa (infeasible cells drop on both sides);
+//! * therefore every verdict predicate (`ever_written`, `provably_eq`,
+//!   `provably_same` against the ingress snapshot, `possible`,
+//!   `origin_of`) agrees between the two.
+//!
+//! The unit tests below and the 1,000-config differential suite in
+//! `tests/` check this relation against the whole-graph executor, which
+//! remains the oracle.
+//!
+//! # Fallback rule
+//!
+//! Summarization stops — and the engine falls back to per-element
+//! execution — at chain boundaries: the first element that is not
+//! chain-safe (stateful firewalls, NATs, rewriters' reverse paths,
+//! tunnels), any multi-port fan-out or fan-in, and any edge that does not
+//! run `[0] -> [0]`. [`entry_chain`] encodes exactly this rule.
+
+use std::collections::HashMap;
+
+use crate::{
+    field::{Field, ALL_FIELDS},
+    model::{SymElement, SymGraph, SymOut},
+    packet::SymPacket,
+    value::{Origin, RangeSet, SymValue, VarId},
+};
+
+/// Branch-count cap: a chain whose composed partition exceeds this many
+/// cells is not worth memoizing (and would cost more to replay than to
+/// execute); summarization fails and the caller falls back.
+const MAX_BRANCHES: usize = 256;
+
+/// The final value of an overwritten field in a summary branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryVal {
+    /// A known constant.
+    Const(u64),
+    /// The value the named field held at chain entry (structural binding:
+    /// replay writes the very same symbolic value, preserving
+    /// `provably_same` against the ingress snapshot).
+    Entry(Field),
+    /// A fresh variable, identified by its slot index in
+    /// [`SummaryBranch::fresh`]. Two fields holding the same slot hold the
+    /// same variable after replay.
+    Fresh(usize),
+}
+
+/// Where a summary branch ends up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOutcome {
+    /// The packet continues past the chain (out port 0 of the last
+    /// element).
+    Continue,
+    /// The packet leaves the graph through this egress interface.
+    Egress(u16),
+}
+
+/// One input-partition cell of a summarized chain.
+#[derive(Debug, Clone)]
+pub struct SummaryBranch {
+    /// Intersection constraint per *entry value* of a field (fields not
+    /// listed are unconstrained by this branch).
+    pub constraints: Vec<(Field, RangeSet)>,
+    /// Final value of every field the chain overwrites on this branch.
+    pub writes: Vec<(Field, SummaryVal)>,
+    /// Origin and residual range of each fresh-variable slot.
+    pub fresh: Vec<(Origin, RangeSet)>,
+    /// Continue past the chain, or egress.
+    pub outcome: BranchOutcome,
+}
+
+/// The memoizable transfer function of a chain-safe element chain.
+#[derive(Debug, Clone)]
+pub struct SymSummary {
+    /// The input partition: disjoint feasible branches.
+    pub branches: Vec<SummaryBranch>,
+    /// Number of chain elements this summary covers.
+    pub nodes: usize,
+}
+
+/// A maximal chain-safe prefix of a graph starting at an entry node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryChain {
+    /// Chain node indices, in execution order (may be empty when the
+    /// entry itself is not chain-safe).
+    pub nodes: Vec<usize>,
+    /// Where `Continue` branches resume per-element execution:
+    /// `(node, in_port)` — `None` when the chain ends at an element with
+    /// no outgoing edge (continues drop, as in the runtime).
+    pub cont: Option<(usize, usize)>,
+}
+
+impl SymSummary {
+    /// The identity summary: one unconstrained, write-free `Continue`
+    /// branch covering zero elements.
+    pub fn identity() -> SymSummary {
+        SymSummary {
+            branches: vec![SummaryBranch {
+                constraints: Vec::new(),
+                writes: Vec::new(),
+                fresh: Vec::new(),
+                outcome: BranchOutcome::Continue,
+            }],
+            nodes: 0,
+        }
+    }
+
+    /// Replays the summary on `base` as if it had just been injected at
+    /// the chain head: records an arrival per chain node (keeping hop
+    /// accounting and loop detection coherent), narrows entry values by
+    /// the branch constraints, and materializes the branch writes.
+    /// Infeasible branches are dropped. Returns one packet per surviving
+    /// branch with its outcome.
+    pub fn apply(
+        &self,
+        base: &SymPacket,
+        chain_nodes: &[usize],
+    ) -> Vec<(BranchOutcome, SymPacket)> {
+        let entry_vals: Vec<(Field, SymValue)> =
+            ALL_FIELDS.iter().map(|&f| (f, base.get(f))).collect();
+        let entry_val = |f: Field| -> SymValue {
+            entry_vals
+                .iter()
+                .find(|(g, _)| *g == f)
+                .map(|(_, v)| *v)
+                .expect("ALL_FIELDS covers every field")
+        };
+        let mut out = Vec::new();
+        'branches: for br in &self.branches {
+            let mut p = base.clone();
+            for &n in chain_nodes {
+                p.record_arrival(n, 0);
+            }
+            for (g, r) in &br.constraints {
+                if !p.constrain_value(entry_val(*g), r) {
+                    continue 'branches;
+                }
+            }
+            let mut slots: Vec<Option<SymValue>> = vec![None; br.fresh.len()];
+            for (f, v) in &br.writes {
+                let val = match v {
+                    SummaryVal::Const(c) => SymValue::Const(*c),
+                    SummaryVal::Entry(g) => entry_val(*g),
+                    SummaryVal::Fresh(s) => {
+                        if slots[*s].is_none() {
+                            let (origin, ranges) = br.fresh[*s].clone();
+                            slots[*s] = Some(p.fresh_ranged(origin, ranges));
+                        }
+                        slots[*s].expect("slot just filled")
+                    }
+                };
+                p.write(*f, val);
+            }
+            if p.feasible() {
+                out.push((br.outcome, p));
+            }
+        }
+        out
+    }
+}
+
+/// Captures the summary of a single chain-safe element by running its
+/// model once over the unconstrained capture probe and reading each output
+/// branch back into the summary domain. Returns `None` when the element is
+/// not chain-safe or a branch falls outside the domain (non-zero out port,
+/// header-layer manipulation).
+pub fn summarize_element(model: &dyn SymElement) -> Option<SymSummary> {
+    if !model.chain_safe() {
+        return None;
+    }
+    let probe = SymPacket::capture_probe();
+    let entry = probe.ingress;
+    let entry_field_of: HashMap<VarId, Field> = ALL_FIELDS
+        .iter()
+        .filter_map(|&f| entry.get(f).as_var().map(|id| (id, f)))
+        .collect();
+    let mut branches = Vec::new();
+    for o in model.exec(0, probe) {
+        let (outcome, b) = match o {
+            SymOut::Port(0, b) => (BranchOutcome::Continue, b),
+            SymOut::Port(_, _) => return None,
+            SymOut::Egress(iface, b) => (BranchOutcome::Egress(iface), b),
+        };
+        if !b.feasible() {
+            continue;
+        }
+        if b.depth() != 1 {
+            return None;
+        }
+        let mut constraints = Vec::new();
+        for &g in &ALL_FIELDS {
+            if let Some(id) = entry.get(g).as_var() {
+                let r = b.possible_of(SymValue::Var(id));
+                if !r.is_full() {
+                    constraints.push((g, r));
+                }
+            }
+        }
+        let mut writes = Vec::new();
+        let mut fresh: Vec<(Origin, RangeSet)> = Vec::new();
+        let mut slot_of: HashMap<VarId, usize> = HashMap::new();
+        for &f in &ALL_FIELDS {
+            if !b.ever_written(f) {
+                if b.get(f) != entry.get(f) {
+                    // A layer operation changed the field without a write
+                    // record: outside the domain.
+                    return None;
+                }
+                continue;
+            }
+            let val = match b.get(f) {
+                SymValue::Const(c) => SummaryVal::Const(c),
+                SymValue::Var(id) => match entry_field_of.get(&id) {
+                    Some(&g) => SummaryVal::Entry(g),
+                    None => {
+                        let slot = *slot_of.entry(id).or_insert_with(|| {
+                            let origin = b
+                                .origin_of(SymValue::Var(id))
+                                .expect("fresh vars have an origin");
+                            fresh.push((origin, b.possible_of(SymValue::Var(id))));
+                            fresh.len() - 1
+                        });
+                        SummaryVal::Fresh(slot)
+                    }
+                },
+            };
+            writes.push((f, val));
+        }
+        branches.push(SummaryBranch {
+            constraints,
+            writes,
+            fresh,
+            outcome,
+        });
+        if branches.len() > MAX_BRANCHES {
+            return None;
+        }
+    }
+    Some(SymSummary { branches, nodes: 1 })
+}
+
+fn intersect_constraint(map: &mut HashMap<Field, RangeSet>, f: Field, r: &RangeSet) -> bool {
+    let cur = map.entry(f).or_insert_with(RangeSet::full);
+    *cur = cur.intersect(r);
+    !cur.is_empty()
+}
+
+/// Composes two summaries: the transfer function of running chain `a`
+/// then chain `b`. Egress branches of `a` pass through unchanged;
+/// `Continue` branches of `a` are refined by each branch of `b`, with
+/// `b`'s entry-value constraints and entry-value reads translated through
+/// `a`'s writes. Returns `None` when the composed partition exceeds the
+/// branch cap.
+pub fn compose(a: &SymSummary, b: &SymSummary) -> Option<SymSummary> {
+    let mut branches = Vec::new();
+    for x in &a.branches {
+        if matches!(x.outcome, BranchOutcome::Egress(_)) {
+            branches.push(x.clone());
+            continue;
+        }
+        let xw: HashMap<Field, SummaryVal> = x.writes.iter().cloned().collect();
+        'ybranch: for y in &b.branches {
+            let mut constraints: HashMap<Field, RangeSet> = x.constraints.iter().cloned().collect();
+            let mut fresh = x.fresh.clone();
+            let base = fresh.len();
+            fresh.extend(y.fresh.iter().cloned());
+            // Translate b's constraints on what arrives at its entry
+            // through a's writes.
+            for (g, r) in &y.constraints {
+                match xw.get(g) {
+                    Some(SummaryVal::Const(c)) => {
+                        if !r.contains(*c) {
+                            continue 'ybranch;
+                        }
+                    }
+                    Some(SummaryVal::Entry(h)) => {
+                        if !intersect_constraint(&mut constraints, *h, r) {
+                            continue 'ybranch;
+                        }
+                    }
+                    Some(SummaryVal::Fresh(s)) => {
+                        fresh[*s].1 = fresh[*s].1.intersect(r);
+                        if fresh[*s].1.is_empty() {
+                            continue 'ybranch;
+                        }
+                    }
+                    None => {
+                        if !intersect_constraint(&mut constraints, *g, r) {
+                            continue 'ybranch;
+                        }
+                    }
+                }
+            }
+            // Translate b's writes; b wins per field.
+            let mut writes: HashMap<Field, SummaryVal> = xw.clone();
+            for (f, v) in &y.writes {
+                let tv = match v {
+                    SummaryVal::Const(c) => SummaryVal::Const(*c),
+                    SummaryVal::Fresh(s) => SummaryVal::Fresh(base + s),
+                    SummaryVal::Entry(g) => match xw.get(g) {
+                        Some(w) => *w,
+                        None => SummaryVal::Entry(*g),
+                    },
+                };
+                writes.insert(*f, tv);
+            }
+            let mut constraints: Vec<(Field, RangeSet)> = constraints.into_iter().collect();
+            constraints.sort_by_key(|(f, _)| *f as usize);
+            let mut writes: Vec<(Field, SummaryVal)> = writes.into_iter().collect();
+            writes.sort_by_key(|(f, _)| *f as usize);
+            branches.push(SummaryBranch {
+                constraints,
+                writes,
+                fresh,
+                outcome: y.outcome,
+            });
+            if branches.len() > MAX_BRANCHES {
+                return None;
+            }
+        }
+    }
+    Some(SymSummary {
+        branches,
+        nodes: a.nodes + b.nodes,
+    })
+}
+
+/// Summarizes a chain of graph nodes by folding per-element summaries
+/// with [`compose`] — the genuinely compositional production path. `None`
+/// when any element resists summarization or the partition explodes.
+pub fn summarize_chain(g: &SymGraph, nodes: &[usize]) -> Option<SymSummary> {
+    let mut acc = SymSummary::identity();
+    for &n in nodes {
+        let s = summarize_element(g.model(n))?;
+        acc = compose(&acc, &s)?;
+    }
+    Some(acc)
+}
+
+/// Extracts the maximal chain-safe single-in/single-out chain starting at
+/// `entry`, together with the continuation point where per-element
+/// execution resumes. This is the summarization fallback rule in code:
+/// the chain stops at the first non-chain-safe element, any non-port-0
+/// wiring, and any fan-in (successor in-degree > 1).
+pub fn entry_chain(g: &SymGraph, entry: usize) -> EntryChain {
+    let mut nodes = Vec::new();
+    let mut cur = entry;
+    loop {
+        if !g.model(cur).chain_safe() {
+            return EntryChain {
+                nodes,
+                cont: Some((cur, 0)),
+            };
+        }
+        let outs = g.out_edges(cur);
+        if outs.iter().any(|&(p, _, _)| p != 0) {
+            return EntryChain {
+                nodes,
+                cont: Some((cur, 0)),
+            };
+        }
+        nodes.push(cur);
+        match outs.first() {
+            None => {
+                return EntryChain { nodes, cont: None };
+            }
+            Some(&(_, to, to_port)) => {
+                if to_port != 0 || g.in_edges(to).len() != 1 || nodes.contains(&to) {
+                    return EntryChain {
+                        nodes,
+                        cont: Some((to, to_port)),
+                    };
+                }
+                cur = to;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ExecOptions, Observe};
+    use crate::models::build_sym_graph;
+    use innet_click::{ClickConfig, Registry};
+
+    fn graph(cfg: &str) -> (ClickConfig, SymGraph) {
+        let cfg = ClickConfig::parse(cfg).unwrap();
+        let g = build_sym_graph(&cfg, &Registry::standard()).unwrap();
+        (cfg, g)
+    }
+
+    /// Fingerprint of a flow for comparing executor output with summary
+    /// replay: everything the verdict predicates can observe.
+    fn flow_key(p: &SymPacket) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for &f in &ALL_FIELDS {
+            let written = p.ever_written(f);
+            let same_src = p.provably_same(p.get(f), p.ingress.get(Field::IpSrc));
+            let same_dst = p.provably_same(p.get(f), p.ingress.get(Field::IpDst));
+            let origin = p.origin_of(p.get(f));
+            let single = p.possible(f).as_single();
+            let full = p.possible(f).is_full();
+            let _ = write!(
+                s,
+                "{f}:w={written},ss={same_src},sd={same_dst},o={origin:?},c={single:?},f={full};"
+            );
+        }
+        s
+    }
+
+    /// Differential harness: whole-graph execution vs summary replay of
+    /// the maximal entry chain, continuing per-element past the boundary.
+    fn assert_summary_matches(cfg_text: &str) {
+        let (cfg, g) = graph(cfg_text);
+        let entry = g
+            .node_index(&cfg.elements[0].name)
+            .expect("first element is the entry");
+        let opts = ExecOptions {
+            max_hops: 10_000,
+            max_node_visits: 6,
+            observe: Observe::EgressOnly,
+        };
+        let oracle = g.run(entry, 0, SymPacket::unconstrained(), &opts);
+
+        let chain = entry_chain(&g, entry);
+        assert!(
+            !chain.nodes.is_empty(),
+            "test configs start with a chain-safe entry"
+        );
+        let summary = summarize_chain(&g, &chain.nodes).expect("chain summarizes");
+        let mut egress: Vec<(u16, SymPacket)> = Vec::new();
+        for (outcome, pkt) in summary.apply(&SymPacket::unconstrained(), &chain.nodes) {
+            match outcome {
+                BranchOutcome::Egress(iface) => egress.push((iface, pkt)),
+                BranchOutcome::Continue => {
+                    if let Some((n, p)) = chain.cont {
+                        let res = g.run(n, p, pkt, &opts);
+                        egress.extend(res.egress);
+                    }
+                }
+            }
+        }
+
+        let mut want: Vec<String> = oracle
+            .egress
+            .iter()
+            .map(|(i, p)| format!("{i}|{}", flow_key(p)))
+            .collect();
+        let mut got: Vec<String> = egress
+            .iter()
+            .map(|(i, p)| format!("{i}|{}", flow_key(p)))
+            .collect();
+        want.sort();
+        got.sort();
+        assert_eq!(want, got, "summary replay diverged on:\n{cfg_text}");
+    }
+
+    #[test]
+    fn identity_composes_as_unit() {
+        let (_, g) = graph("src :: FromNetfront(); dst :: ToNetfront(); src -> dst;");
+        let s = summarize_chain(&g, &[0, 1]).unwrap();
+        let id = SymSummary::identity();
+        let left = compose(&id, &s).unwrap();
+        let right = compose(&s, &id).unwrap();
+        assert_eq!(left.branches.len(), s.branches.len());
+        assert_eq!(right.branches.len(), s.branches.len());
+        assert_eq!(left.nodes, s.nodes);
+        assert_eq!(right.nodes, s.nodes);
+    }
+
+    #[test]
+    fn filter_chain_summarizes_exactly() {
+        assert_summary_matches(
+            "FromNetfront() -> IPFilter(allow udp dst port 1500) \
+             -> IPRewriter(pattern - - 172.16.15.133 - 0 0) \
+             -> TimedUnqueue(120, 100) -> ToNetfront();",
+        );
+    }
+
+    #[test]
+    fn responder_binding_survives_summary() {
+        assert_summary_matches("FromNetfront() -> ICMPPingResponder() -> ToNetfront();");
+    }
+
+    #[test]
+    fn turnaround_server_summary() {
+        assert_summary_matches("FromNetfront() -> ServerS() -> ToNetfront();");
+    }
+
+    #[test]
+    fn dec_ttl_fresh_slot() {
+        assert_summary_matches("FromNetfront() -> DecIPTTL() -> DecIPTTL() -> ToNetfront();");
+    }
+
+    #[test]
+    fn opaque_vm_havoc_summary() {
+        assert_summary_matches("FromNetfront() -> StockX86VM() -> ToNetfront();");
+    }
+
+    #[test]
+    fn multicast_branches() {
+        assert_summary_matches("FromNetfront() -> IPMulticast(10.0.0.1, 10.0.0.2) -> Discard();");
+    }
+
+    #[test]
+    fn spoof_chain_summary() {
+        assert_summary_matches(
+            "FromNetfront() -> SetIPSrc(8.8.8.8) -> SetIPDst(9.9.9.9) -> ToNetfront();",
+        );
+    }
+
+    #[test]
+    fn chain_stops_at_stateful_element() {
+        let (_, g) = graph(
+            "client_in :: FromNetfront();
+             fw :: StatefulFirewall(allow udp);
+             s :: ServerS();
+             out :: ToNetfront();
+             client_in -> [0]fw; fw[0] -> s -> [1]fw; fw[1] -> out;",
+        );
+        let entry = g.node_index("client_in").unwrap();
+        let chain = entry_chain(&g, entry);
+        assert_eq!(chain.nodes, vec![entry], "firewall is not chain-safe");
+        assert_eq!(chain.cont, Some((g.node_index("fw").unwrap(), 0)));
+    }
+
+    #[test]
+    fn chain_stops_at_fan_out() {
+        let (_, g) = graph(
+            "src :: FromNetfront(); c :: IPClassifier(udp, -); \
+             a :: ToNetfront(0); b :: ToNetfront(1); \
+             src -> c; c[0] -> a; c[1] -> b;",
+        );
+        let chain = entry_chain(&g, g.node_index("src").unwrap());
+        assert_eq!(chain.nodes.len(), 1);
+        assert_eq!(chain.cont, Some((g.node_index("c").unwrap(), 0)));
+    }
+
+    #[test]
+    fn chain_stops_at_fan_in() {
+        // Two sources converge on one filter: the filter has in-degree 2,
+        // so neither entry chain may swallow it.
+        let (_, g) = graph(
+            "s1 :: FromNetfront(0); s2 :: FromNetfront(1); \
+             f :: IPFilter(allow udp); d :: ToNetfront(); \
+             s1 -> f; s2 -> [0]f; f -> d;",
+        );
+        let chain = entry_chain(&g, g.node_index("s1").unwrap());
+        assert_eq!(chain.nodes, vec![g.node_index("s1").unwrap()]);
+        assert_eq!(chain.cont, Some((g.node_index("f").unwrap(), 0)));
+    }
+
+    #[test]
+    fn whole_linear_chain_has_no_continuation() {
+        let (_, g) = graph("FromNetfront() -> IPFilter(allow udp) -> ToNetfront();");
+        let chain = entry_chain(&g, 0);
+        assert_eq!(chain.nodes.len(), 3);
+        assert_eq!(chain.cont, None, "chain ends at the egress element");
+    }
+
+    #[test]
+    fn infeasible_branches_drop_on_replay() {
+        // Contradictory filters: udp then tcp. The composed summary has no
+        // surviving branch.
+        let (_, g) =
+            graph("FromNetfront() -> IPFilter(allow udp) -> IPFilter(allow tcp) -> ToNetfront();");
+        let chain = entry_chain(&g, 0);
+        let s = summarize_chain(&g, &chain.nodes).unwrap();
+        let outs = s.apply(&SymPacket::unconstrained(), &chain.nodes);
+        assert!(outs.is_empty(), "udp ∧ tcp is infeasible");
+    }
+
+    #[test]
+    fn constraints_apply_to_entry_values_not_slots() {
+        // The responder swaps src/dst; a later constraint on the entry dst
+        // must narrow the value now living in the src field.
+        let (_, g) = graph("FromNetfront() -> ICMPPingResponder() -> ToNetfront();");
+        let chain = entry_chain(&g, 0);
+        let s = summarize_chain(&g, &chain.nodes).unwrap();
+        let outs = s.apply(&SymPacket::unconstrained(), &chain.nodes);
+        assert_eq!(outs.len(), 1);
+        let (_, p) = &outs[0];
+        assert!(p.provably_same(p.get(Field::IpDst), p.ingress.get(Field::IpSrc)));
+        assert!(p.provably_same(p.get(Field::IpSrc), p.ingress.get(Field::IpDst)));
+        assert!(p.provably_eq(Field::Proto, 1), "ICMP constraint captured");
+    }
+}

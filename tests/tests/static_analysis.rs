@@ -10,7 +10,9 @@ use innet::analysis::{abstract_verdict, lint};
 use innet::click::{ClickConfig, Registry};
 use innet::controller::HardeningPolicy;
 use innet::prelude::*;
-use innet::symnet::{check_module, SecurityContext};
+use innet::symnet::{
+    check_module, check_module_summarized, SecurityContext, SummarySource, SymSummary,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::net::Ipv4Addr;
 
@@ -129,6 +131,89 @@ fn fast_path_agrees_with_symnet_on_generated_configs() {
     );
 }
 
+/// In-test [`SummarySource`]: a plain map keyed by the canonical slice
+/// text, mirroring the controller's fleet-wide cache (minus locking).
+#[derive(Default)]
+struct MapSource {
+    entries: std::cell::RefCell<std::collections::HashMap<String, std::sync::Arc<SymSummary>>>,
+    hits: std::cell::Cell<usize>,
+}
+
+impl SummarySource for MapSource {
+    fn lookup(&self, cfg: &ClickConfig, chain: &[usize]) -> Option<std::sync::Arc<SymSummary>> {
+        let hit = self
+            .entries
+            .borrow()
+            .get(&cfg.canonical_slice_text(chain))
+            .cloned();
+        if hit.is_some() {
+            self.hits.set(self.hits.get() + 1);
+        }
+        hit
+    }
+
+    fn store(&self, cfg: &ClickConfig, chain: &[usize], summary: std::sync::Arc<SymSummary>) {
+        self.entries
+            .borrow_mut()
+            .insert(cfg.canonical_slice_text(chain), summary);
+    }
+}
+
+/// ≥1000 generated configurations × every requester class: the
+/// compositional checker (summary replay over the entry chain, cold and
+/// cache-warm) must return the same verdict as whole-graph symbolic
+/// execution. This is the soundness contract of the summary path — the
+/// whole-graph executor stays the differential oracle.
+#[test]
+fn compositional_verdict_agrees_with_whole_graph() {
+    let registry = Registry::standard();
+    let mut rng = StdRng::seed_from_u64(0xc0_2015);
+    let warm = MapSource::default();
+    let mut chain_nodes = 0u64;
+    for case in 0..1000 {
+        let cfg = random_config(&mut rng);
+        for class in [
+            RequesterClass::ThirdParty,
+            RequesterClass::Client,
+            RequesterClass::Operator,
+        ] {
+            let ctx = ctx(class);
+            let oracle = check_module(&cfg, &ctx, &registry);
+            // Cold: every summary computed in-call; warm: replayed from
+            // the shared map that persists across all 1000 cases.
+            let cold = check_module_summarized(&cfg, &ctx, &registry, None);
+            let warmed = check_module_summarized(&cfg, &ctx, &registry, Some(&warm));
+            for (mode, got) in [("cold", cold), ("warm", warmed)] {
+                match (&oracle, got) {
+                    (Ok(want), Ok((report, stats))) => {
+                        assert_eq!(
+                            want.verdict,
+                            report.verdict,
+                            "case {case} ({class:?}, {mode}): whole-graph said {:?}, \
+                             compositional said {:?}\noffending config:\n{}",
+                            want.verdict,
+                            report.verdict,
+                            cfg.canonical_text()
+                        );
+                        chain_nodes += stats.summary_chain_nodes;
+                    }
+                    (Err(_), Err(_)) => {}
+                    (want, got) => panic!(
+                        "case {case} ({class:?}, {mode}): whole-graph {want:?} but \
+                         compositional {got:?}\noffending config:\n{}",
+                        cfg.canonical_text()
+                    ),
+                }
+            }
+        }
+    }
+    // The summary path must actually engage (chains of >= 2 safe
+    // elements exist in the pool) and the shared map must get replay
+    // traffic across alpha-equivalent chains.
+    assert!(chain_nodes > 0, "summary replay never engaged");
+    assert!(warm.hits.get() > 0, "warm source never served a summary");
+}
+
 // --- Seeded malformed configurations: each must trip its lint rule. ---
 
 fn lint_of(cfg: &ClickConfig) -> innet::analysis::LintReport {
@@ -243,6 +328,64 @@ fn remaining_rules_fire() {
     assert!(!r.has_errors(), "{r}");
 }
 
+#[test]
+fn dead_classifier_rule_is_l011() {
+    // Rule 2 `udp dst port 53` can never fire: rule 0 `udp` already
+    // captures every UDP packet. The warning names the shortest
+    // shadowing prefix (just rule 0 here).
+    let cfg = ClickConfig::parse(
+        "in :: FromNetfront(); \
+         c :: IPClassifier(udp, tcp, udp dst port 53, -); \
+         a :: Discard(); b :: Discard(); d :: Discard(); e :: Discard(); \
+         in -> c; c[0] -> a; c[1] -> b; c[2] -> d; c[3] -> e;",
+    )
+    .unwrap();
+    let r = lint_of(&cfg);
+    assert!(r.has_rule("IN-L011"), "{r}");
+    assert!(!r.has_errors(), "{r}");
+    let d = r.diagnostics.iter().find(|d| d.rule == "IN-L011").unwrap();
+    assert_eq!(d.element.as_deref(), Some("c"));
+    assert!(d.message.contains("rule 2"), "{}", d.message);
+    assert!(d.message.contains("0..=0"), "{}", d.message);
+}
+
+#[test]
+fn dead_filter_rule_is_l011_with_multi_rule_prefix() {
+    // Rule 2 `deny tcp dst port 80` is only fully covered once both
+    // `tcp syn` (rule 0) and `tcp` (rule 1) are refuted, so the
+    // shortest shadowing prefix is 0..=1.
+    let cfg = ClickConfig::parse(
+        "in :: FromNetfront(); \
+         f :: IPFilter(allow tcp syn, allow tcp, deny tcp dst port 80, allow any); \
+         out :: ToNetfront(); in -> f -> out;",
+    )
+    .unwrap();
+    let r = lint_of(&cfg);
+    assert!(r.has_rule("IN-L011"), "{r}");
+    assert!(!r.has_errors(), "{r}");
+    let d = r.diagnostics.iter().find(|d| d.rule == "IN-L011").unwrap();
+    assert_eq!(d.element.as_deref(), Some("f"));
+    assert!(d.message.contains("rule 2"), "{}", d.message);
+    assert!(d.message.contains("0..=1"), "{}", d.message);
+    assert!(d.message.contains("deny tcp dst port 80"), "{}", d.message);
+}
+
+#[test]
+fn live_rules_are_not_l011() {
+    // The Figure 4 filter and an order-sensitive classifier where every
+    // rule still has reachable packets.
+    let cfg = ClickConfig::parse(
+        "in :: FromNetfront(); \
+         f :: IPFilter(allow udp dst port 1500); \
+         c :: IPClassifier(udp dst port 53, udp, -); \
+         a :: Discard(); b :: Discard(); d :: Discard(); \
+         in -> f -> c; c[0] -> a; c[1] -> b; c[2] -> d;",
+    )
+    .unwrap();
+    let r = lint_of(&cfg);
+    assert!(!r.has_rule("IN-L011"), "{r}");
+}
+
 // --- Controller integration: lint rejection and the fast path. ---
 
 fn controller() -> Controller {
@@ -309,6 +452,53 @@ fn stock_corpus_rides_the_fast_path() {
     let text = obs.snapshot().to_prometheus();
     assert!(text.contains("innet_ctl_fastpath_hits_total"), "{text}");
     assert!(text.contains("innet_ctl_lint_rejects_total"), "{text}");
+}
+
+/// A symbolic (non-fast-path) deploy exports the admission-pipeline
+/// instrumentation: the reason-labeled bailout counter, the summary
+/// cache counters, and the per-stage latency histograms.
+#[test]
+fn symbolic_pipeline_metrics_are_exported() {
+    let mut c = controller();
+    let obs = innet::obs::Registry::new();
+    c.attach_metrics(&obs);
+    let req = ClientRequest::parse(
+        "module batcher:\n\
+         FromNetfront()\n\
+           -> IPFilter(allow udp dst port 1500)\n\
+           -> IPRewriter(pattern - - 172.16.15.133 - 0 0)\n\
+           -> TimedUnqueue(120, 100)\n\
+           -> dst :: ToNetfront();\n\
+         reach from internet udp\n\
+           -> batcher:dst:0 dst 172.16.15.133\n\
+           -> client dst port 1500\n\
+           const proto && dst port && payload",
+    )
+    .unwrap();
+    c.deploy("mobile-7", req).unwrap();
+
+    let stats = c.stats();
+    assert!(
+        stats.summary_chain_nodes > 0,
+        "summaries engaged: {stats:?}"
+    );
+    assert_eq!(
+        stats.symbolic_bailouts(),
+        stats.hop_cap_bailouts + stats.visit_cap_bailouts
+    );
+
+    let text = obs.snapshot().to_prometheus();
+    for metric in [
+        "innet_ctl_symbolic_bailouts_total",
+        "innet_ctl_summary_cache_hits_total",
+        "innet_ctl_summary_cache_misses_total",
+        "innet_ctl_stage_lint_ns",
+        "innet_ctl_stage_fastpath_ns",
+        "innet_ctl_stage_symbolic_ns",
+        "innet_ctl_stage_placement_ns",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in:\n{text}");
+    }
 }
 
 /// Disabling the analyzer forces the symbolic path — and the verdicts

@@ -11,13 +11,15 @@
 use proc_macro::TokenStream;
 
 /// Expands to nothing; the stub `serde::Serialize` trait has no items.
-#[proc_macro_derive(Serialize)]
+/// Registers the `serde` helper attribute so standard field annotations
+/// (`#[serde(skip)]`, …) compile.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Expands to nothing; the stub `serde::Deserialize` trait has no items.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
