@@ -42,6 +42,15 @@ storm_out="$(cargo run --release -q -p innet-examples --bin deploy_storm)"
 grep -qE "summary cache: [1-9][0-9]* hits" <<<"$storm_out"
 grep -q "speedup:" <<<"$storm_out"
 
+echo "==> fleet example smoke-run"
+# The example builds a multi-host fleet over a generated capacitated
+# topology, deploys through ranked placement, and rebalances load via
+# live migration — the marker proves a migration actually completed.
+# (capture first: grep -q would close the pipe mid-print)
+fleet_out="$(cargo run --release -q -p innet-examples --bin fleet)"
+grep -q "migration completed:" <<<"$fleet_out"
+grep -q "load spread after rebalance" <<<"$fleet_out"
+
 echo "==> bench compile gate"
 # Benches are not run in CI (too slow, too noisy), but they must keep
 # compiling — parallel_scaling in particular tracks the runner API.
@@ -75,5 +84,9 @@ INNET_BENCH_QUICK=1 INNET_BENCH_SNAPSHOT_DIR="$snapdir" \
   cargo bench --quiet --bench deploy_storm >/dev/null
 cargo run --release -q -p innet-bench --bin validate_snapshot \
   "$snapdir/BENCH_admission.json"
+INNET_BENCH_QUICK=1 INNET_BENCH_SNAPSHOT_DIR="$snapdir" \
+  cargo bench --quiet --bench fleet >/dev/null
+cargo run --release -q -p innet-bench --bin validate_snapshot \
+  "$snapdir/BENCH_fleet.json"
 
 echo "CI OK"

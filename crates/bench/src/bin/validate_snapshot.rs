@@ -2,12 +2,13 @@
 //! smoke step). Exits non-zero with a diagnostic on the first invalid
 //! file.
 //!
-//! Two snapshot schemas exist: throughput rows ([`BenchSnapshot`]) and
-//! admission-latency rows ([`AdmissionSnapshot`]). The validator tries
-//! both and accepts a file that satisfies either; a file that satisfies
-//! neither reports both diagnostics.
+//! Three snapshot schemas exist: throughput rows ([`BenchSnapshot`]),
+//! admission-latency rows ([`AdmissionSnapshot`]), and fleet
+//! placement/migration rows ([`FleetSnapshot`]). The validator tries
+//! each in turn and accepts a file that satisfies any; a file that
+//! satisfies none reports every diagnostic.
 
-use innet_bench::{AdmissionSnapshot, BenchSnapshot};
+use innet_bench::{AdmissionSnapshot, BenchSnapshot, FleetSnapshot};
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +39,7 @@ fn main() {
             }
             Err(e) => e,
         };
-        match AdmissionSnapshot::parse(&text) {
+        let adm_err = match AdmissionSnapshot::parse(&text) {
             Ok(snap) => {
                 if snap.rows.is_empty() {
                     eprintln!("{path}: valid but has no rows");
@@ -49,11 +50,27 @@ fn main() {
                     snap.rows.len(),
                     snap.bench
                 );
+                continue;
             }
-            Err(adm_err) => {
+            Err(e) => e,
+        };
+        match FleetSnapshot::parse(&text) {
+            Ok(snap) => {
+                if snap.rows.is_empty() {
+                    eprintln!("{path}: valid but has no rows");
+                    std::process::exit(1);
+                }
+                println!(
+                    "{path}: ok ({} fleet rows, bench '{}')",
+                    snap.rows.len(),
+                    snap.bench
+                );
+            }
+            Err(fleet_err) => {
                 eprintln!(
                     "{path}: schema violation: not a throughput snapshot \
-                     ({bench_err}) and not an admission snapshot ({adm_err})"
+                     ({bench_err}), not an admission snapshot ({adm_err}), \
+                     and not a fleet snapshot ({fleet_err})"
                 );
                 std::process::exit(1);
             }

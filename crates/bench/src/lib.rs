@@ -451,6 +451,228 @@ impl AdmissionSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet snapshots (the fleet placement + migration bench).
+// ---------------------------------------------------------------------------
+
+/// One fleet-bench row: a tenant scenario driven over a generated
+/// capacitated topology, with the observed placement-latency and
+/// migration-downtime distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRow {
+    /// Tenant-mix scenario (e.g. `"stock"`, `"novel"`, `"mixed-stock-novel"`).
+    pub scenario: String,
+    /// Nodes in the generated topology.
+    pub nodes: u64,
+    /// Platforms among those nodes.
+    pub platforms: u64,
+    /// Placements (deploys) measured.
+    pub placements: u64,
+    /// Median controller placement latency in nanoseconds.
+    pub placement_p50_ns: f64,
+    /// 99th-percentile controller placement latency in nanoseconds.
+    pub placement_p99_ns: f64,
+    /// Live migrations completed during the run.
+    pub migrations: u64,
+    /// Median migration downtime (suspend → resume-complete) in
+    /// nanoseconds; zero when no migrations ran.
+    pub downtime_p50_ns: f64,
+    /// 99th-percentile migration downtime in nanoseconds.
+    pub downtime_p99_ns: f64,
+}
+
+/// The machine-readable record the fleet bench leaves behind
+/// (`BENCH_fleet.json`): placement latency and live-migration downtime
+/// over a seeded thousand-node topology, committed so the fleet-fabric
+/// perf trajectory stays in history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Which bench produced this snapshot (`"fleet"`).
+    pub bench: String,
+    /// The measured rows.
+    pub rows: Vec<FleetRow>,
+}
+
+impl FleetSnapshot {
+    /// An empty snapshot for bench `name`.
+    pub fn new(name: &str) -> FleetSnapshot {
+        FleetSnapshot {
+            bench: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one measured row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn row(
+        &mut self,
+        scenario: &str,
+        nodes: u64,
+        platforms: u64,
+        placements: u64,
+        placement_p50_ns: f64,
+        placement_p99_ns: f64,
+        migrations: u64,
+        downtime_p50_ns: f64,
+        downtime_p99_ns: f64,
+    ) {
+        self.rows.push(FleetRow {
+            scenario: scenario.to_string(),
+            nodes,
+            platforms,
+            placements,
+            placement_p50_ns,
+            placement_p99_ns,
+            migrations,
+            downtime_p50_ns,
+            downtime_p99_ns,
+        });
+    }
+
+    /// Serializes to the snapshot JSON schema.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.3}")
+            } else {
+                "0.000".to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {SNAPSHOT_SCHEMA_VERSION},\n  \"bench\": \"{}\",\n  \"rows\": [",
+            esc(&self.bench)
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"scenario\": \"{}\", \"nodes\": {}, \"platforms\": {}, \
+                 \"placements\": {}, \"placement_p50_ns\": {}, \"placement_p99_ns\": {}, \
+                 \"migrations\": {}, \"downtime_p50_ns\": {}, \"downtime_p99_ns\": {}}}",
+                if i == 0 { "" } else { "," },
+                esc(&r.scenario),
+                r.nodes,
+                r.platforms,
+                r.placements,
+                num(r.placement_p50_ns),
+                num(r.placement_p99_ns),
+                r.migrations,
+                num(r.downtime_p50_ns),
+                num(r.downtime_p99_ns)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses and schema-validates fleet snapshot JSON: required fields,
+    /// positive node/platform/placement counts with `platforms <= nodes`,
+    /// finite non-negative latencies with `p50 <= p99` for both the
+    /// placement and downtime distributions, and zero downtime required
+    /// when no migrations ran.
+    pub fn parse(text: &str) -> Result<FleetSnapshot, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let version = json::field(obj, "schema_version")?
+            .as_num()
+            .ok_or("schema_version must be a number")?;
+        if version != SNAPSHOT_SCHEMA_VERSION as f64 {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        let bench = json::field(obj, "bench")?
+            .as_str()
+            .ok_or("bench must be a string")?
+            .to_string();
+        if bench.is_empty() {
+            return Err("bench must be non-empty".to_string());
+        }
+        let rows_v = json::field(obj, "rows")?
+            .as_arr()
+            .ok_or("rows must be an array")?;
+        let mut rows = Vec::new();
+        for (i, rv) in rows_v.iter().enumerate() {
+            let ro = rv.as_obj().ok_or(format!("row {i} must be an object"))?;
+            let scenario = json::field(ro, "scenario")?
+                .as_str()
+                .ok_or(format!("row {i}: scenario must be a string"))?
+                .to_string();
+            if scenario.is_empty() {
+                return Err(format!("row {i}: scenario must be non-empty"));
+            }
+            let count = |name: &str, min: f64| -> Result<u64, String> {
+                let x = json::field(ro, name)?
+                    .as_num()
+                    .ok_or(format!("row {i}: {name} must be a number"))?;
+                if x < min || x.fract() != 0.0 {
+                    return Err(format!("row {i}: {name} must be an integer >= {min}"));
+                }
+                Ok(x as u64)
+            };
+            let lat = |name: &str| -> Result<f64, String> {
+                let x = json::field(ro, name)?
+                    .as_num()
+                    .ok_or(format!("row {i}: {name} must be a number"))?;
+                if !(x.is_finite() && x >= 0.0) {
+                    return Err(format!("row {i}: {name} must be finite and non-negative"));
+                }
+                Ok(x)
+            };
+            let nodes = count("nodes", 1.0)?;
+            let platforms = count("platforms", 1.0)?;
+            if platforms > nodes {
+                return Err(format!("row {i}: platforms exceed nodes"));
+            }
+            let placements = count("placements", 1.0)?;
+            let placement_p50_ns = lat("placement_p50_ns")?;
+            let placement_p99_ns = lat("placement_p99_ns")?;
+            if placement_p50_ns > placement_p99_ns {
+                return Err(format!(
+                    "row {i}: placement_p50_ns exceeds placement_p99_ns"
+                ));
+            }
+            let migrations = count("migrations", 0.0)?;
+            let downtime_p50_ns = lat("downtime_p50_ns")?;
+            let downtime_p99_ns = lat("downtime_p99_ns")?;
+            if downtime_p50_ns > downtime_p99_ns {
+                return Err(format!("row {i}: downtime_p50_ns exceeds downtime_p99_ns"));
+            }
+            if migrations == 0 && downtime_p99_ns != 0.0 {
+                return Err(format!("row {i}: downtime reported without migrations"));
+            }
+            rows.push(FleetRow {
+                scenario,
+                nodes,
+                platforms,
+                placements,
+                placement_p50_ns,
+                placement_p99_ns,
+                migrations,
+                downtime_p50_ns,
+                downtime_p99_ns,
+            });
+        }
+        Ok(FleetSnapshot { bench, rows })
+    }
+
+    /// Writes `BENCH_<bench>.json` (same directory resolution as
+    /// [`BenchSnapshot::write`]). Returns the path on success.
+    pub fn write(&self) -> Option<PathBuf> {
+        write_snapshot(&self.bench, &self.to_json())
+    }
+}
+
 /// A minimal JSON reader — just enough structure to validate snapshots
 /// without `serde_json` (the container is offline; see the vendor note in
 /// the workspace manifest).
@@ -779,6 +1001,60 @@ mod snapshot_tests {
         // (and vice versa): the validator dispatches on whichever fits.
         assert!(BenchSnapshot::parse(&admission_sample().to_json()).is_err());
         assert!(AdmissionSnapshot::parse(&sample().to_json()).is_err());
+    }
+
+    fn fleet_sample() -> FleetSnapshot {
+        let mut s = FleetSnapshot::new("fleet");
+        s.row(
+            "mixed-stock-novel",
+            1_001,
+            400,
+            64,
+            45_000.0,
+            210_000.0,
+            8,
+            70_000_000.0,
+            75_000_000.0,
+        );
+        s.row("stock", 1_001, 400, 32, 20_000.0, 90_000.0, 0, 0.0, 0.0);
+        s
+    }
+
+    #[test]
+    fn fleet_snapshot_roundtrips_through_parser() {
+        let s = fleet_sample();
+        let parsed = FleetSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.bench, "fleet");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].nodes, 1_001);
+        assert_eq!(parsed.rows[0].migrations, 8);
+        assert!((parsed.rows[0].downtime_p50_ns - 70_000_000.0).abs() < 0.01);
+        assert_eq!(parsed.rows[1].migrations, 0);
+    }
+
+    #[test]
+    fn fleet_parser_rejects_schema_violations() {
+        // Missing field.
+        let bad = fleet_sample().to_json().replace("\"nodes\": 1001, ", "");
+        assert!(FleetSnapshot::parse(&bad).is_err());
+        // More platforms than nodes.
+        let mut s = FleetSnapshot::new("fleet");
+        s.row("x", 10, 11, 1, 1.0, 2.0, 0, 0.0, 0.0);
+        assert!(FleetSnapshot::parse(&s.to_json()).is_err());
+        // Inverted placement percentiles.
+        let mut s = FleetSnapshot::new("fleet");
+        s.row("x", 10, 4, 1, 9.0, 4.0, 0, 0.0, 0.0);
+        assert!(FleetSnapshot::parse(&s.to_json()).is_err());
+        // Downtime without migrations.
+        let mut s = FleetSnapshot::new("fleet");
+        s.row("x", 10, 4, 1, 1.0, 2.0, 0, 3.0, 4.0);
+        assert!(FleetSnapshot::parse(&s.to_json()).is_err());
+        // The three schemas stay mutually exclusive: the validator
+        // dispatches on whichever parser accepts.
+        assert!(BenchSnapshot::parse(&fleet_sample().to_json()).is_err());
+        assert!(AdmissionSnapshot::parse(&fleet_sample().to_json()).is_err());
+        assert!(FleetSnapshot::parse(&sample().to_json()).is_err());
+        assert!(FleetSnapshot::parse(&admission_sample().to_json()).is_err());
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! merge them. … Our prototype takes the simpler option of not
 //! consolidating clients running stateful processing."
 
+use std::collections::HashMap;
+
 use innet_click::ClickConfig;
+use innet_topology::{NodeId, NodeKind, Topology};
 
 use crate::netmodel::InstalledModule;
 
@@ -115,6 +118,76 @@ pub fn consolidated_vm_config(modules: &[&InstalledModule]) -> ClickConfig {
     cfg
 }
 
+/// A fleet-wide VM packing plan across every platform of a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConsolidationPlan {
+    /// The platform chosen to host the single fleet-wide shared VM —
+    /// the one already hosting the most stateless tenants (ties broken
+    /// by larger residual slot capacity, then smaller node id). `None`
+    /// when no module is consolidable.
+    pub home: Option<NodeId>,
+    /// Module names sharing the consolidated VM on `home`.
+    pub shared: Vec<String>,
+    /// `(platform, module)` pairs that keep a dedicated VM where they
+    /// are (stateful processing and everything behind a sandbox).
+    pub dedicated: Vec<(NodeId, String)>,
+    /// Relocations the plan implies: `(module, from, to)` for every
+    /// shared tenant not already on `home` — the work list a fleet
+    /// migration driver executes before merging the VMs.
+    pub moves: Vec<(String, NodeId, NodeId)>,
+}
+
+/// Extends [`plan`] across hosts: stateless tenants from *all* platforms
+/// consolidate into one shared VM, placed on the platform that already
+/// hosts the most of them (so the plan moves the fewest VMs), while
+/// stateful and sandboxed modules stay dedicated where they run. The
+/// same isolation argument applies fleet-wide — verified configurations
+/// only interact via packets, and the shared VM's demultiplexer keys on
+/// addresses that remain unique across platforms.
+pub fn plan_fleet(modules: &[InstalledModule], topo: &Topology) -> FleetConsolidationPlan {
+    let mut shared = Vec::new();
+    let mut dedicated = Vec::new();
+    let mut stateless: Vec<(&InstalledModule, NodeId)> = Vec::new();
+    let mut stateless_per: HashMap<NodeId, usize> = HashMap::new();
+    let mut installed_per: HashMap<NodeId, usize> = HashMap::new();
+    for m in modules {
+        *installed_per.entry(m.platform).or_insert(0) += 1;
+        if m.sandboxed || is_stateful(&m.config) {
+            dedicated.push((m.platform, m.name.clone()));
+        } else {
+            shared.push(m.name.clone());
+            stateless.push((m, m.platform));
+            *stateless_per.entry(m.platform).or_insert(0) += 1;
+        }
+    }
+    let home = stateless_per
+        .iter()
+        .max_by_key(|(&p, &count)| {
+            let residual = match topo.node(p).kind {
+                NodeKind::Platform(ref spec) => spec
+                    .capacity
+                    .saturating_sub(installed_per.get(&p).copied().unwrap_or(0)),
+                _ => 0,
+            };
+            (count, residual, std::cmp::Reverse(p))
+        })
+        .map(|(&p, _)| p);
+    let moves = match home {
+        Some(home) => stateless
+            .iter()
+            .filter(|&&(_, p)| p != home)
+            .map(|&(m, p)| (m.name.clone(), p, home))
+            .collect(),
+        None => Vec::new(),
+    };
+    FleetConsolidationPlan {
+        home,
+        shared,
+        dedicated,
+        moves,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +251,48 @@ mod tests {
         let p = plan(&mods);
         assert_eq!(p.shared, vec!["a", "b"]);
         assert_eq!(p.dedicated, vec!["c", "d"]);
+    }
+
+    #[test]
+    fn plan_fleet_homes_shared_vm_on_the_busiest_platform() {
+        let topo = Topology::figure3();
+        let platforms = topo.platforms();
+        let (p1, p2) = (platforms[0], platforms[1]);
+        let stateless = "FromNetfront() -> Counter() -> ToNetfront();";
+        let stateful = "FromNetfront() -> [0]n :: IPNAT(203.0.113.9); n[0] -> ToNetfront();";
+        let mut mods = vec![
+            module("a", Ipv4Addr::new(192, 0, 2, 10), stateless, false),
+            module("b", Ipv4Addr::new(192, 0, 2, 11), stateless, false),
+            module("c", Ipv4Addr::new(198, 51, 100, 10), stateless, false),
+            module("d", Ipv4Addr::new(198, 51, 100, 11), stateful, false),
+        ];
+        mods[0].platform = p1;
+        mods[1].platform = p1;
+        mods[2].platform = p2;
+        mods[3].platform = p2;
+        let plan = plan_fleet(&mods, &topo);
+        // p1 hosts two stateless tenants to p2's one: the shared VM lands
+        // on p1 and only "c" has to move. The NAT stays dedicated on p2.
+        assert_eq!(plan.home, Some(p1));
+        assert_eq!(plan.shared, vec!["a", "b", "c"]);
+        assert_eq!(plan.dedicated, vec![(p2, "d".to_string())]);
+        assert_eq!(plan.moves, vec![("c".to_string(), p2, p1)]);
+    }
+
+    #[test]
+    fn plan_fleet_with_no_consolidable_modules_has_no_home() {
+        let topo = Topology::figure3();
+        let m = module(
+            "n",
+            Ipv4Addr::new(192, 0, 2, 10),
+            "FromNetfront() -> [0]n :: IPNAT(192.0.2.10); n[0] -> ToNetfront();",
+            false,
+        );
+        let plan = plan_fleet(&[m], &topo);
+        assert_eq!(plan.home, None);
+        assert!(plan.shared.is_empty());
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.dedicated.len(), 1);
     }
 
     #[test]

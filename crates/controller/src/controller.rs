@@ -20,6 +20,7 @@ use crate::{
     cache::{verdict_key, CachedOutcome, CachedVerdict, VerdictCache},
     hardening::{apply_udp_reflection_ban, HardeningPolicy},
     netmodel::{compile, InstalledModule, NetworkModel},
+    placement::{PlacementContext, RejectReason},
     request::{ClientRequest, ModuleConfig},
     sandbox::wrap_with_enforcer,
     stock::stock_config,
@@ -115,6 +116,11 @@ pub struct ControllerStats {
     /// Nanoseconds spent in the placement stage (capacity + address
     /// assignment, model compilation, policy and requirement checks).
     pub stage_placement_ns: u64,
+    /// Per-platform placement rejections accumulated across
+    /// `NoFeasiblePlacement` outcomes (one per `(platform, reason)`
+    /// pair). The per-reason split is exported as
+    /// `innet_ctl_placement_reject_total{reason=…}`.
+    pub placement_rejects: u64,
 }
 
 impl ControllerStats {
@@ -168,6 +174,7 @@ struct ControllerMetrics {
     stage_fastpath_ns: innet_obs::Histogram,
     stage_symbolic_ns: innet_obs::Histogram,
     stage_placement_ns: innet_obs::Histogram,
+    placement_rejects: innet_obs::LabeledCounter,
 }
 
 impl ControllerMetrics {
@@ -200,6 +207,7 @@ impl ControllerMetrics {
             stage_fastpath_ns: reg.histogram("innet_ctl_stage_fastpath_ns"),
             stage_symbolic_ns: reg.histogram("innet_ctl_stage_symbolic_ns"),
             stage_placement_ns: reg.histogram("innet_ctl_stage_placement_ns"),
+            placement_rejects: reg.labeled_counter("innet_ctl_placement_reject_total", "reason"),
         }
     }
 }
@@ -343,6 +351,10 @@ pub struct Controller {
     /// the element registry, so replays are exact; flushed alongside the
     /// verdict cache for hygiene.
     lint_memo: Arc<RwLock<HashMap<String, innet_analysis::LintReport>>>,
+    /// Precomputed placement-scoring context (client-vantage shortest
+    /// paths). Immutable after construction — the topology is fixed for
+    /// the controller's lifetime — and shared with verification shards.
+    placement: Arc<PlacementContext>,
     /// Cumulative statistics.
     stats: ControllerStats,
     /// Shared-registry instruments, if attached.
@@ -352,6 +364,7 @@ pub struct Controller {
 impl Controller {
     /// Creates a controller for the given operator topology.
     pub fn new(topology: Topology) -> Controller {
+        let placement = Arc::new(PlacementContext::new(&topology));
         Controller {
             topology,
             registry: Registry::standard(),
@@ -368,6 +381,7 @@ impl Controller {
             summaries: Arc::new(RwLock::new(SummaryCache::default())),
             models: Arc::new(ModelCache::default()),
             lint_memo: Arc::new(RwLock::new(HashMap::new())),
+            placement,
             stats: ControllerStats::default(),
             metrics: None,
         }
@@ -523,6 +537,50 @@ impl Controller {
         self.modules.iter().filter(|m| m.platform == id).count() < spec.capacity
     }
 
+    /// Installed-module count per platform.
+    fn occupancy(&self) -> HashMap<NodeId, usize> {
+        let mut occ: HashMap<NodeId, usize> = HashMap::new();
+        for m in &self.modules {
+            *occ.entry(m.platform).or_insert(0) += 1;
+        }
+        occ
+    }
+
+    /// The topology's platforms in placement-preference order (client
+    /// latency, residual capacity, link headroom — see
+    /// [`PlacementContext::score`]) under current occupancy.
+    pub fn ranked_platforms(&self) -> Vec<NodeId> {
+        self.placement.rank(&self.topology, &self.occupancy())
+    }
+
+    /// The best-ranked platform that still has module capacity, if any.
+    fn best_platform_with_room(&self) -> Option<NodeId> {
+        let occupancy = self.occupancy();
+        self.placement
+            .rank(&self.topology, &occupancy)
+            .into_iter()
+            .find(|p| match &self.topology.node(*p).kind {
+                NodeKind::Platform(spec) => occupancy.get(p).copied().unwrap_or(0) < spec.capacity,
+                _ => false,
+            })
+    }
+
+    /// Counts each per-platform rejection of a `NoFeasiblePlacement`
+    /// outcome, split by [`RejectReason`] in the labeled metric.
+    fn note_placement_rejects(&mut self, err: &DeployError) {
+        let DeployError::NoFeasiblePlacement { reasons } = err else {
+            return;
+        };
+        self.stats.placement_rejects += reasons.len() as u64;
+        if let Some(m) = &self.metrics {
+            for (_, why) in reasons {
+                m.placement_rejects
+                    .with(RejectReason::classify(why).as_str())
+                    .inc();
+            }
+        }
+    }
+
     /// Compiles the current network state into a verification model.
     pub fn network_model(&self) -> Result<NetworkModel, SymError> {
         let mut m = compile(&self.topology, &self.modules, &self.registry)?;
@@ -644,11 +702,51 @@ impl Controller {
                     return self
                         .commit_unchecked(client_id, &account, request, &platform, sandboxed);
                 }
+                CachedOutcome::Accept { sandboxed, .. }
+                    if request.requirements.is_empty() && self.operator_policy.is_empty() =>
+                {
+                    // The cached placement filled up since it was
+                    // verified, but with no requirements and no operator
+                    // policy the verdict is placement-independent (the
+                    // same argument the hit path's `commit_unchecked`
+                    // already relies on) — only the placement step needs
+                    // redoing. Commit on the best-ranked platform with
+                    // room, still as a cache hit: no model is compiled
+                    // and no check re-runs. The refreshed entry points
+                    // the next hit straight at the new platform.
+                    if let Some(alt) = self.best_platform_with_room() {
+                        self.stats.cache_hits += 1;
+                        self.stats.check_ns_saved += hit.check_ns;
+                        if let Some(m) = &self.metrics {
+                            m.cache_hits.inc();
+                            m.check_ns_saved.add(hit.check_ns);
+                        }
+                        let alt_name = self.topology.node(alt).name.clone();
+                        self.verdicts.write().insert(
+                            epoch,
+                            key,
+                            CachedVerdict {
+                                outcome: CachedOutcome::Accept {
+                                    platform: alt_name.clone(),
+                                    sandboxed,
+                                },
+                                check_ns: hit.check_ns,
+                            },
+                        );
+                        return self
+                            .commit_unchecked(client_id, &account, request, &alt_name, sandboxed);
+                    }
+                    // Every platform is full: fall through to the full
+                    // pipeline (counted as a miss), which reports the
+                    // per-platform reasons.
+                }
                 CachedOutcome::Accept { .. } => {
                     // The cached placement filled up since it was
-                    // verified. Fall through to a full re-verification
-                    // (counted as a miss); its outcome replaces the stale
-                    // entry.
+                    // verified, and the request constrains placement
+                    // (requirements or operator policy), so the verdict
+                    // may not transfer to another platform. Fall through
+                    // to a full re-verification (counted as a miss); its
+                    // outcome replaces the stale entry.
                 }
                 CachedOutcome::Reject(e) => {
                     self.stats.cache_hits += 1;
@@ -659,6 +757,7 @@ impl Controller {
                         m.check_ns_saved.add(hit.check_ns);
                         m.rejected.inc();
                     }
+                    self.note_placement_rejects(&e);
                     return Err(e);
                 }
             }
@@ -734,12 +833,13 @@ impl Controller {
                     m.verdicts.with(verdict).inc();
                 }
             }
-            Err(_) => {
+            Err(e) => {
                 self.stats.rejected += 1;
                 if let Some(m) = &self.metrics {
                     m.rejected.inc();
                     m.verdicts.with("reject").inc();
                 }
+                self.note_placement_rejects(e);
             }
         }
 
@@ -750,6 +850,19 @@ impl Controller {
             }),
             // Not verdicts about the request itself — never memoized.
             Err(DeployError::UnknownClient(_)) | Err(DeployError::NoSuchModule(_)) => None,
+            // A placement that failed purely on capacity (platform full,
+            // no address pool) is a property of current occupancy, not of
+            // the request — occupancy changes on every commit and `kill`
+            // without an epoch bump, so memoizing it would keep replaying
+            // the reject after space frees up. Verdict-class rejects
+            // (security, lint, policy, requirements) stay memoized.
+            Err(DeployError::NoFeasiblePlacement { reasons })
+                if reasons
+                    .iter()
+                    .all(|(_, why)| RejectReason::classify(why).is_capacity()) =>
+            {
+                None
+            }
             Err(e) => Some(CachedOutcome::Reject(e.clone())),
         };
         if let Some(outcome) = outcome {
@@ -829,7 +942,11 @@ impl Controller {
             && !self.hardening.ban_udp_reflection;
 
         let result = 'search: {
-            let platforms = self.topology.platforms();
+            // Candidates in placement-preference order: client latency,
+            // residual capacity, link headroom (see `PlacementContext`).
+            // On figure-3-scale topologies with uniform links this
+            // degenerates to the paper's declaration-order iteration.
+            let platforms = self.placement.rank(&self.topology, &self.occupancy());
             for platform in platforms {
                 let platform_name = self.topology.node(platform).name.clone();
 
@@ -1074,16 +1191,26 @@ impl Controller {
         platform_name: &str,
         sandboxed: bool,
     ) -> Result<DeployResponse, DeployError> {
-        let platform = self.topology.index_of(platform_name).ok_or_else(|| {
-            DeployError::NoFeasiblePlacement {
-                reasons: vec![(platform_name.to_string(), "unknown platform".to_string())],
+        let platform = match self.topology.index_of(platform_name) {
+            Some(p) => p,
+            None => {
+                let err = DeployError::NoFeasiblePlacement {
+                    reasons: vec![(platform_name.to_string(), "unknown platform".to_string())],
+                };
+                self.note_placement_rejects(&err);
+                return Err(err);
             }
-        })?;
-        let addr =
-            self.allocate_addr(platform)
-                .ok_or_else(|| DeployError::NoFeasiblePlacement {
+        };
+        let addr = match self.allocate_addr(platform) {
+            Some(a) => a,
+            None => {
+                let err = DeployError::NoFeasiblePlacement {
                     reasons: vec![(platform_name.to_string(), "not a platform".to_string())],
-                })?;
+                };
+                self.note_placement_rejects(&err);
+                return Err(err);
+            }
+        };
         let raw_cfg = Controller::materialize_config(&request.config, addr);
         let run_cfg = if sandboxed {
             wrap_with_enforcer(&raw_cfg, addr, &account.registered)
@@ -1170,6 +1297,7 @@ impl Controller {
             summaries: Arc::clone(&self.summaries),
             models: Arc::clone(&self.models),
             lint_memo: Arc::clone(&self.lint_memo),
+            placement: Arc::clone(&self.placement),
             stats: ControllerStats::default(),
             metrics: None,
         }
@@ -1216,6 +1344,7 @@ impl Controller {
             stage_fastpath_ns,
             stage_symbolic_ns,
             stage_placement_ns,
+            placement_rejects,
         } = shard;
         self.stats.requests += requests;
         self.stats.rejected += rejected;
@@ -1240,6 +1369,9 @@ impl Controller {
         self.stats.stage_fastpath_ns += stage_fastpath_ns;
         self.stats.stage_symbolic_ns += stage_symbolic_ns;
         self.stats.stage_placement_ns += stage_placement_ns;
+        // Shards have no metrics attached, so their per-reason label
+        // split is not recoverable here — the total still folds.
+        self.stats.placement_rejects += placement_rejects;
         if let Some(m) = &self.metrics {
             m.requests.add(requests);
             m.rejected.add(rejected);

@@ -63,6 +63,7 @@ mod controller;
 mod hardening;
 mod netmodel;
 mod parallel;
+mod placement;
 mod request;
 mod sandbox;
 mod stock;
@@ -70,12 +71,16 @@ mod summaries;
 mod verdicts;
 mod verify;
 
-pub use consolidate::{consolidated_vm_config, is_stateful, plan, ConsolidationPlan};
+pub use consolidate::{
+    consolidated_vm_config, is_stateful, plan, plan_fleet, ConsolidationPlan,
+    FleetConsolidationPlan,
+};
 pub use controller::{
     ClientAccount, Controller, ControllerStats, DeployError, DeployResponse, FlowRule, ModuleId,
 };
 pub use hardening::{apply_udp_reflection_ban, internal_prefixes, HardeningPolicy};
 pub use netmodel::{compile, InstalledModule, NetworkModel};
+pub use placement::{PlacementContext, RejectReason};
 pub use request::{ClientRequest, ModuleConfig, RequestParseError, StockModule};
 pub use sandbox::wrap_with_enforcer;
 pub use stock::stock_config;

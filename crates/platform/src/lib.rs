@@ -43,6 +43,7 @@
 
 pub mod calib;
 mod engine;
+mod fleet;
 mod native;
 mod parallel;
 mod runner;
@@ -52,6 +53,7 @@ mod vm;
 
 pub use calib::{max_vms, VmTimingKind};
 pub use engine::Engine;
+pub use fleet::{Fleet, FleetError, FleetStats, MigrationRecord};
 pub use native::{
     consolidated_config, middlebox_config, nat_gateway_config, plain_firewall, sandboxed_firewall,
     stateful_firewall_config, NativeRunner, NativeStats,

@@ -34,7 +34,7 @@ pub struct ClientEntry {
 /// `packets == delivered + buffered + dropped` always holds, and every
 /// drop also lands in a reason-labeled cell of
 /// `innet_switch_drops_total` when a registry is attached.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwitchStats {
     /// Packets seen.
     pub packets: u64,
@@ -304,6 +304,34 @@ impl SwitchController {
     /// The VM currently bound to a client address.
     pub fn binding(&self, addr: Ipv4Addr) -> Option<VmId> {
         self.bindings.get(&addr).copied()
+    }
+
+    /// The registration for a client address, if any.
+    pub fn client(&self, addr: Ipv4Addr) -> Option<&ClientEntry> {
+        self.clients.get(&addr)
+    }
+
+    /// Removes a client registration and all its per-VM bookkeeping
+    /// (binding and idle-tracking), returning the entry. The source end
+    /// of a live migration: the VM itself is extracted from the host
+    /// separately.
+    pub fn unregister(&mut self, addr: Ipv4Addr) -> Option<ClientEntry> {
+        if let Some(vm) = self.bindings.remove(&addr) {
+            self.last_active.remove(&vm);
+        }
+        self.clients.remove(&addr)
+    }
+
+    /// Registers a client *with an already-bound VM* — the destination
+    /// end of a live migration. Unlike [`SwitchController::register`],
+    /// the binding is installed immediately (no flow-start required), so
+    /// mid-flow packets keep flowing to the migrated VM instead of being
+    /// dropped as [`DropReason::MidFlowNoVm`].
+    pub fn adopt(&mut self, entry: ClientEntry, vm: VmId, now_ns: u64) {
+        let addr = entry.addr;
+        self.clients.insert(addr, entry);
+        self.bindings.insert(addr, vm);
+        self.last_active.insert(vm, now_ns);
     }
 
     /// Number of destination→VM bindings currently tracked. Bounded by

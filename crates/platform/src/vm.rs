@@ -370,6 +370,66 @@ impl Host {
         Ok(())
     }
 
+    /// Removes a *suspended* VM from this host for live migration,
+    /// returning it (router state, buffered packets and all) and
+    /// releasing its memory. The migration protocol is
+    /// suspend → extract → transfer → [`Host::implant`] on the
+    /// destination; extracting a VM in any other state is a
+    /// [`HostError::BadState`], which forces callers through the
+    /// suspend path and so through its buffering invariant.
+    pub fn extract(&mut self, id: VmId) -> Result<Vm, HostError> {
+        let kind = {
+            let vm = self.vm(id)?;
+            if !matches!(vm.state, VmState::Suspended) {
+                return Err(HostError::BadState(id, "extract"));
+            }
+            vm.kind
+        };
+        self.mem_used_mb -= vm_mem_mb(kind);
+        let vm = std::mem::replace(
+            &mut self.vms[id],
+            Vm {
+                kind: VmTimingKind::ClickOs,
+                state: VmState::Destroyed,
+                router: None,
+                pending: Vec::new(),
+            },
+        );
+        self.active.retain(|&a| a != id);
+        self.refresh_gauges();
+        Ok(vm)
+    }
+
+    /// Installs a VM extracted from another host, charging the calibrated
+    /// resume latency (the destination end of a live migration). The VM
+    /// is `Resuming` until [`Host::advance`] passes `ready_at`; packets
+    /// delivered in the window are buffered, preserving the
+    /// suspend-window invariant across hosts. Returns the new id and the
+    /// ready time.
+    pub fn implant(&mut self, mut vm: Vm, now_ns: u64) -> Result<(VmId, u64), HostError> {
+        let need = vm_mem_mb(vm.kind);
+        if self.free_mem_mb() < need {
+            return Err(HostError::OutOfMemory {
+                need_mb: need,
+                free_mb: self.free_mem_mb(),
+            });
+        }
+        self.mem_used_mb += need;
+        let resume_ns = resume_latency_ns(self.live_vms());
+        let ready_at = now_ns + resume_ns;
+        vm.state = VmState::Resuming { ready_at };
+        if let Some(router) = vm.router.as_mut() {
+            router.attach_metrics(&self.obs);
+        }
+        self.vms.push(vm);
+        let id = self.vms.len() - 1;
+        self.active.push(id);
+        self.metrics.resumes.inc();
+        self.metrics.resume_ns.observe(resume_ns);
+        self.refresh_gauges();
+        Ok((id, ready_at))
+    }
+
     /// Advances virtual time: completes lifecycle transitions whose
     /// deadlines have passed and flushes packets buffered for VMs that
     /// just became runnable. Returns packets transmitted by those VMs as

@@ -1,6 +1,21 @@
-//! Random operator-network growth for the controller-scalability
-//! experiment (paper Figure 10: "we randomly add more routers and
-//! platforms to the topology shown in figure 3").
+//! Random operator-network growth.
+//!
+//! Two generators live here:
+//!
+//! * [`generate`] — the controller-scalability topology (paper Figure 10:
+//!   "we randomly add more routers and platforms to the topology shown in
+//!   figure 3"), a chain grown off the border router.
+//! * [`generate_fleet`] — a seeded capacitated WAN/DC fleet: PoPs on a
+//!   wide-area core ring, each with an aggregation layer, platforms with
+//!   per-platform memory/slot capacity, and client subnets, every link
+//!   carrying bandwidth and latency. This is the substrate for the
+//!   multi-host placement and live-migration experiments.
+//!
+//! Both are deterministic given the seed, across platforms: the only
+//! randomness source is the seeded [`StdRng`], and all derived arithmetic
+//! is done in explicitly sized integers (`u32`/`u64`) with modular
+//! bounds, never in `usize` — so a 32-bit host generates the same
+//! topology, bit for bit, as a 64-bit one.
 
 use innet_click::ClickConfig;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -71,6 +86,17 @@ fn random_middlebox(rng: &mut StdRng, idx: usize) -> ClickConfig {
     ClickConfig::parse(text).expect("valid literal config")
 }
 
+/// A `10.s.t.0/24` pool for generated platform `index`, with both octets
+/// modularly bounded so no index — however large — can overflow an octet
+/// or produce an unparsable literal.
+fn pool_for(index: u64) -> innet_packet::Cidr {
+    let second = 1 + (index / 250) % 200; // 1..=200, u64 arithmetic only.
+    let third = index % 250; // 0..=249.
+    format!("10.{second}.{third}.0/24")
+        .parse()
+        .expect("bounded octets form a valid literal")
+}
+
 /// Grows the Figure 3 topology with `params.middleboxes` extra
 /// router+middlebox pairs (and platforms sprinkled in), chained off the
 /// border router — the setup used to measure controller request latency
@@ -97,9 +123,7 @@ pub fn generate(params: &GenerateParams) -> Topology {
                 NodeKind::Middlebox(random_middlebox(&mut rng, i)),
             )
             .expect("generated names are unique");
-        let pool: innet_packet::Cidr = format!("10.{}.{}.0/24", 1 + (i / 250), i % 250)
-            .parse()
-            .expect("generated pool is valid");
+        let pool = pool_for(i as u64);
         // Chain router: port 0 back toward the core, port 1 a local
         // platform (when present), port 2 deeper into the chain.
         let mut routes = vec![(pool, 1)];
@@ -130,9 +154,181 @@ pub fn generate(params: &GenerateParams) -> Topology {
     t
 }
 
+/// Parameters for [`generate_fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetParams {
+    /// Number of points of presence on the wide-area core ring.
+    pub pops: u32,
+    /// Processing platforms per PoP.
+    pub platforms_per_pop: u32,
+    /// Client subnets per PoP.
+    pub clients_per_pop: u32,
+    /// RNG seed (the fleet is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        // 1 internet + 200 × (core + agg + 2 platforms + 1 subnet)
+        // = 1001 nodes: the thousand-node fleet of the bench.
+        FleetParams {
+            pops: 200,
+            platforms_per_pop: 2,
+            clients_per_pop: 1,
+            seed: 42,
+        }
+    }
+}
+
+impl FleetParams {
+    /// Total node count this parameterization produces.
+    pub fn node_count(&self) -> u64 {
+        1 + u64::from(self.pops)
+            * (2 + u64::from(self.platforms_per_pop) + u64::from(self.clients_per_pop))
+    }
+}
+
+/// Generates a seeded capacitated WAN/DC fleet topology.
+///
+/// ```text
+/// internet ── core0 ── core1 ── … ── core(P-1) ── core0   (WAN ring)
+///              │
+///             agg0 ──┬── pop0-platform0 …
+///                    ├── pop0-platform1 …
+///                    └── pop0-clients0  (10.x.y.0/24)
+/// ```
+///
+/// Every link carries seeded bandwidth/latency in its class's band
+/// (WAN core: 40–100 Gb/s at 1–10 ms; core→agg: 10–40 Gb/s at
+/// 100–500 µs; agg→platform: 10 Gb/s at 10–50 µs; agg→clients:
+/// 1–10 Gb/s at 50–500 µs), and every platform gets a seeded
+/// [`PlatformSpec`] — module slots, memory, cores, and a unique
+/// `10.x.y.0/24` address pool. External reachability is seeded at 30%.
+///
+/// All drawn values are integers and all derived arithmetic is
+/// `u32`/`u64` with modular bounds: the same seed produces the same
+/// topology on every platform, and no parameter choice can overflow.
+pub fn generate_fleet(params: &FleetParams) -> Topology {
+    const MS: u64 = 1_000_000;
+    const US: u64 = 1_000;
+    const GBPS: u64 = 1_000_000_000;
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut t = Topology::new();
+    let internet = t.add("internet", NodeKind::Internet).expect("fresh");
+
+    let pops = params.pops.max(1);
+    let mut cores = Vec::with_capacity(pops as usize);
+    let mut platform_index: u64 = 0;
+
+    for pop in 0..pops {
+        // Core router: port 0 ring-prev (or internet at pop 0),
+        // port 1 ring-next, port 2 the PoP's aggregation router.
+        let core = t
+            .add(
+                format!("core{pop}"),
+                NodeKind::Router(vec![
+                    ("10.0.0.0/8".parse().expect("valid literal"), 2),
+                    (innet_packet::Cidr::ANY, 1),
+                ]),
+            )
+            .expect("generated names are unique");
+        cores.push(core);
+
+        // Aggregation router: port 0 up to the core, ports 1.. fan out
+        // to platforms then client subnets.
+        let mut agg_routes = Vec::new();
+        let first_platform_port = 1usize;
+        for p in 0..params.platforms_per_pop {
+            agg_routes.push((
+                pool_for(platform_index + u64::from(p)),
+                first_platform_port + p as usize,
+            ));
+        }
+        agg_routes.push((innet_packet::Cidr::ANY, 0));
+        let agg = t
+            .add(format!("agg{pop}"), NodeKind::Router(agg_routes))
+            .expect("generated names are unique");
+
+        let core_agg_bw = u64::from(rng.gen_range(10u32..=40)) * GBPS;
+        let core_agg_lat = u64::from(rng.gen_range(100u32..=500)) * US;
+        t.link_bidir_with(core, 2, agg, 0, core_agg_bw, core_agg_lat);
+
+        for p in 0..params.platforms_per_pop {
+            let pool = pool_for(platform_index);
+            // Seeded per-platform capacity: slot count, memory, cores.
+            // Values are drawn as u32 and widened — never narrowed — so
+            // they are identical on every host width.
+            let capacity = rng.gen_range(8u32..=64);
+            let mem_mb = u64::from(rng.gen_range(4u32..=64)) * 1024;
+            let cores_n = rng.gen_range(2u32..=16);
+            let external = rng.gen_bool(0.3);
+            let plat = t
+                .add(
+                    format!("pop{pop}-platform{p}"),
+                    NodeKind::Platform(PlatformSpec {
+                        addr_pool: pool,
+                        external,
+                        capacity: capacity as usize,
+                        mem_mb,
+                        cores: cores_n,
+                    }),
+                )
+                .expect("generated names are unique");
+            let plat_lat = u64::from(rng.gen_range(10u32..=50)) * US;
+            t.link_bidir_with(agg, 1 + p as usize, plat, 0, 10 * GBPS, plat_lat);
+            platform_index += 1;
+        }
+
+        for c in 0..params.clients_per_pop {
+            // Client subnets draw from 172.16.0.0/12: a flat index over
+            // (pop, c) keeps pools distinct across PoPs, bounded modularly.
+            let idx = u64::from(pop) * u64::from(params.clients_per_pop) + u64::from(c);
+            let second = 16 + (idx / 250) % 16;
+            let third = idx % 250;
+            let subnet = t
+                .add(
+                    format!("pop{pop}-clients{c}"),
+                    NodeKind::ClientSubnet(
+                        format!("172.{second}.{third}.0/24")
+                            .parse()
+                            .expect("bounded octets form a valid literal"),
+                    ),
+                )
+                .expect("generated names are unique");
+            let cl_bw = u64::from(rng.gen_range(1u32..=10)) * GBPS;
+            let cl_lat = u64::from(rng.gen_range(50u32..=500)) * US;
+            t.link_bidir_with(
+                agg,
+                1 + params.platforms_per_pop as usize + c as usize,
+                subnet,
+                0,
+                cl_bw,
+                cl_lat,
+            );
+        }
+    }
+
+    // The wide-area ring, plus the internet feed into core0 (port 3 on
+    // each core is ring-prev's return side; ports 0/1 are prev/next).
+    for pop in 0..pops {
+        let next = (pop + 1) % pops;
+        if pops > 1 || pop == 0 {
+            let bw = u64::from(rng.gen_range(40u32..=100)) * GBPS;
+            let lat = u64::from(rng.gen_range(1u32..=10)) * MS;
+            if pops > 1 {
+                t.link_bidir_with(cores[pop as usize], 1, cores[next as usize], 0, bw, lat);
+            }
+        }
+    }
+    t.link_bidir_with(internet, 0, cores[0], 3, 100 * GBPS, 5 * MS);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Link;
 
     #[test]
     fn generates_requested_size() {
@@ -171,6 +367,112 @@ mod tests {
             let m = t.index_of(&format!("mbox{i}")).unwrap();
             assert!(t.out_link(m, 0).is_some());
             assert!(t.out_link(m, 1).is_some());
+        }
+    }
+
+    #[test]
+    fn pools_stay_valid_at_any_index() {
+        // The old formula overflowed the second octet past index 63749;
+        // the bounded one must parse for arbitrarily large indices.
+        for i in [0u64, 249, 250, 63_749, 63_750, u64::MAX - 1, u64::MAX] {
+            let _ = pool_for(i);
+        }
+        // Adjacent indices still get distinct pools.
+        assert_ne!(pool_for(0), pool_for(1));
+    }
+
+    /// FNV-1a over a canonical rendering of the topology: node names and
+    /// kinds, link tuples with attributes. Any cross-platform divergence
+    /// in generation shows up as a digest mismatch.
+    fn digest(t: &Topology) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for n in &t.nodes {
+            eat(n.name.as_bytes());
+            eat(format!("{:?}", n.kind).as_bytes());
+        }
+        for l in &t.links {
+            let Link {
+                from,
+                from_port,
+                to,
+                to_port,
+                bandwidth_bps,
+                latency_ns,
+            } = *l;
+            eat(&(from as u64).to_le_bytes());
+            eat(&(from_port as u64).to_le_bytes());
+            eat(&(to as u64).to_le_bytes());
+            eat(&(to_port as u64).to_le_bytes());
+            eat(&bandwidth_bps.to_le_bytes());
+            eat(&latency_ns.to_le_bytes());
+        }
+        h
+    }
+
+    #[test]
+    fn fleet_thousand_nodes_deterministic_across_runs() {
+        let p = FleetParams::default();
+        assert!(p.node_count() >= 1000, "default fleet is thousand-node");
+        let a = generate_fleet(&p);
+        let b = generate_fleet(&p);
+        assert_eq!(a.nodes.len() as u64, p.node_count());
+        assert_eq!(a, b, "same seed, same fleet");
+        assert_eq!(digest(&a), digest(&b));
+        // Pinned: any change to the vendored RNG, the generator's draw
+        // order, or platform-dependent arithmetic breaks this constant.
+        assert_eq!(digest(&a), 0x0c89_9955_e98a_f47c);
+        // A different seed moves the digest (the structure is seeded,
+        // not just the node count).
+        let c = generate_fleet(&FleetParams {
+            seed: 7,
+            ..FleetParams::default()
+        });
+        assert_ne!(digest(&a), digest(&c));
+        assert_eq!(a.nodes.len(), c.nodes.len());
+    }
+
+    #[test]
+    fn fleet_shape_and_capacities() {
+        let p = FleetParams {
+            pops: 4,
+            platforms_per_pop: 2,
+            clients_per_pop: 1,
+            seed: 1,
+        };
+        let t = generate_fleet(&p);
+        assert_eq!(t.platforms().len(), 8);
+        // Every platform has a bounded seeded spec and a unique pool.
+        let mut pools = std::collections::HashSet::new();
+        for id in t.platforms() {
+            let NodeKind::Platform(spec) = &t.node(id).kind else {
+                unreachable!()
+            };
+            assert!((8..=64).contains(&spec.capacity));
+            assert!((4 * 1024..=64 * 1024).contains(&spec.mem_mb));
+            assert!(pools.insert(spec.addr_pool), "pools must not collide");
+        }
+        // Links carry class-banded attributes; all reverse links exist.
+        for l in &t.links {
+            assert!(l.bandwidth_bps >= 1_000_000_000);
+            assert!(l.latency_ns >= 10_000);
+            assert!(t
+                .links
+                .iter()
+                .any(|m| m.from == l.to && m.to == l.from && m.latency_ns == l.latency_ns));
+        }
+        // Every platform is reachable from the internet over the fabric.
+        let internet = t.index_of("internet").unwrap();
+        let paths = t.paths_from(internet);
+        for id in t.platforms() {
+            let attrs = paths[id].expect("platform reachable");
+            assert!(attrs.latency_ns > 0);
+            assert!(attrs.bandwidth_bps > 0);
         }
     }
 }

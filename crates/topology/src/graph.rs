@@ -7,6 +7,15 @@ use serde::{Deserialize, Serialize};
 /// Index of a node within a [`Topology`].
 pub type NodeId = usize;
 
+/// Default link capacity when none is specified: 10 GbE, the paper's
+/// testbed NICs (§6 "10Gb Ethernet").
+pub const DEFAULT_LINK_BANDWIDTH_BPS: u64 = 10_000_000_000;
+
+/// Default one-way link latency when none is specified: 50 µs, a
+/// same-PoP wire. Wide-area links set their own (see
+/// [`crate::generate_fleet`]).
+pub const DEFAULT_LINK_LATENCY_NS: u64 = 50_000;
+
 /// Deployment attributes of a processing platform.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformSpec {
@@ -63,7 +72,11 @@ pub struct TopoNode {
     pub kind: NodeKind,
 }
 
-/// A directed link between node ports.
+/// A directed link between node ports, with capacity attributes.
+///
+/// Bandwidth and latency are integers (bits per second, nanoseconds) so
+/// the struct stays `Eq + Hash` and generation stays bit-identical
+/// across platforms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Link {
     /// Source node.
@@ -74,6 +87,21 @@ pub struct Link {
     pub to: NodeId,
     /// Destination input port.
     pub to_port: usize,
+    /// Link capacity in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// Attributes of a shortest (minimum-latency) path between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathAttrs {
+    /// Total one-way latency along the path in nanoseconds.
+    pub latency_ns: u64,
+    /// Bottleneck (minimum) link bandwidth along the path.
+    pub bandwidth_bps: u64,
+    /// Number of links traversed.
+    pub hops: u32,
 }
 
 /// Errors raised while building a topology.
@@ -131,13 +159,36 @@ impl Topology {
         &self.nodes[id]
     }
 
-    /// Adds a directed link.
+    /// Adds a directed link with default capacity attributes.
     pub fn link(&mut self, from: NodeId, from_port: usize, to: NodeId, to_port: usize) {
+        self.link_with(
+            from,
+            from_port,
+            to,
+            to_port,
+            DEFAULT_LINK_BANDWIDTH_BPS,
+            DEFAULT_LINK_LATENCY_NS,
+        );
+    }
+
+    /// Adds a directed link with explicit bandwidth and latency.
+    #[allow(clippy::too_many_arguments)]
+    pub fn link_with(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+        bandwidth_bps: u64,
+        latency_ns: u64,
+    ) {
         self.links.push(Link {
             from,
             from_port,
             to,
             to_port,
+            bandwidth_bps,
+            latency_ns,
         });
     }
 
@@ -146,6 +197,22 @@ impl Topology {
     pub fn link_bidir(&mut self, a: NodeId, a_port: usize, b: NodeId, b_port: usize) {
         self.link(a, a_port, b, b_port);
         self.link(b, b_port, a, a_port);
+    }
+
+    /// Like [`Topology::link_bidir`] but with explicit bandwidth and
+    /// latency shared by both directions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn link_bidir_with(
+        &mut self,
+        a: NodeId,
+        a_port: usize,
+        b: NodeId,
+        b_port: usize,
+        bandwidth_bps: u64,
+        latency_ns: u64,
+    ) {
+        self.link_with(a, a_port, b, b_port, bandwidth_bps, latency_ns);
+        self.link_with(b, b_port, a, a_port, bandwidth_bps, latency_ns);
     }
 
     /// The link leaving `(node, port)`, if any.
@@ -163,6 +230,65 @@ impl Topology {
             .filter(|(_, n)| matches!(n.kind, NodeKind::Platform(_)))
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// Minimum-latency paths from `src` to every node (Dijkstra over
+    /// [`Link::latency_ns`], deterministic: ties break on the smaller
+    /// node id). `result[n]` is `None` when `n` is unreachable; the
+    /// source itself gets a zero-latency, infinite-bandwidth path.
+    ///
+    /// The controller's placement scoring and the fleet fabric both
+    /// lean on this: latency drives candidate ranking and cross-host
+    /// delivery times, bottleneck bandwidth drives link headroom and
+    /// migration transfer cost.
+    pub fn paths_from(&self, src: NodeId) -> Vec<Option<PathAttrs>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.nodes.len();
+        let mut out: Vec<Option<PathAttrs>> = vec![None; n];
+        if src >= n {
+            return out;
+        }
+        // Adjacency: per-node outgoing (to, latency, bandwidth).
+        let mut adj: Vec<Vec<(NodeId, u64, u64)>> = vec![Vec::new(); n];
+        for l in &self.links {
+            if l.from < n && l.to < n {
+                adj[l.from].push((l.to, l.latency_ns, l.bandwidth_bps));
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        out[src] = Some(PathAttrs {
+            latency_ns: 0,
+            bandwidth_bps: u64::MAX,
+            hops: 0,
+        });
+        heap.push(Reverse((0, src)));
+        while let Some(Reverse((dist, node))) = heap.pop() {
+            let Some(cur) = out[node] else { continue };
+            if dist > cur.latency_ns {
+                continue; // Stale heap entry.
+            }
+            for &(next, lat, bw) in &adj[node] {
+                let cand = PathAttrs {
+                    latency_ns: cur.latency_ns.saturating_add(lat),
+                    bandwidth_bps: cur.bandwidth_bps.min(bw),
+                    hops: cur.hops.saturating_add(1),
+                };
+                let better = match out[next] {
+                    None => true,
+                    // Strict improvement only: equal-latency alternatives
+                    // keep the first (lowest-id-reached) path, so the
+                    // result is independent of heap internals.
+                    Some(p) => cand.latency_ns < p.latency_ns,
+                };
+                if better {
+                    out[next] = Some(cand);
+                    heap.push(Reverse((cand.latency_ns, next)));
+                }
+            }
+        }
+        out
     }
 
     /// Count of middlebox nodes (the x-axis of Figure 10).

@@ -11,7 +11,8 @@
 //!
 //! [`Topology::figure3`] builds the paper's running example; [`generate`]
 //! grows random operator networks for the controller-scalability
-//! experiment (Figure 10).
+//! experiment (Figure 10); [`generate_fleet`] builds seeded capacitated
+//! WAN/DC fleets for multi-host placement and live migration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,5 +20,8 @@
 mod generate;
 mod graph;
 
-pub use generate::{generate, GenerateParams};
-pub use graph::{Link, NodeId, NodeKind, PlatformSpec, TopoError, TopoNode, Topology};
+pub use generate::{generate, generate_fleet, FleetParams, GenerateParams};
+pub use graph::{
+    Link, NodeId, NodeKind, PathAttrs, PlatformSpec, TopoError, TopoNode, Topology,
+    DEFAULT_LINK_BANDWIDTH_BPS, DEFAULT_LINK_LATENCY_NS,
+};
