@@ -51,6 +51,15 @@ fleet_out="$(cargo run --release -q -p innet-examples --bin fleet)"
 grep -q "migration completed:" <<<"$fleet_out"
 grep -q "load spread after rebalance" <<<"$fleet_out"
 
+echo "==> scenarios example smoke-run"
+# The scenario engine kills a PoP under a gravity traffic matrix and
+# executes plan_fleet's consolidation on the data plane: the markers
+# prove tenants actually re-homed and migrations actually ran.
+# (capture first: grep -q would close the pipe mid-print)
+scenarios_out="$(cargo run --release -q -p innet-examples --bin scenarios)"
+grep -q "failover: .* re-homed" <<<"$scenarios_out"
+grep -qE "consolidation executed: [1-9][0-9]* live migrations" <<<"$scenarios_out"
+
 echo "==> bench compile gate"
 # Benches are not run in CI (too slow, too noisy), but they must keep
 # compiling — parallel_scaling in particular tracks the runner API.
@@ -88,5 +97,9 @@ INNET_BENCH_QUICK=1 INNET_BENCH_SNAPSHOT_DIR="$snapdir" \
   cargo bench --quiet --bench fleet >/dev/null
 cargo run --release -q -p innet-bench --bin validate_snapshot \
   "$snapdir/BENCH_fleet.json"
+INNET_BENCH_QUICK=1 INNET_BENCH_SNAPSHOT_DIR="$snapdir" \
+  cargo bench --quiet --bench scenarios >/dev/null
+cargo run --release -q -p innet-bench --bin validate_snapshot \
+  "$snapdir/BENCH_scenarios.json"
 
 echo "CI OK"

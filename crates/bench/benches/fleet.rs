@@ -22,7 +22,6 @@ use std::time::Instant;
 use innet::click::ClickConfig;
 use innet::controller::{ClientRequest, Controller};
 use innet::packet::PacketBuilder;
-use innet::platform::{ClientEntry, Fleet};
 use innet::prelude::*;
 use innet::topology::{generate_fleet, FleetParams, Topology};
 use innet_bench::{quick_mode, FleetSnapshot, Report};
@@ -119,23 +118,27 @@ fn migration_run(topo: &Topology, tenants: usize) -> Vec<u64> {
                 },
             )
             .expect("home platform exists");
-        // First packet of the flow boots the VM on the fly.
+    }
+    // One driver timeline: the first packet of each flow boots its VM on
+    // the fly at t=0; once every boot has completed, each tenant
+    // live-migrates one platform over.
+    let mut driver = FleetDriver::new(fleet).until(120_000_000_000);
+    for (i, &addr) in addrs.iter().enumerate() {
         let pkt = PacketBuilder::udp()
             .src(Ipv4Addr::new(8, 8, 8, 8), 9000 + i as u16)
             .dst(addr, 1500)
             .build();
-        fleet.inject(pkt, 0);
-    }
-    // Let every boot complete, then migrate each tenant one platform over.
-    fleet.advance(5_000_000_000);
-    for (i, &addr) in addrs.iter().enumerate() {
         let to = platforms[(i + 1) % platforms.len()];
-        fleet
-            .migrate(addr, to, 5_000_000_000)
-            .expect("tenant VM is migratable");
+        driver = driver.inject(0, pkt).migrate(5_000_000_000, addr, to);
     }
-    fleet.advance(120_000_000_000);
-    let mut downtimes: Vec<u64> = fleet.migrations().iter().map(|r| r.downtime_ns).collect();
+    let run = driver.run();
+    assert_eq!(run.errors, 0, "every tenant VM is migratable");
+    let mut downtimes: Vec<u64> = run
+        .fleet
+        .migrations()
+        .iter()
+        .map(|r| r.downtime_ns)
+        .collect();
     assert_eq!(downtimes.len(), tenants, "every migration completes");
     downtimes.sort_unstable();
     downtimes

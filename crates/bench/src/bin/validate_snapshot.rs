@@ -2,13 +2,14 @@
 //! smoke step). Exits non-zero with a diagnostic on the first invalid
 //! file.
 //!
-//! Three snapshot schemas exist: throughput rows ([`BenchSnapshot`]),
-//! admission-latency rows ([`AdmissionSnapshot`]), and fleet
-//! placement/migration rows ([`FleetSnapshot`]). The validator tries
-//! each in turn and accepts a file that satisfies any; a file that
-//! satisfies none reports every diagnostic.
+//! Four snapshot schemas exist: throughput rows ([`BenchSnapshot`]),
+//! admission-latency rows ([`AdmissionSnapshot`]), fleet
+//! placement/migration rows ([`FleetSnapshot`]), and scenario-engine
+//! failover rows ([`ScenarioSnapshot`]). The validator tries each in
+//! turn and accepts a file that satisfies any; a file that satisfies
+//! none reports every diagnostic.
 
-use innet_bench::{AdmissionSnapshot, BenchSnapshot, FleetSnapshot};
+use innet_bench::{AdmissionSnapshot, BenchSnapshot, FleetSnapshot, ScenarioSnapshot};
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +55,7 @@ fn main() {
             }
             Err(e) => e,
         };
-        match FleetSnapshot::parse(&text) {
+        let fleet_err = match FleetSnapshot::parse(&text) {
             Ok(snap) => {
                 if snap.rows.is_empty() {
                     eprintln!("{path}: valid but has no rows");
@@ -65,12 +66,28 @@ fn main() {
                     snap.rows.len(),
                     snap.bench
                 );
+                continue;
             }
-            Err(fleet_err) => {
+            Err(e) => e,
+        };
+        match ScenarioSnapshot::parse(&text) {
+            Ok(snap) => {
+                if snap.rows.is_empty() {
+                    eprintln!("{path}: valid but has no rows");
+                    std::process::exit(1);
+                }
+                println!(
+                    "{path}: ok ({} scenario rows, bench '{}')",
+                    snap.rows.len(),
+                    snap.bench
+                );
+            }
+            Err(scn_err) => {
                 eprintln!(
                     "{path}: schema violation: not a throughput snapshot \
                      ({bench_err}), not an admission snapshot ({adm_err}), \
-                     and not a fleet snapshot ({fleet_err})"
+                     not a fleet snapshot ({fleet_err}), and not a \
+                     scenario snapshot ({scn_err})"
                 );
                 std::process::exit(1);
             }

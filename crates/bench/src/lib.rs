@@ -673,6 +673,199 @@ impl FleetSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scenario snapshots (the fleet scenario-engine bench).
+// ---------------------------------------------------------------------------
+
+/// One scenario-bench row: a scripted fleet incident (PoP kill, flash
+/// crowd, consolidation, CDN tiering) driven through the `FleetDriver`,
+/// with the observed failover and bandwidth-pricing outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Scenario name (e.g. `"kill-pop"`, `"flash-crowd"`).
+    pub scenario: String,
+    /// Tenants registered on the fleet during the run.
+    pub tenants: u64,
+    /// Tenants successfully re-homed by regional failover.
+    pub rehomed: u64,
+    /// Median per-tenant re-home downtime in nanoseconds (zero when
+    /// nothing re-homed).
+    pub rehome_p50_ns: f64,
+    /// 99th-percentile per-tenant re-home downtime in nanoseconds.
+    pub rehome_p99_ns: f64,
+    /// Packets tail-dropped at saturated fabric links during the run.
+    pub link_drops: u64,
+}
+
+/// The machine-readable record the scenario bench leaves behind
+/// (`BENCH_scenarios.json`): per-scenario failover downtime percentiles
+/// and link-drop counts over the generated fleet, committed so the
+/// scenario-engine trajectory stays in history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSnapshot {
+    /// Which bench produced this snapshot (`"scenarios"`).
+    pub bench: String,
+    /// The measured rows.
+    pub rows: Vec<ScenarioRow>,
+}
+
+impl ScenarioSnapshot {
+    /// An empty snapshot for bench `name`.
+    pub fn new(name: &str) -> ScenarioSnapshot {
+        ScenarioSnapshot {
+            bench: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one measured row.
+    pub fn row(
+        &mut self,
+        scenario: &str,
+        tenants: u64,
+        rehomed: u64,
+        rehome_p50_ns: f64,
+        rehome_p99_ns: f64,
+        link_drops: u64,
+    ) {
+        self.rows.push(ScenarioRow {
+            scenario: scenario.to_string(),
+            tenants,
+            rehomed,
+            rehome_p50_ns,
+            rehome_p99_ns,
+            link_drops,
+        });
+    }
+
+    /// Serializes to the snapshot JSON schema.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.3}")
+            } else {
+                "0.000".to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {SNAPSHOT_SCHEMA_VERSION},\n  \"bench\": \"{}\",\n  \"rows\": [",
+            esc(&self.bench)
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"scenario\": \"{}\", \"tenants\": {}, \"rehomed\": {}, \
+                 \"rehome_p50_ns\": {}, \"rehome_p99_ns\": {}, \"link_drops\": {}}}",
+                if i == 0 { "" } else { "," },
+                esc(&r.scenario),
+                r.tenants,
+                r.rehomed,
+                num(r.rehome_p50_ns),
+                num(r.rehome_p99_ns),
+                r.link_drops
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses and schema-validates scenario snapshot JSON: required
+    /// fields, at least one tenant per row, `rehomed <= tenants`, finite
+    /// non-negative downtimes with `p50 <= p99`, and zero downtime
+    /// required when nothing re-homed.
+    pub fn parse(text: &str) -> Result<ScenarioSnapshot, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let version = json::field(obj, "schema_version")?
+            .as_num()
+            .ok_or("schema_version must be a number")?;
+        if version != SNAPSHOT_SCHEMA_VERSION as f64 {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        let bench = json::field(obj, "bench")?
+            .as_str()
+            .ok_or("bench must be a string")?
+            .to_string();
+        if bench.is_empty() {
+            return Err("bench must be non-empty".to_string());
+        }
+        let rows_v = json::field(obj, "rows")?
+            .as_arr()
+            .ok_or("rows must be an array")?;
+        let mut rows = Vec::new();
+        for (i, rv) in rows_v.iter().enumerate() {
+            let ro = rv.as_obj().ok_or(format!("row {i} must be an object"))?;
+            let scenario = json::field(ro, "scenario")?
+                .as_str()
+                .ok_or(format!("row {i}: scenario must be a string"))?
+                .to_string();
+            if scenario.is_empty() {
+                return Err(format!("row {i}: scenario must be non-empty"));
+            }
+            let count = |name: &str, min: f64| -> Result<u64, String> {
+                let x = json::field(ro, name)?
+                    .as_num()
+                    .ok_or(format!("row {i}: {name} must be a number"))?;
+                if x < min || x.fract() != 0.0 {
+                    return Err(format!("row {i}: {name} must be an integer >= {min}"));
+                }
+                Ok(x as u64)
+            };
+            let lat = |name: &str| -> Result<f64, String> {
+                let x = json::field(ro, name)?
+                    .as_num()
+                    .ok_or(format!("row {i}: {name} must be a number"))?;
+                if !(x.is_finite() && x >= 0.0) {
+                    return Err(format!("row {i}: {name} must be finite and non-negative"));
+                }
+                Ok(x)
+            };
+            let tenants = count("tenants", 1.0)?;
+            let rehomed = count("rehomed", 0.0)?;
+            if rehomed > tenants {
+                return Err(format!("row {i}: rehomed exceeds tenants"));
+            }
+            let rehome_p50_ns = lat("rehome_p50_ns")?;
+            let rehome_p99_ns = lat("rehome_p99_ns")?;
+            if rehome_p50_ns > rehome_p99_ns {
+                return Err(format!("row {i}: rehome_p50_ns exceeds rehome_p99_ns"));
+            }
+            if rehomed == 0 && rehome_p99_ns != 0.0 {
+                return Err(format!("row {i}: downtime reported without re-homes"));
+            }
+            let link_drops = count("link_drops", 0.0)?;
+            rows.push(ScenarioRow {
+                scenario,
+                tenants,
+                rehomed,
+                rehome_p50_ns,
+                rehome_p99_ns,
+                link_drops,
+            });
+        }
+        Ok(ScenarioSnapshot { bench, rows })
+    }
+
+    /// Writes `BENCH_<bench>.json` (same directory resolution as
+    /// [`BenchSnapshot::write`]). Returns the path on success.
+    pub fn write(&self) -> Option<PathBuf> {
+        write_snapshot(&self.bench, &self.to_json())
+    }
+}
+
 /// A minimal JSON reader — just enough structure to validate snapshots
 /// without `serde_json` (the container is offline; see the vendor note in
 /// the workspace manifest).
@@ -1055,6 +1248,51 @@ mod snapshot_tests {
         assert!(AdmissionSnapshot::parse(&fleet_sample().to_json()).is_err());
         assert!(FleetSnapshot::parse(&sample().to_json()).is_err());
         assert!(FleetSnapshot::parse(&admission_sample().to_json()).is_err());
+    }
+
+    fn scenario_sample() -> ScenarioSnapshot {
+        let mut s = ScenarioSnapshot::new("scenarios");
+        s.row("kill-pop", 40, 38, 50_000_000.0, 52_000_000.0, 120);
+        s.row("flash-crowd", 40, 0, 0.0, 0.0, 4_096);
+        s
+    }
+
+    #[test]
+    fn scenario_snapshot_roundtrips_through_parser() {
+        let s = scenario_sample();
+        let parsed = ScenarioSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.bench, "scenarios");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].rehomed, 38);
+        assert!((parsed.rows[0].rehome_p50_ns - 50_000_000.0).abs() < 0.01);
+        assert_eq!(parsed.rows[1].link_drops, 4_096);
+    }
+
+    #[test]
+    fn scenario_parser_rejects_schema_violations() {
+        // Missing field.
+        let bad = scenario_sample().to_json().replace("\"tenants\": 40, ", "");
+        assert!(ScenarioSnapshot::parse(&bad).is_err());
+        // More re-homes than tenants.
+        let mut s = ScenarioSnapshot::new("scenarios");
+        s.row("x", 4, 5, 1.0, 2.0, 0);
+        assert!(ScenarioSnapshot::parse(&s.to_json()).is_err());
+        // Inverted percentiles.
+        let mut s = ScenarioSnapshot::new("scenarios");
+        s.row("x", 4, 2, 9.0, 4.0, 0);
+        assert!(ScenarioSnapshot::parse(&s.to_json()).is_err());
+        // Downtime without re-homes.
+        let mut s = ScenarioSnapshot::new("scenarios");
+        s.row("x", 4, 0, 1.0, 2.0, 0);
+        assert!(ScenarioSnapshot::parse(&s.to_json()).is_err());
+        // The four schemas stay mutually exclusive: the validator
+        // dispatches on whichever parser accepts.
+        assert!(BenchSnapshot::parse(&scenario_sample().to_json()).is_err());
+        assert!(AdmissionSnapshot::parse(&scenario_sample().to_json()).is_err());
+        assert!(FleetSnapshot::parse(&scenario_sample().to_json()).is_err());
+        assert!(ScenarioSnapshot::parse(&sample().to_json()).is_err());
+        assert!(ScenarioSnapshot::parse(&admission_sample().to_json()).is_err());
+        assert!(ScenarioSnapshot::parse(&fleet_sample().to_json()).is_err());
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Controller-backed placement for the fleet scenario engine.
+//!
+//! The scenario engine lives in `innet-platform` and calls out through
+//! the [`ScenarioHooks`] trait; this module closes the loop with the
+//! real control plane: failover re-homes rank candidates with
+//! [`Controller::ranked_platforms`] (the same latency / residual
+//! capacity / link-headroom score every deploy uses), and
+//! `ExecuteConsolidation` events execute [`plan_fleet`]'s moves — the
+//! plan that, before this, was only ever computed.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use innet_platform::{Fleet, ScenarioHooks};
+use innet_topology::NodeId;
+
+use crate::consolidate::plan_fleet;
+use crate::controller::Controller;
+use crate::netmodel::InstalledModule;
+
+/// [`ScenarioHooks`] backed by a [`Controller`]'s placement state. The
+/// controller's installed modules must mirror the fleet's tenants
+/// (deploy through the controller, register the resulting addresses on
+/// the fleet — or [`Controller::adopt_modules`] an equivalent set).
+pub struct ControllerHooks<'a> {
+    ctl: &'a Controller,
+}
+
+impl<'a> ControllerHooks<'a> {
+    /// Hooks reading placement state from `ctl`.
+    pub fn new(ctl: &'a Controller) -> ControllerHooks<'a> {
+        ControllerHooks { ctl }
+    }
+}
+
+impl ScenarioHooks for ControllerHooks<'_> {
+    fn rank_rehome(&mut self, _fleet: &Fleet, _addr: Ipv4Addr, dead: NodeId) -> Vec<NodeId> {
+        self.ctl
+            .ranked_platforms()
+            .into_iter()
+            .filter(|&p| p != dead)
+            .collect()
+    }
+
+    fn plan_consolidation(&mut self, fleet: &Fleet) -> Vec<(Ipv4Addr, NodeId, NodeId)> {
+        // Reconcile the controller's installed-module model with the
+        // fleet's ground truth before planning: follow re-homes, and
+        // drop tenants the fleet no longer serves or whose platform is
+        // dead (`plan_fleet` knows nothing about liveness, and a dead
+        // consolidation home would invalidate every move).
+        let live: Vec<InstalledModule> = self
+            .ctl
+            .modules()
+            .iter()
+            .filter_map(|m| {
+                let loc = fleet.location(m.addr)?;
+                fleet.is_alive(loc).then(|| {
+                    let mut m = m.clone();
+                    m.platform = loc;
+                    m
+                })
+            })
+            .collect();
+        let plan = plan_fleet(&live, self.ctl.topology());
+        let addr_of: HashMap<&str, Ipv4Addr> =
+            live.iter().map(|m| (m.name.as_str(), m.addr)).collect();
+        plan.moves
+            .into_iter()
+            .filter_map(|(name, from, to)| {
+                let addr = addr_of.get(name.as_str()).copied()?;
+                // Only emit moves the fleet can actually execute: the
+                // tenant must be homed where the plan thinks it is.
+                (fleet.location(addr) == Some(from)).then_some((addr, from, to))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use innet_click::ClickConfig;
+    use innet_platform::ClientEntry;
+    use innet_topology::{generate_fleet, FleetParams};
+
+    fn counter_config() -> ClickConfig {
+        ClickConfig::parse("FromNetfront() -> Counter() -> ToNetfront();").unwrap()
+    }
+
+    #[test]
+    fn consolidation_moves_resolve_to_tenant_addresses() {
+        let topo = generate_fleet(&FleetParams {
+            pops: 2,
+            platforms_per_pop: 1,
+            clients_per_pop: 1,
+            seed: 3,
+        });
+        let mut fleet = Fleet::new(&topo);
+        let ps = fleet.platforms();
+        let mut ctl = Controller::new(topo.clone());
+        let mut modules = Vec::new();
+        for (i, &p) in ps.iter().enumerate() {
+            for j in 0..(2 - i) {
+                let addr = Ipv4Addr::new(198, 18, i as u8, j as u8 + 1);
+                modules.push(InstalledModule {
+                    id: (i * 4 + j) as u64,
+                    name: format!("t{i}-{j}"),
+                    platform: p,
+                    addr,
+                    config: counter_config(),
+                    sandboxed: false,
+                    owner: format!("owner{i}"),
+                });
+                fleet
+                    .register(
+                        p,
+                        ClientEntry {
+                            addr,
+                            config: counter_config(),
+                            stateful: false,
+                        },
+                    )
+                    .unwrap();
+            }
+        }
+        ctl.adopt_modules(modules);
+        let mut hooks = ControllerHooks::new(&ctl);
+        let moves = hooks.plan_consolidation(&fleet);
+        // Two stateless tenants on ps[0], one on ps[1]: the plan homes
+        // everyone on ps[0] and moves the one tenant from ps[1].
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].1, ps[1]);
+        assert_eq!(moves[0].2, ps[0]);
+        assert_eq!(moves[0].0, Ipv4Addr::new(198, 18, 1, 1));
+
+        let ranked = hooks.rank_rehome(&fleet, Ipv4Addr::new(198, 18, 0, 1), ps[0]);
+        assert!(!ranked.contains(&ps[0]), "dead platform excluded");
+        assert!(ranked.contains(&ps[1]));
+
+        // Kill the would-be home: the reconciled plan must not route
+        // moves toward a dead platform (or stale module locations).
+        fleet.kill_platform(ps[0], 0).unwrap();
+        let moves = hooks.plan_consolidation(&fleet);
+        assert!(
+            moves.is_empty(),
+            "dead platforms can't be consolidation homes: {moves:?}"
+        );
+    }
+}

@@ -60,6 +60,7 @@
 mod cache;
 mod consolidate;
 mod controller;
+mod fleet_hooks;
 mod hardening;
 mod netmodel;
 mod parallel;
@@ -78,6 +79,7 @@ pub use consolidate::{
 pub use controller::{
     ClientAccount, Controller, ControllerStats, DeployError, DeployResponse, FlowRule, ModuleId,
 };
+pub use fleet_hooks::ControllerHooks;
 pub use hardening::{apply_udp_reflection_ban, internal_prefixes, HardeningPolicy};
 pub use netmodel::{compile, InstalledModule, NetworkModel};
 pub use placement::{PlacementContext, RejectReason};

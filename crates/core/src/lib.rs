@@ -72,17 +72,21 @@ pub mod experiments;
 /// configuration executes on a [`prelude::NativeRunner`] or — flow-
 /// sharded across cores via a [`prelude::RunnerConfig`] — on a
 /// [`prelude::ParallelRunner`], all observable through a
-/// [`prelude::MetricsRegistry`].
+/// [`prelude::MetricsRegistry`]. A multi-host [`prelude::Fleet`] is
+/// driven through a [`prelude::FleetDriver`] timeline — traffic from a
+/// [`prelude::TrafficMatrix`], incidents from a [`prelude::Scenario`].
 pub mod prelude {
     pub use innet_click::{ClickConfig, Registry, Router, Shardability};
     pub use innet_controller::{
-        ClientRequest, Controller, DeployError, DeployResponse, ModuleConfig, StockModule,
+        ClientRequest, Controller, ControllerHooks, DeployError, DeployResponse, ModuleConfig,
+        StockModule,
     };
     pub use innet_obs::Registry as MetricsRegistry;
     pub use innet_packet::{Cidr, FlowKey, IpProto, Packet, PacketBuilder};
     pub use innet_platform::{
-        nat_gateway_config, stateful_firewall_config, Host, NativeRunner, NativeStats,
-        ParallelRunner, ParallelStats, RunnerConfig, SwitchController,
+        nat_gateway_config, stateful_firewall_config, ClientEntry, Fleet, FleetDriver, Host,
+        NativeRunner, NativeStats, ParallelRunner, ParallelStats, RunnerConfig, Scenario,
+        ScenarioEvent, SwitchController, TrafficMatrix, TrafficParams,
     };
     pub use innet_policy::Requirement;
     pub use innet_symnet::{RequesterClass, SymPacket, Verdict};

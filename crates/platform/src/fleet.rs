@@ -22,7 +22,7 @@
 //! stats-identical to driving a bare [`Host`].
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 use innet_packet::Packet;
@@ -46,6 +46,11 @@ pub enum FleetError {
     MigrationInProgress(Ipv4Addr),
     /// The fabric has no path between the two platforms.
     NoPath(NodeId, NodeId),
+    /// The platform has been killed and cannot serve.
+    DeadPlatform(NodeId),
+    /// CDN replicas were requested for a stateful tenant, whose
+    /// connection state cannot be copied.
+    StatefulOrigin(Ipv4Addr),
     /// An underlying host operation failed.
     Host(HostError),
 }
@@ -57,6 +62,10 @@ impl std::fmt::Display for FleetError {
             FleetError::UnknownTenant(a) => write!(f, "no tenant registered at {a}"),
             FleetError::MigrationInProgress(a) => write!(f, "tenant {a} is already migrating"),
             FleetError::NoPath(a, b) => write!(f, "no fabric path from node {a} to node {b}"),
+            FleetError::DeadPlatform(id) => write!(f, "platform {id} is dead"),
+            FleetError::StatefulOrigin(a) => {
+                write!(f, "tenant {a} is stateful and cannot be replicated")
+            }
             FleetError::Host(e) => write!(f, "host: {e}"),
         }
     }
@@ -105,13 +114,67 @@ pub struct FleetStats {
     /// Packets abandoned because a host operation failed mid-delivery
     /// (e.g. a boot hit the memory ceiling).
     pub host_errors: u64,
+    /// Packets tail-dropped at a fabric link whose queue exceeded the cap.
+    pub link_drops: u64,
+    /// In-flight fabric packets re-forwarded because their destination
+    /// died or their tenant moved while they were on the wire.
+    pub reroutes: u64,
+    /// Packets lost at a dead platform (or abandoned with a dead
+    /// migration) with nowhere alive to re-route to.
+    pub dead_drops: u64,
+    /// Tenants re-homed off a dead platform (cold moves, not migrations).
+    pub rehomes: u64,
 }
+
+/// Per-link fabric accounting: what crossed, what was refused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkUsage {
+    /// Packets accepted onto the link.
+    pub packets: u64,
+    /// Bytes accepted onto the link.
+    pub bytes: u64,
+    /// Packets tail-dropped because the queue exceeded the cap.
+    pub drops: u64,
+    /// Bytes of those dropped packets.
+    pub dropped_bytes: u64,
+}
+
+/// One fabric link's capacity and accounting, for bandwidth audits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Sending platform.
+    pub from: NodeId,
+    /// Receiving platform.
+    pub to: NodeId,
+    /// The path's bottleneck capacity the link serializes at.
+    pub bandwidth_bps: u64,
+    /// When the link's FIFO queue drains (last accepted bit leaves).
+    pub busy_until_ns: SimTime,
+    /// Accepted/dropped packet and byte counts.
+    pub usage: LinkUsage,
+}
+
+/// A fabric link: the FIFO sim link plus its capacity and usage ledger.
+struct FabricLink {
+    link: SimLink,
+    bandwidth_bps: u64,
+    usage: LinkUsage,
+}
+
+/// Re-forward budget for a fabric packet before it is declared dead —
+/// bounds the work a pathological re-home loop could cause.
+const MAX_FABRIC_HOPS: u8 = 4;
 
 /// A packet in flight on the fabric.
 struct FabricEvent {
     at: SimTime,
     seq: u64,
+    /// Where the packet entered the fabric (the re-route vantage if the
+    /// destination dies while the packet is on the wire).
+    origin: NodeId,
     dst: NodeId,
+    /// Fabric traversals so far, compared against [`MAX_FABRIC_HOPS`].
+    hops: u8,
     pkt: Packet,
 }
 
@@ -177,14 +240,29 @@ pub struct Fleet {
     path_cache: HashMap<NodeId, Vec<Option<PathAttrs>>>,
     /// One FIFO sim link per ordered platform pair, built on first use
     /// from the path's bottleneck bandwidth and end-to-end latency.
-    fabric: HashMap<(NodeId, NodeId), SimLink>,
+    fabric: HashMap<(NodeId, NodeId), FabricLink>,
+    /// Tail-drop threshold: a packet that would wait longer than this in
+    /// a link's FIFO queue is dropped instead of enqueued.
+    max_queue_ns: SimTime,
     events: BinaryHeap<Reverse<FabricEvent>>,
     seq: u64,
     migrating: BTreeMap<Ipv4Addr, Migration>,
     records: Vec<MigrationRecord>,
+    /// Platforms killed by a scenario: sites stay for bookkeeping but
+    /// deliver nothing and accept no placements.
+    dead: BTreeSet<NodeId>,
+    /// CDN tiering: extra platforms whose switches hold a replica of a
+    /// tenant's config; ingress resolves to the nearest alive copy.
+    replicas: HashMap<Ipv4Addr, Vec<NodeId>>,
+    /// Per-tenant demand weights from an attached traffic matrix; when
+    /// present, `rebalance` moves load, not VM counts.
+    demand: Option<HashMap<Ipv4Addr, u64>>,
     stats: FleetStats,
     rng: StdRng,
 }
+
+/// Default fabric queue cap: 50 ms of queueing before tail drop.
+const DEFAULT_MAX_QUEUE_NS: SimTime = 50_000_000;
 
 impl Fleet {
     /// Builds a fleet with one host per platform node of `topo`, sized
@@ -207,10 +285,14 @@ impl Fleet {
             locations: HashMap::new(),
             path_cache: HashMap::new(),
             fabric: HashMap::new(),
+            max_queue_ns: DEFAULT_MAX_QUEUE_NS,
             events: BinaryHeap::new(),
             seq: 0,
             migrating: BTreeMap::new(),
             records: Vec::new(),
+            dead: BTreeSet::new(),
+            replicas: HashMap::new(),
+            demand: None,
             stats: FleetStats::default(),
             rng: StdRng::seed_from_u64(0),
         }
@@ -252,6 +334,117 @@ impl Fleet {
     /// Completed migrations, in completion order.
     pub fn migrations(&self) -> &[MigrationRecord] {
         &self.records
+    }
+
+    /// Per-link capacity and usage, ascending by `(from, to)`. Only links
+    /// that have carried (or refused) at least one packet appear.
+    pub fn link_report(&self) -> Vec<LinkReport> {
+        let mut out: Vec<LinkReport> = self
+            .fabric
+            .iter()
+            .map(|(&(from, to), l)| LinkReport {
+                from,
+                to,
+                bandwidth_bps: l.bandwidth_bps,
+                busy_until_ns: l.link.busy_until(),
+                usage: l.usage,
+            })
+            .collect();
+        out.sort_unstable_by_key(|r| (r.from, r.to));
+        out
+    }
+
+    /// Sets the fabric tail-drop cap: packets that would queue longer
+    /// than `max_queue_ns` at a link are dropped (and counted) instead.
+    pub fn set_fabric_queue_ns(&mut self, max_queue_ns: SimTime) {
+        self.max_queue_ns = max_queue_ns;
+    }
+
+    /// Whether a platform is alive (exists and has not been killed).
+    pub fn is_alive(&self, platform: NodeId) -> bool {
+        self.sites.contains_key(&platform) && !self.dead.contains(&platform)
+    }
+
+    /// The fleet's alive platform ids, ascending.
+    pub fn alive_platforms(&self) -> Vec<NodeId> {
+        self.sites
+            .keys()
+            .copied()
+            .filter(|id| !self.dead.contains(id))
+            .collect()
+    }
+
+    /// Tenants homed at a platform, ascending by address.
+    pub fn tenants_at(&self, platform: NodeId) -> Vec<Ipv4Addr> {
+        let mut out: Vec<Ipv4Addr> = self
+            .locations
+            .iter()
+            .filter(|&(_, &home)| home == platform)
+            .map(|(&addr, _)| addr)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The extra platforms holding a replica of `addr`'s config.
+    pub fn replicas(&self, addr: Ipv4Addr) -> &[NodeId] {
+        self.replicas.get(&addr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// CDN tiering: clones `origin`'s registration onto each alive edge
+    /// platform, so ingress traffic resolves to the nearest copy instead
+    /// of crossing the fabric to the origin. Returns the number of edges
+    /// actually added (dead, unknown, duplicate, and origin-home edges
+    /// are skipped). The origin must be a stateless tenant — replicas
+    /// share no connection state.
+    pub fn add_replicas(&mut self, addr: Ipv4Addr, edges: &[NodeId]) -> Result<usize, FleetError> {
+        let home = self
+            .locations
+            .get(&addr)
+            .copied()
+            .ok_or(FleetError::UnknownTenant(addr))?;
+        let entry = self
+            .sites
+            .get(&home)
+            .and_then(|s| s.switch.client(addr))
+            .cloned()
+            .ok_or(FleetError::UnknownTenant(addr))?;
+        if entry.stateful {
+            return Err(FleetError::StatefulOrigin(addr));
+        }
+        let mut added = 0;
+        for &edge in edges {
+            if edge == home || !self.is_alive(edge) {
+                continue;
+            }
+            let existing = self.replicas.entry(addr).or_default();
+            if existing.contains(&edge) {
+                continue;
+            }
+            existing.push(edge);
+            existing.sort_unstable();
+            let site = self.sites.get_mut(&edge).expect("alive platform");
+            site.switch.register(entry.clone());
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Attaches per-tenant demand weights (e.g. from
+    /// [`crate::traffic::TrafficMatrix::demand_by_tenant`]):
+    /// `rebalance` then balances offered load instead of live-VM counts.
+    pub fn attach_demand(&mut self, demand: HashMap<Ipv4Addr, u64>) {
+        self.demand = Some(demand);
+    }
+
+    /// Detaches the demand weights; `rebalance` falls back to VM counts.
+    pub fn clear_demand(&mut self) {
+        self.demand = None;
+    }
+
+    /// Whether a traffic matrix's demand weights are attached.
+    pub fn demand_attached(&self) -> bool {
+        self.demand.is_some()
     }
 
     /// The host at a platform.
@@ -322,6 +515,84 @@ impl Fleet {
             .unwrap_or_else(|| *self.sites.keys().next().expect("fleet has a platform"))
     }
 
+    /// Resolves the serving platform seen from `vantage`: the tenant's
+    /// home when it is alive and untiered, else the lowest-latency alive
+    /// copy among home + CDN replicas (ties to the lower platform id).
+    /// Falls back to the (dead) home when nothing alive can serve, so
+    /// the drop is charged where it happens.
+    fn resolve_dest(&mut self, vantage: NodeId, pkt: &Packet) -> NodeId {
+        let primary = self.dest_platform(pkt);
+        let reps: Vec<NodeId> = pkt
+            .ipv4()
+            .ok()
+            .and_then(|ip| self.replicas.get(&ip.dst()).cloned())
+            .unwrap_or_default();
+        if reps.is_empty() && !self.dead.contains(&primary) {
+            return primary;
+        }
+        let mut best: Option<(SimTime, NodeId)> = None;
+        for cand in std::iter::once(primary).chain(reps) {
+            if !self.is_alive(cand) {
+                continue;
+            }
+            let cost = if cand == vantage {
+                0
+            } else {
+                match self.path(vantage, cand) {
+                    Some(attrs) => attrs.latency_ns,
+                    None => continue,
+                }
+            };
+            if best.is_none_or(|b| (cost, cand) < b) {
+                best = Some((cost, cand));
+            }
+        }
+        best.map(|(_, n)| n).unwrap_or(primary)
+    }
+
+    /// Puts a packet on the `from -> to` fabric link at `now`. Returns
+    /// `Ok(true)` when enqueued, `Ok(false)` when tail-dropped at the
+    /// queue cap.
+    fn fabric_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        pkt: Packet,
+        now: SimTime,
+        hops: u8,
+    ) -> Result<bool, FleetError> {
+        let attrs = self.path(from, to).ok_or(FleetError::NoPath(from, to))?;
+        let link = self.fabric.entry((from, to)).or_insert_with(|| FabricLink {
+            link: SimLink::new(attrs.bandwidth_bps as f64, attrs.latency_ns, 0.0),
+            bandwidth_bps: attrs.bandwidth_bps,
+            usage: LinkUsage::default(),
+        });
+        let queue_ns = link.link.busy_until().saturating_sub(now);
+        if queue_ns > self.max_queue_ns {
+            link.usage.drops += 1;
+            link.usage.dropped_bytes += pkt.len() as u64;
+            self.stats.link_drops += 1;
+            return Ok(false);
+        }
+        let arrival = link
+            .link
+            .transmit(now, pkt.len(), &mut self.rng)
+            .expect("fabric links are lossless");
+        link.usage.packets += 1;
+        link.usage.bytes += pkt.len() as u64;
+        self.events.push(Reverse(FabricEvent {
+            at: arrival,
+            seq: self.seq,
+            origin: from,
+            dst: to,
+            hops,
+            pkt,
+        }));
+        self.seq += 1;
+        self.stats.fabric_forwards += 1;
+        Ok(true)
+    }
+
     /// Delivers a packet at its destination platform at time `at`,
     /// appending transmissions to `out`. Packets for migrating tenants
     /// are buffered at the fleet layer.
@@ -333,11 +604,23 @@ impl Fleet {
         out: &mut Vec<(NodeId, u16, Packet)>,
     ) {
         if let Ok(ip) = pkt.ipv4() {
-            if let Some(m) = self.migrating.get_mut(&ip.dst()) {
-                m.buffered.push(pkt);
-                self.stats.migration_buffered += 1;
-                return;
+            // Replica-served packets bypass the migration buffer: only
+            // the home copy moves, the edge copies keep serving.
+            let at_replica = self
+                .replicas
+                .get(&ip.dst())
+                .is_some_and(|r| r.contains(&platform));
+            if !at_replica {
+                if let Some(m) = self.migrating.get_mut(&ip.dst()) {
+                    m.buffered.push(pkt);
+                    self.stats.migration_buffered += 1;
+                    return;
+                }
             }
+        }
+        if self.dead.contains(&platform) {
+            self.stats.dead_drops += 1;
+            return;
         }
         let Some(site) = self.sites.get_mut(&platform) else {
             self.stats.host_errors += 1;
@@ -353,19 +636,38 @@ impl Fleet {
     /// tenant's home platform with no fabric cost (the single-host
     /// oracle path). Returns synchronous transmissions as
     /// `(platform, iface, packet)`.
+    #[deprecated(note = "drive the fleet through `FleetDriver` (schedule with \
+                         `FleetDriver::inject`); direct calls remain for oracles")]
     pub fn inject(&mut self, pkt: Packet, now: SimTime) -> Vec<(NodeId, u16, Packet)> {
+        self.inject_impl(pkt, now)
+    }
+
+    pub(crate) fn inject_impl(&mut self, pkt: Packet, now: SimTime) -> Vec<(NodeId, u16, Packet)> {
         self.stats.injected += 1;
-        let dst = self.dest_platform(&pkt);
+        let primary = self.dest_platform(&pkt);
+        let dst = self.resolve_dest(primary, &pkt);
         let mut out = Vec::new();
         self.deliver_local(dst, pkt, now, &mut out);
         out
     }
 
     /// Hands the fleet a packet arriving at platform `ingress`. If the
-    /// tenant lives elsewhere the packet crosses the fabric — paying the
-    /// path's serialization and propagation delay on a FIFO link — and
+    /// nearest serving copy (home or CDN replica) lives elsewhere the
+    /// packet crosses the fabric — paying the path's serialization and
+    /// propagation delay on a FIFO link, subject to the queue cap — and
     /// is delivered by the next [`Fleet::advance`] past its arrival.
+    #[deprecated(note = "drive the fleet through `FleetDriver` (schedule with \
+                         `FleetDriver::inject_at`); direct calls remain for oracles")]
     pub fn inject_at(
+        &mut self,
+        ingress: NodeId,
+        pkt: Packet,
+        now: SimTime,
+    ) -> Result<Vec<(NodeId, u16, Packet)>, FleetError> {
+        self.inject_at_impl(ingress, pkt, now)
+    }
+
+    pub(crate) fn inject_at_impl(
         &mut self,
         ingress: NodeId,
         pkt: Packet,
@@ -374,31 +676,17 @@ impl Fleet {
         if !self.sites.contains_key(&ingress) {
             return Err(FleetError::UnknownPlatform(ingress));
         }
+        if self.dead.contains(&ingress) {
+            return Err(FleetError::DeadPlatform(ingress));
+        }
         self.stats.injected += 1;
-        let dst = self.dest_platform(&pkt);
+        let dst = self.resolve_dest(ingress, &pkt);
         if dst == ingress {
             let mut out = Vec::new();
             self.deliver_local(dst, pkt, now, &mut out);
             return Ok(out);
         }
-        let attrs = self
-            .path(ingress, dst)
-            .ok_or(FleetError::NoPath(ingress, dst))?;
-        let link = self
-            .fabric
-            .entry((ingress, dst))
-            .or_insert_with(|| SimLink::new(attrs.bandwidth_bps as f64, attrs.latency_ns, 0.0));
-        let arrival = link
-            .transmit(now, pkt.len(), &mut self.rng)
-            .expect("fabric links are lossless");
-        self.events.push(Reverse(FabricEvent {
-            at: arrival,
-            seq: self.seq,
-            dst,
-            pkt,
-        }));
-        self.seq += 1;
-        self.stats.fabric_forwards += 1;
+        self.fabric_send(ingress, dst, pkt, now, 1)?;
         Ok(Vec::new())
     }
 
@@ -416,11 +704,18 @@ impl Fleet {
         if !self.sites.contains_key(&to) {
             return Err(FleetError::UnknownPlatform(to));
         }
+        if self.dead.contains(&to) {
+            return Err(FleetError::DeadPlatform(to));
+        }
         let from = self
             .locations
             .get(&addr)
             .copied()
             .ok_or(FleetError::UnknownTenant(addr))?;
+        if self.dead.contains(&from) {
+            // Nothing live to migrate; failover uses `rehome` instead.
+            return Err(FleetError::DeadPlatform(from));
+        }
         if from == to {
             return Ok(());
         }
@@ -601,21 +896,87 @@ impl Fleet {
         }
     }
 
+    /// Whether `platform` still serves `pkt`: it is the tenant's current
+    /// home or holds a CDN replica. Packets in flight to a platform that
+    /// stopped serving (death, re-home) are re-routed at arrival.
+    fn serves(&self, platform: NodeId, pkt: &Packet) -> bool {
+        if self.dead.contains(&platform) {
+            return false;
+        }
+        let Ok(ip) = pkt.ipv4() else {
+            // Non-IP traffic has no tenant: wherever it was headed is
+            // where the unknown-destination drop gets recorded.
+            return true;
+        };
+        match self.locations.get(&ip.dst()) {
+            Some(&home) => {
+                home == platform
+                    || self
+                        .replicas
+                        .get(&ip.dst())
+                        .is_some_and(|r| r.contains(&platform))
+            }
+            // Unknown tenant: the border switch records the drop.
+            None => true,
+        }
+    }
+
     /// Advances virtual time fleet-wide: delivers fabric packets whose
-    /// arrival has passed (in arrival order), drives in-flight migrations
-    /// through their stages, and advances every host. Returns all
-    /// transmissions as `(platform, iface, packet)`.
+    /// arrival has passed (in arrival order, re-routing ones whose
+    /// destination stopped serving), drives in-flight migrations through
+    /// their stages, and advances every host. Returns all transmissions
+    /// as `(platform, iface, packet)`.
+    #[deprecated(note = "drive the fleet through `FleetDriver::run`, which \
+                         advances time for you; direct calls remain for oracles")]
     pub fn advance(&mut self, now: SimTime) -> Vec<(NodeId, u16, Packet)> {
+        self.advance_impl(now)
+    }
+
+    pub(crate) fn advance_impl(&mut self, now: SimTime) -> Vec<(NodeId, u16, Packet)> {
         let mut out = Vec::new();
         while let Some(Reverse(ev)) = self.events.peek() {
             if ev.at > now {
                 break;
             }
             let Reverse(ev) = self.events.pop().expect("peeked");
-            self.deliver_local(ev.dst, ev.pkt, ev.at, &mut out);
+            if self.serves(ev.dst, &ev.pkt) {
+                self.deliver_local(ev.dst, ev.pkt, ev.at, &mut out);
+                continue;
+            }
+            // The destination died or the tenant moved mid-flight:
+            // re-forward from the arrival point (or the origin if the
+            // arrival point is dead), within the hop budget.
+            let vantage = if self.dead.contains(&ev.dst) {
+                ev.origin
+            } else {
+                ev.dst
+            };
+            let cur = self.resolve_dest(vantage, &ev.pkt);
+            if ev.hops >= MAX_FABRIC_HOPS || !self.is_alive(vantage) || !self.is_alive(cur) {
+                self.stats.dead_drops += 1;
+                continue;
+            }
+            if cur == vantage {
+                self.stats.reroutes += 1;
+                self.deliver_local(cur, ev.pkt, ev.at, &mut out);
+                continue;
+            }
+            match self.fabric_send(vantage, cur, ev.pkt, ev.at, ev.hops + 1) {
+                Ok(true) => {
+                    // fabric_send counts a fresh forward; the re-route
+                    // counter records that it was not the first hop.
+                    self.stats.reroutes += 1;
+                }
+                Ok(false) => {}
+                Err(_) => self.stats.dead_drops += 1,
+            }
         }
         self.advance_migrations(now, &mut out);
+        let dead = self.dead.clone();
         for (&id, site) in self.sites.iter_mut() {
+            if dead.contains(&id) {
+                continue;
+            }
             out.extend(
                 site.host
                     .advance(now)
@@ -626,10 +987,110 @@ impl Fleet {
         out
     }
 
+    /// Kills a platform: its host stops advancing, packets for it are
+    /// re-routed or counted as [`FleetStats::dead_drops`], and any
+    /// migration whose VM state was on the dead machine is lost.
+    /// Returns the tenants left homed on the dead platform, ascending —
+    /// the set a failover pass must re-home.
+    pub fn kill_platform(
+        &mut self,
+        platform: NodeId,
+        _now: SimTime,
+    ) -> Result<Vec<Ipv4Addr>, FleetError> {
+        if !self.sites.contains_key(&platform) {
+            return Err(FleetError::UnknownPlatform(platform));
+        }
+        if !self.dead.insert(platform) {
+            return Ok(Vec::new());
+        }
+        // Resolve migrations touching the dead platform.
+        let addrs: Vec<Ipv4Addr> = self.migrating.keys().copied().collect();
+        for addr in addrs {
+            let m = self.migrating.get(&addr).expect("just listed");
+            let lost = match &m.stage {
+                // VM still parked on the dead source: lost with it.
+                MigrationStage::Suspending { .. } => m.from == platform,
+                // State headed to (or resuming on) the dead destination.
+                MigrationStage::Transferring { .. } | MigrationStage::Resuming { .. } => {
+                    m.to == platform
+                }
+            };
+            if lost {
+                let m = self.migrating.remove(&addr).expect("present");
+                self.stats.dead_drops += m.buffered.len() as u64;
+                // Land the tenant's registration on the dead platform so
+                // the failover pass sees it and re-homes it. Suspending:
+                // it is still registered at `from` (dead). Later stages:
+                // the entry travels with the migration — re-register it.
+                if let MigrationStage::Transferring { entry, .. } = m.stage {
+                    let site = self.sites.get_mut(&platform).expect("exists");
+                    site.switch.register(*entry);
+                    self.locations.insert(addr, platform);
+                }
+            }
+        }
+        // Dead platforms stop being CDN edges.
+        for edges in self.replicas.values_mut() {
+            edges.retain(|&e| e != platform);
+        }
+        self.replicas.retain(|_, e| !e.is_empty());
+        let mut affected: Vec<Ipv4Addr> = self
+            .locations
+            .iter()
+            .filter(|&(addr, &home)| home == platform && !self.migrating.contains_key(addr))
+            .map(|(&addr, _)| addr)
+            .collect();
+        affected.sort_unstable();
+        Ok(affected)
+    }
+
+    /// Re-homes a tenant onto `to` as a cold move: the old VM (if any,
+    /// typically on a dead platform) is discarded, the registration
+    /// moves, and the next packet boots a fresh VM at the new home. Use
+    /// [`Fleet::migrate`] for live moves that carry VM state.
+    pub fn rehome(&mut self, addr: Ipv4Addr, to: NodeId) -> Result<(), FleetError> {
+        if !self.sites.contains_key(&to) {
+            return Err(FleetError::UnknownPlatform(to));
+        }
+        if self.dead.contains(&to) {
+            return Err(FleetError::DeadPlatform(to));
+        }
+        if self.migrating.contains_key(&addr) {
+            return Err(FleetError::MigrationInProgress(addr));
+        }
+        let from = self
+            .locations
+            .get(&addr)
+            .copied()
+            .ok_or(FleetError::UnknownTenant(addr))?;
+        if from == to {
+            return Ok(());
+        }
+        let src = self.sites.get_mut(&from).expect("location is a platform");
+        if let Some(vm) = src.switch.binding(addr) {
+            let _ = src.host.destroy(vm);
+        }
+        let entry = src
+            .switch
+            .unregister(addr)
+            .ok_or(FleetError::UnknownTenant(addr))?;
+        let dst = self.sites.get_mut(&to).expect("checked above");
+        dst.switch.register(entry);
+        self.locations.insert(addr, to);
+        self.stats.rehomes += 1;
+        Ok(())
+    }
+
     /// Reclaims idle VMs on every host (see
     /// [`SwitchController::reclaim_idle`]). Tenants mid-migration are
     /// not affected: their VM is already suspended or in flight.
+    #[deprecated(note = "drive the fleet through `FleetDriver` (schedule with \
+                         `FleetDriver::reclaim_every`); direct calls remain for oracles")]
     pub fn reclaim_idle(&mut self, now: SimTime, idle_ns: SimTime) {
+        self.reclaim_idle_impl(now, idle_ns)
+    }
+
+    pub(crate) fn reclaim_idle_impl(&mut self, now: SimTime, idle_ns: SimTime) {
         for site in self.sites.values_mut() {
             site.switch.reclaim_idle(&mut site.host, now, idle_ns);
         }
@@ -643,19 +1104,49 @@ impl Fleet {
             .collect()
     }
 
-    /// Rebalances the fleet: while the spread between the most- and
-    /// least-loaded hosts (in live VMs, adjusted for migrations already
-    /// started this call) is at least `threshold`, migrate the
-    /// lowest-addressed migratable tenant off the hottest host onto the
-    /// coldest. Returns the moves started as `(addr, from, to)`.
+    /// Rebalances the fleet and returns the moves started as
+    /// `(addr, from, to)`.
     ///
-    /// The choice is fully deterministic: hottest/coldest break ties on
-    /// the lower platform id, and the tenant choice is by address order.
+    /// With a traffic matrix attached ([`Fleet::attach_demand`]), load is
+    /// offered demand: while the spread between the hottest and coldest
+    /// alive hosts is at least `threshold` average-tenant-demands, the
+    /// heaviest movable tenant on the hottest host (whose move strictly
+    /// narrows the spread) migrates to the coldest. Without one, load is
+    /// live-VM counts — the original behavior — and the lowest-addressed
+    /// migratable tenant moves.
+    ///
+    /// Both modes are fully deterministic: hottest/coldest break ties on
+    /// the lower platform id; tenant ties break on address order.
+    #[deprecated(note = "drive the fleet through `FleetDriver` (schedule with \
+                         `FleetDriver::rebalance_every`); direct calls remain for oracles")]
     pub fn rebalance(&mut self, now: SimTime, threshold: usize) -> Vec<(Ipv4Addr, NodeId, NodeId)> {
+        self.rebalance_impl(now, threshold)
+    }
+
+    pub(crate) fn rebalance_impl(
+        &mut self,
+        now: SimTime,
+        threshold: usize,
+    ) -> Vec<(Ipv4Addr, NodeId, NodeId)> {
+        if self.demand.is_some() {
+            self.rebalance_by_demand(now, threshold)
+        } else {
+            self.rebalance_by_count(now, threshold)
+        }
+    }
+
+    /// Original count-based rebalance: the fallback when no traffic
+    /// matrix is attached.
+    fn rebalance_by_count(
+        &mut self,
+        now: SimTime,
+        threshold: usize,
+    ) -> Vec<(Ipv4Addr, NodeId, NodeId)> {
         let threshold = threshold.max(1);
         let mut projected: BTreeMap<NodeId, usize> = self
             .sites
             .iter()
+            .filter(|(id, _)| !self.dead.contains(id))
             .map(|(&id, s)| (id, s.host.live_vms()))
             .collect();
         let mut moves = Vec::new();
@@ -697,9 +1188,89 @@ impl Fleet {
         }
         moves
     }
+
+    /// Demand-weighted rebalance: balances offered load from the
+    /// attached traffic matrix. `threshold` is in units of the average
+    /// per-tenant demand, so `rebalance(now, 2)` means "act when the
+    /// hot–cold spread exceeds two average tenants' worth of load" —
+    /// the same intuition as the count mode.
+    fn rebalance_by_demand(
+        &mut self,
+        now: SimTime,
+        threshold: usize,
+    ) -> Vec<(Ipv4Addr, NodeId, NodeId)> {
+        let demand = self.demand.clone().expect("checked by caller");
+        let weight = |addr: &Ipv4Addr| demand.get(addr).copied().unwrap_or(0);
+        let mut projected: BTreeMap<NodeId, u64> = self
+            .sites
+            .keys()
+            .filter(|id| !self.dead.contains(id))
+            .map(|&id| (id, 0))
+            .collect();
+        let mut tenants = 0u64;
+        let mut total = 0u64;
+        for (addr, home) in &self.locations {
+            if let Some(load) = projected.get_mut(home) {
+                *load += weight(addr);
+                total += weight(addr);
+                tenants += 1;
+            }
+        }
+        let unit = (total / tenants.max(1)).max(1);
+        let threshold_w = threshold.max(1) as u64 * unit;
+        let mut moves = Vec::new();
+        // Each move strictly narrows the spread, so this terminates; the
+        // cap is belt-and-braces against pathological weight sets.
+        while moves.len() <= self.locations.len() {
+            let Some((&hot, &hot_w)) = projected.iter().max_by_key(|&(&id, &w)| (w, Reverse(id)))
+            else {
+                break;
+            };
+            let Some((&cold, &cold_w)) = projected.iter().min_by_key(|&(&id, &w)| (w, id)) else {
+                break;
+            };
+            let spread = hot_w - cold_w;
+            if hot == cold || spread < threshold_w {
+                break;
+            }
+            // The heaviest movable tenant whose move strictly narrows
+            // the spread (0 < w < spread); address order breaks ties.
+            let mut candidates: Vec<(u64, Ipv4Addr)> = self
+                .locations
+                .iter()
+                .filter(|&(addr, &home)| home == hot && !self.migrating.contains_key(addr))
+                .map(|(&addr, _)| (weight(&addr), addr))
+                .filter(|&(w, _)| w > 0 && w < spread)
+                .collect();
+            candidates.sort_unstable_by_key(|&(w, addr)| (Reverse(w), addr));
+            let site = self.sites.get(&hot).expect("platform");
+            let chosen = candidates.into_iter().find(|&(_, addr)| {
+                // Movable: no VM (instant move) or a Running/Suspended one.
+                match site.switch.binding(addr) {
+                    None => true,
+                    Some(vm) => site
+                        .host
+                        .vm(vm)
+                        .map(|v| matches!(v.state, VmState::Running | VmState::Suspended))
+                        .unwrap_or(false),
+                }
+            });
+            let Some((w, addr)) = chosen else {
+                break;
+            };
+            if self.migrate(addr, cold, now).is_err() {
+                break;
+            }
+            *projected.get_mut(&hot).expect("present") -= w;
+            *projected.get_mut(&cold).expect("present") += w;
+            moves.push((addr, hot, cold));
+        }
+        moves
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // The oracle tests pin the raw inject/advance surface.
 mod tests {
     use super::*;
     use innet_click::ClickConfig;

@@ -42,23 +42,29 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+mod driver;
 mod engine;
 mod fleet;
 mod native;
 mod parallel;
 mod runner;
+mod scenario;
 mod spsc;
 mod switch;
+mod traffic;
 mod vm;
 
 pub use calib::{max_vms, VmTimingKind};
+pub use driver::{DriverRun, FleetDriver};
 pub use engine::Engine;
-pub use fleet::{Fleet, FleetError, FleetStats, MigrationRecord};
+pub use fleet::{Fleet, FleetError, FleetStats, LinkReport, LinkUsage, MigrationRecord};
 pub use native::{
     consolidated_config, middlebox_config, nat_gateway_config, plain_firewall, sandboxed_firewall,
     stateful_firewall_config, NativeRunner, NativeStats,
 };
 pub use parallel::{ParallelRunner, ParallelStats};
 pub use runner::{RunnerConfig, DEFAULT_BATCH, DEFAULT_RING_CAPACITY};
+pub use scenario::{RehomeRecord, Scenario, ScenarioEvent, ScenarioHooks, TopoHooks};
 pub use switch::{ClientEntry, SwitchController, SwitchStats, Usage};
+pub use traffic::{Demand, TrafficMatrix, TrafficParams};
 pub use vm::{Delivery, DropReason, Host, HostError, Vm, VmId, VmState};

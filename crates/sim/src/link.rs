@@ -50,6 +50,14 @@ impl Link {
     pub fn bulk_transfer_ns(&self, bytes: u64) -> SimTime {
         self.latency + (bytes as f64 * 8.0 / self.rate_bps * SECOND as f64) as SimTime
     }
+
+    /// Earliest time the transmitter is free again: the instant the FIFO
+    /// serialization queue drains. `busy_until() - now` is the queueing
+    /// delay a packet offered at `now` would see — the quantity a bounded
+    /// fabric queue compares against its cap before accepting.
+    pub fn busy_until(&self) -> SimTime {
+        self.next_free
+    }
 }
 
 #[cfg(test)]

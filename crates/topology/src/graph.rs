@@ -232,6 +232,35 @@ impl Topology {
             .collect()
     }
 
+    /// All client-subnet node ids with their CIDRs, ascending by id.
+    pub fn client_subnets(&self) -> Vec<(NodeId, Cidr)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.kind {
+                NodeKind::ClientSubnet(cidr) => Some((i, *cidr)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The PoP index a node belongs to, parsed from the `"pop{N}-"`
+    /// name prefix that [`crate::generate_fleet`] assigns (core and
+    /// aggregation nodes belong to no PoP).
+    pub fn pop_of(&self, id: NodeId) -> Option<usize> {
+        let name = &self.nodes.get(id)?.name;
+        let rest = name.strip_prefix("pop")?;
+        let digits = rest.split('-').next()?;
+        digits.parse().ok()
+    }
+
+    /// Node ids in PoP `pop` (see [`Topology::pop_of`]), ascending.
+    pub fn pop_members(&self, pop: usize) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.pop_of(i) == Some(pop))
+            .collect()
+    }
+
     /// Minimum-latency paths from `src` to every node (Dijkstra over
     /// [`Link::latency_ns`], deterministic: ties break on the smaller
     /// node id). `result[n]` is `None` when `n` is unreachable; the

@@ -8,7 +8,6 @@
 
 use std::net::Ipv4Addr;
 
-use innet::platform::{ClientEntry, Fleet};
 use innet::prelude::*;
 use innet::topology::{generate_fleet, FleetParams};
 
@@ -78,18 +77,23 @@ fn main() {
                 },
             )
             .unwrap();
-        let pkt = PacketBuilder::udp()
-            .src(Ipv4Addr::new(8, 8, 8, 8), 53)
-            .dst(addr, 1500)
-            .build();
-        fleet.inject(pkt, 0);
     }
-    fleet.advance(2 * SEC);
+    let mut driver = FleetDriver::new(fleet).until(2 * SEC);
+    for &addr in &tenants {
+        driver = driver.inject(
+            0,
+            PacketBuilder::udp()
+                .src(Ipv4Addr::new(8, 8, 8, 8), 53)
+                .dst(addr, 1500)
+                .build(),
+        );
+    }
+    let booted = driver.run();
     println!(
         "== all {} tenants booted on {} (live VMs: {})",
         tenants.len(),
         topo.node(home).name,
-        fleet.host(home).unwrap().live_vms()
+        booted.fleet.host(home).unwrap().live_vms()
     );
 
     // Cross-host delivery: a packet entering at a remote platform rides
@@ -99,19 +103,26 @@ fn main() {
         .src(Ipv4Addr::new(8, 8, 8, 8), 54)
         .dst(tenants[0], 1500)
         .build();
-    fleet.inject_at(remote, pkt, 2 * SEC).unwrap();
-    fleet.advance(3 * SEC);
+    let crossed = FleetDriver::new(booted.fleet)
+        .until(3 * SEC)
+        .inject_at(2 * SEC, remote, pkt)
+        .run();
     println!(
         "== fabric forwards so far: {}",
-        fleet.stats().fabric_forwards
+        crossed.stats.fabric_forwards
     );
 
-    // Everything sits on one host: the imbalance trigger migrates VMs
-    // toward the idle platforms until the spread closes.
-    let moves = fleet.rebalance(3 * SEC, 2);
-    println!("== rebalance planned {} live migrations", moves.len());
-    fleet.advance(120 * SEC);
-    for rec in fleet.migrations() {
+    // Everything sits on one host: the periodic imbalance trigger
+    // migrates VMs toward the idle platforms until the spread closes.
+    let run = FleetDriver::new(crossed.fleet)
+        .until(120 * SEC)
+        .rebalance_every(3 * SEC, 2)
+        .run();
+    println!(
+        "== rebalance planned {} live migrations",
+        run.rebalance_moves.len()
+    );
+    for rec in run.fleet.migrations() {
         println!(
             "migration completed: {} from {} to {} (downtime {:.1} ms)",
             rec.addr,
@@ -121,18 +132,17 @@ fn main() {
         );
     }
     let spread = {
-        let load = fleet.load();
+        let load = run.fleet.load();
         let max = load.iter().map(|&(_, n)| n).max().unwrap_or(0);
         let min = load.iter().map(|&(_, n)| n).min().unwrap_or(0);
         max - min
     };
     assert!(
-        !fleet.migrations().is_empty(),
+        !run.fleet.migrations().is_empty(),
         "imbalance must trigger migrations"
     );
     println!(
         "== load spread after rebalance: {} (stats: {:?})",
-        spread,
-        fleet.stats()
+        spread, run.stats
     );
 }

@@ -1,0 +1,154 @@
+//! The fleet scenario engine end to end: a gravity-model traffic matrix
+//! over a generated WAN, a PoP killed mid-run with every stranded tenant
+//! re-homed through the controller's ranked placement, executed
+//! stateless consolidation, and CDN tiering — all on one deterministic
+//! [`FleetDriver`] timeline.
+//!
+//! Run with: `cargo run -p innet-examples --bin scenarios`
+
+use std::net::Ipv4Addr;
+
+use innet::click::ClickConfig;
+use innet::controller::InstalledModule;
+use innet::prelude::*;
+use innet::topology::{generate_fleet, FleetParams};
+
+const SEC: u64 = 1_000_000_000;
+
+fn main() {
+    // A reproducible mini-WAN: 6 PoPs, 2 platforms each.
+    let params = FleetParams {
+        pops: 6,
+        platforms_per_pop: 2,
+        clients_per_pop: 1,
+        seed: 11,
+    };
+    let topo = generate_fleet(&params);
+    println!(
+        "== topology: {} nodes, {} platforms (seed {})",
+        topo.nodes.len(),
+        topo.platforms().len(),
+        params.seed
+    );
+
+    // Tenants spread across the PoPs, mirrored into the controller so
+    // the scenario hooks rank and plan against the real control plane.
+    let mut fleet = Fleet::new(&topo);
+    let mut ctl = Controller::new(topo.clone());
+    let platforms = fleet.platforms();
+    let config = ClickConfig::parse(
+        "FromNetfront() -> IPFilter(allow udp, allow icmp, allow tcp) -> ToNetfront();",
+    )
+    .unwrap();
+    let tenants: Vec<Ipv4Addr> = (1..=8).map(|i| Ipv4Addr::new(198, 18, 0, i)).collect();
+    let mut modules = Vec::new();
+    for (i, &addr) in tenants.iter().enumerate() {
+        let home = platforms[i % platforms.len()];
+        fleet
+            .register(
+                home,
+                ClientEntry {
+                    addr,
+                    config: config.clone(),
+                    stateful: false,
+                },
+            )
+            .unwrap();
+        modules.push(InstalledModule {
+            id: i as u64,
+            name: format!("tenant{i}"),
+            platform: home,
+            addr,
+            config: config.clone(),
+            sandboxed: false,
+            owner: "cdn-inc".into(),
+        });
+    }
+    ctl.adopt_modules(modules);
+
+    // Seeded gravity-model demand between the client subnets and the
+    // tenants, paced into the timeline.
+    let matrix = TrafficMatrix::gravity(
+        &topo,
+        &tenants,
+        &TrafficParams {
+            seed: 7,
+            total_pps: 600,
+            ..TrafficParams::default()
+        },
+    );
+    println!("== traffic matrix: {} demands", matrix.demands().len());
+
+    // The scenario: PoP 0 dies at 1s, a flash crowd hits PoP 1 at 1.5s,
+    // consolidation executes at 2s, and the first tenant tiers onto CDN
+    // edges at 2.5s.
+    let edges: Vec<_> = platforms
+        .iter()
+        .copied()
+        .filter(|&p| topo.pop_of(p) == Some(4))
+        .collect();
+    let scenario = Scenario::new("showcase")
+        .at(SEC, ScenarioEvent::KillPop { pop: 0 })
+        .at(
+            SEC + SEC / 2,
+            ScenarioEvent::FlashCrowd {
+                pop: 1,
+                multiplier: 4,
+            },
+        )
+        .at(2 * SEC, ScenarioEvent::ExecuteConsolidation)
+        .at(
+            2 * SEC + SEC / 2,
+            ScenarioEvent::CdnTier {
+                origin: tenants[0],
+                edges: edges.clone(),
+            },
+        );
+
+    let run = FleetDriver::new(fleet)
+        .until(60 * SEC)
+        .traffic(matrix)
+        .hooks(ControllerHooks::new(&ctl))
+        .events(scenario)
+        .run();
+
+    for rec in &run.rehomes {
+        match rec.to {
+            Some(to) => println!(
+                "failover: {} re-homed {} -> {} (downtime {:.1} ms, decision {:.1} us)",
+                rec.addr,
+                topo.node(rec.from).name,
+                topo.node(to).name,
+                rec.downtime_ns as f64 / 1e6,
+                rec.decision_ns as f64 / 1e3
+            ),
+            None => println!(
+                "failover: {} stranded on {} (no alive platform had room)",
+                rec.addr,
+                topo.node(rec.from).name
+            ),
+        }
+    }
+    assert!(
+        run.rehomes.iter().all(|rec| rec.to.is_some()),
+        "every stranded tenant re-homes"
+    );
+    println!(
+        "consolidation executed: {} live migrations ({} completed)",
+        run.consolidation_moves.len(),
+        run.stats.migrations_completed
+    );
+    println!(
+        "cdn tiering: {} edge replicas of {}",
+        run.cdn_edges, tenants[0]
+    );
+    println!(
+        "== run: {} matrix packets injected, {} fabric forwards, \
+         {} link drops, {} reroutes, {} dead drops",
+        run.traffic_injected,
+        run.stats.fabric_forwards,
+        run.stats.link_drops,
+        run.stats.reroutes,
+        run.stats.dead_drops
+    );
+}

@@ -22,7 +22,7 @@
 use std::net::Ipv4Addr;
 
 use innet::controller::InstalledModule;
-use innet::platform::{consolidated_config, ClientEntry, Fleet};
+use innet::platform::consolidated_config;
 use innet::prelude::*;
 use innet::topology::{generate_fleet, FleetParams, NodeKind, PlatformSpec};
 
@@ -98,44 +98,36 @@ fn one_host_fleet_matches_the_host_path_on_the_consolidated_corpus() {
         })
         .collect();
 
-    let mut fleet_out = Vec::new();
+    // The fleet side rides the FleetDriver timeline (which pins the
+    // inject-then-advance order); the bare host is the hand-rolled
+    // oracle it must match step for step.
+    let mut driver = FleetDriver::new(fleet).until(2 * SEC);
     let mut host_out = Vec::new();
     for (at, pkt) in schedule {
-        fleet_out.extend(
-            fleet
-                .inject(pkt.clone(), at)
-                .into_iter()
-                .map(|(_, iface, p)| (iface, p)),
-        );
+        driver = driver.inject(at, pkt.clone());
         host_out.extend(sw.on_packet(&mut host, pkt, at).unwrap());
-        fleet_out.extend(
-            fleet
-                .advance(at)
-                .into_iter()
-                .map(|(_, iface, p)| (iface, p)),
-        );
         host_out.extend(host.advance(at).into_iter().map(|(_, iface, p)| (iface, p)));
     }
-    fleet_out.extend(
-        fleet
-            .advance(2 * SEC)
-            .into_iter()
-            .map(|(_, iface, p)| (iface, p)),
-    );
     host_out.extend(
         host.advance(2 * SEC)
             .into_iter()
             .map(|(_, iface, p)| (iface, p)),
     );
+    let run = driver.run();
+    let fleet_out: Vec<(u16, Packet)> = run
+        .out
+        .into_iter()
+        .map(|(_, iface, p)| (iface, p))
+        .collect();
 
     assert!(!fleet_out.is_empty(), "the corpus produces output");
     assert_eq!(fleet_out, host_out, "byte- and order-identical");
     assert_eq!(
-        fleet.switch(platform).unwrap().stats(),
+        run.fleet.switch(platform).unwrap().stats(),
         sw.stats(),
         "stats-identical"
     );
-    assert_eq!(fleet.stats().fabric_forwards, 0, "one host, no fabric");
+    assert_eq!(run.stats.fabric_forwards, 0, "one host, no fabric");
 }
 
 /// Runs the migration-spanning flow schedule through a two-platform
@@ -162,42 +154,29 @@ fn fleet_flow_run(migrate: bool) -> (Vec<(u16, Vec<u8>)>, u64) {
         2_500_000_000,
         3_000_000_000,
     ];
-    let mut out = Vec::new();
-    let mut migrated = false;
-    for (i, &at) in times.iter().enumerate() {
-        if migrate && !migrated && at > migrate_at {
-            fleet.migrate(TENANT, b, migrate_at).unwrap();
-            migrated = true;
-        }
-        let pkt = flow_packet(TENANT, i);
-        out.extend(
-            fleet
-                .inject(pkt, at)
-                .into_iter()
-                .map(|(_, iface, p)| (iface, p.bytes().to_vec())),
-        );
-        out.extend(
-            fleet
-                .advance(at)
-                .into_iter()
-                .map(|(_, iface, p)| (iface, p.bytes().to_vec())),
-        );
-    }
-    out.extend(
-        fleet
-            .advance(200 * SEC)
-            .into_iter()
-            .map(|(_, iface, p)| (iface, p.bytes().to_vec())),
-    );
+    let mut driver = FleetDriver::new(fleet).until(200 * SEC);
     if migrate {
-        assert_eq!(fleet.location(TENANT), Some(b), "tenant moved");
-        assert_eq!(fleet.migrations().len(), 1, "exactly one migration");
+        driver = driver.migrate(migrate_at, TENANT, b);
+    }
+    for (i, &at) in times.iter().enumerate() {
+        driver = driver.inject(at, flow_packet(TENANT, i));
+    }
+    let run = driver.run();
+    assert_eq!(run.errors, 0);
+    let out: Vec<(u16, Vec<u8>)> = run
+        .out
+        .into_iter()
+        .map(|(_, iface, p)| (iface, p.bytes().to_vec()))
+        .collect();
+    if migrate {
+        assert_eq!(run.fleet.location(TENANT), Some(b), "tenant moved");
+        assert_eq!(run.fleet.migrations().len(), 1, "exactly one migration");
         assert!(
-            fleet.stats().migration_buffered > 0,
+            run.stats.migration_buffered > 0,
             "the mid-window packet was buffered"
         );
     }
-    (out, fleet.stats().migration_buffered)
+    (out, run.stats.migration_buffered)
 }
 
 #[test]
